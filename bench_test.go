@@ -1,0 +1,271 @@
+// Repository-level benchmarks: one testing.B target per experiment in the
+// DESIGN.md index (F1, E1–E12). `go test -bench=. -benchmem` regenerates
+// the timing side of EXPERIMENTS.md; cmd/benchtab prints the full tables
+// (accuracy, uniformity, counts) around these timings.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/baseline"
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/dnf"
+	"repro/internal/enumerate"
+	"repro/internal/exact"
+	"repro/internal/fpras"
+	"repro/internal/graphdb"
+	"repro/internal/sample"
+	"repro/internal/spanner"
+)
+
+// BenchmarkF1_PaperExample: the full worked example of Figures 1–2 —
+// build, unroll, enumerate, count.
+func BenchmarkF1_PaperExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, length := automata.PaperExample()
+		e, err := enumerate.NewUFA(n, length)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(enumerate.Collect(n.Alphabet(), e, 0)); got != 4 {
+			b.Fatalf("|L_3| = %d", got)
+		}
+		_ = exact.CountUFA(n, length)
+	}
+}
+
+// BenchmarkE1_ConstantDelay: per-output cost of Algorithm 1 on a large
+// unambiguous instance (precomputation excluded).
+func BenchmarkE1_ConstantDelay(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dfa := automata.RandomDFA(rng, automata.Binary(), 64, 0.5)
+	e, err := enumerate.NewUFA(dfa, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Next(); !ok {
+			b.StopTimer()
+			e, err = enumerate.NewUFA(dfa, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkE2_ExactCountUFA: the #L dynamic program at n = 1024.
+func BenchmarkE2_ExactCountUFA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dfa := automata.RandomDFA(rng, automata.Binary(), 32, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = exact.CountUFA(dfa, 1024)
+	}
+}
+
+// BenchmarkE3_SampleUFA: exact uniform generation per draw (precomputation
+// excluded).
+func BenchmarkE3_SampleUFA(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	dfa := automata.RandomDFA(rng, automata.Binary(), 32, 0.5)
+	s, err := sample.NewUFASampler(dfa, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if s.Count().Sign() == 0 {
+		b.Skip("empty slice")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sample(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_FPRASAccuracy: one full FPRAS build on the evaluation-shape
+// workload (layered NFA), the operation whose error E4 tabulates.
+func BenchmarkE4_FPRASAccuracy(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	nfa := automata.RandomLayered(rng, automata.Binary(), 10, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpras.New(nfa, 10, fpras.Params{K: 32, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_FPRASScaling: the larger point of the E5 sweep.
+func BenchmarkE5_FPRASScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	nfa := automata.RandomLayered(rng, automata.Binary(), 20, 6, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpras.New(nfa, 20, fpras.Params{K: 32, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_VsNaiveMC: the naive Monte-Carlo estimator on the gap family
+// (same sample budget the E6 table uses) — fast but wrong; compare with
+// BenchmarkE4/E5 shapes for the FPRAS.
+func BenchmarkE6_VsNaiveMC(b *testing.B) {
+	n := automata.AmbiguityGapWide(12, 4)
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.MonteCarloPaths(n, 12, 500, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_PolyDelay: per-output cost of the flashlight enumerator on
+// an ambiguous instance.
+func BenchmarkE7_PolyDelay(b *testing.B) {
+	nfa := automata.SubsetBlowup(10)
+	e, err := enumerate.NewNFA(nfa, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Next(); !ok {
+			b.StopTimer()
+			e, err = enumerate.NewNFA(nfa, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkE8_PLVUG: one Las Vegas sampling attempt (most reject, as the
+// e⁻⁴ analysis predicts; the table reports the acceptance rate).
+func BenchmarkE8_PLVUG(b *testing.B) {
+	nfa := automata.AmbiguityGap(8)
+	est, err := fpras.New(nfa, 8, fpras.Params{K: 24, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := est.Sample()
+		if err != nil && err != fpras.ErrFail {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_Spanners: full spanner evaluation (build + count) on a
+// 256-byte document.
+func BenchmarkE9_Spanners(b *testing.B) {
+	sigma := []byte("aber")
+	eva := spanner.NewEVA([]string{"x"}, 6)
+	for _, c := range sigma {
+		eva.AddLetter(0, c, 0)
+		eva.AddLetter(5, c, 5)
+	}
+	eva.AddSet(0, spanner.Open(0), 1)
+	eva.AddLetter(1, 'e', 2)
+	eva.AddLetter(2, 'r', 3)
+	eva.AddLetter(3, 'r', 4)
+	eva.AddSet(4, spanner.Close(0), 5)
+	eva.SetFinal(5, true)
+	rng := rand.New(rand.NewSource(9))
+	letters := []byte("aber")
+	doc := make([]byte, 256)
+	for i := range doc {
+		doc[i] = letters[rng.Intn(4)]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := spanner.BuildInstance(eva, string(doc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci, err := core.New(inst.N, inst.Length, core.Options{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ci.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_RPQ: product construction plus exact path count for a
+// 12-node graph.
+func BenchmarkE10_RPQ(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	labels := automata.NewAlphabet("a", "b")
+	g := graphdb.NewGraph(12, labels)
+	for u := 0; u < 12; u++ {
+		for d := 0; d < 2; d++ {
+			g.AddEdge(u, rng.Intn(2), rng.Intn(12))
+		}
+	}
+	q, err := graphdb.NewRPQ("(a|b)*a(a|b)*", labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod, err := graphdb.BuildProduct(g, q, 0, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exact.CountNFA(prod.N, 6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_BDD: OBDD compile + exact count (the Corollary 9 side).
+func BenchmarkE11_BDD(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	d := bdd.RandomOBDD(rng, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nfa := d.NFA()
+		_ = exact.CountUFA(nfa, d.NumVars)
+	}
+}
+
+// BenchmarkE12_DNF: Karp–Luby vs the FPRAS pipeline on one random DNF
+// (the FPRAS side; KL is timed inside the E12 table).
+func BenchmarkE12_DNF(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	f := dnf.Random(rng, 14, 5, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpras.New(f.NFA(), f.NumVars, fpras.Params{K: 32, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13_AblationRejection: one ablated (rejection-free) sampling
+// attempt; compare with BenchmarkE8_PLVUG's corrected attempt cost.
+func BenchmarkE13_AblationRejection(b *testing.B) {
+	nfa := automata.AmbiguityGap(8)
+	est, err := fpras.New(nfa, 8, fpras.Params{K: 24, Seed: 8, SkipRejection: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Sample(); err != nil && err != fpras.ErrFail {
+			b.Fatal(err)
+		}
+	}
+}

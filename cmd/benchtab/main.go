@@ -1,0 +1,49 @@
+// Command benchtab regenerates the experiment tables of DESIGN.md /
+// EXPERIMENTS.md (F1 and E1–E12): the empirical validation of every
+// theorem of the paper on this implementation.
+//
+// Usage:
+//
+//	benchtab            # run everything (a few minutes)
+//	benchtab -quick     # smaller workloads (tens of seconds)
+//	benchtab -only E4   # a single experiment
+//	benchtab -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		only  = flag.String("only", "", "run a single experiment id (e.g. E4)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	start := time.Now()
+	if *only != "" {
+		tab := bench.ByID(*only, *quick)
+		if tab == nil {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", *only)
+			os.Exit(2)
+		}
+		tab.Fprint(os.Stdout)
+	} else {
+		for _, tab := range bench.All(*quick) {
+			tab.Fprint(os.Stdout)
+		}
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

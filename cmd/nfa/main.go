@@ -1,0 +1,161 @@
+// Command nfa is the CLI for MEM-NFA instances: given an automaton file
+// (the text format of internal/automata) and a witness length, it reports
+// instance facts (info), counts witnesses exactly or approximately (count),
+// enumerates them (enum), and samples them uniformly (sample) — the three
+// problems of the paper, dispatched per complexity class by internal/core.
+//
+// Usage:
+//
+//	nfa info   -f automaton.txt
+//	nfa count  -f automaton.txt -n 12 [-exact] [-delta 0.1] [-k 96] [-seed 1]
+//	nfa enum   -f automaton.txt -n 12 [-limit 20]
+//	nfa sample -f automaton.txt -n 12 [-count 5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		file   = fs.String("f", "", "automaton file (see internal/automata text format)")
+		n      = fs.Int("n", 0, "witness length")
+		limit  = fs.Int("limit", 20, "max witnesses to enumerate (enum)")
+		count  = fs.Int("count", 1, "number of samples (sample)")
+		exactF = fs.Bool("exact", false, "force exact counting (count; may be exponential)")
+		delta  = fs.Float64("delta", 0.1, "FPRAS target relative error (count)")
+		k      = fs.Int("k", 0, "FPRAS sketch size override")
+		seed   = fs.Int64("seed", 0, "random seed (0 = fixed default)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *file == "" {
+		fail("missing -f automaton file")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fail(err.Error())
+	}
+	nfa, err := automata.Unmarshal(f)
+	f.Close()
+	if err != nil {
+		fail(err.Error())
+	}
+
+	switch cmd {
+	case "info":
+		runInfo(nfa, *n)
+	case "count", "enum", "sample":
+		inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed})
+		if err != nil {
+			fail(err.Error())
+		}
+		switch cmd {
+		case "count":
+			runCount(inst, *exactF)
+		case "enum":
+			runEnum(inst, *limit)
+		case "sample":
+			runSample(inst, *count)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runInfo(n *automata.NFA, length int) {
+	trimmed := automata.Trim(n)
+	fmt.Printf("states:        %d (trimmed: %d)\n", n.NumStates(), trimmed.NumStates())
+	fmt.Printf("transitions:   %d\n", n.NumTransitions())
+	fmt.Printf("alphabet:      %v\n", n.Alphabet().Names())
+	fmt.Printf("start/final:   %d / %v\n", n.Start(), n.Finals())
+	fmt.Printf("deterministic: %v\n", automata.IsDeterministic(trimmed))
+	unamb := automata.IsUnambiguous(trimmed)
+	fmt.Printf("unambiguous:   %v\n", unamb)
+	if unamb {
+		fmt.Println("class:         RelationUL (constant-delay enum, exact count, exact uniform gen)")
+	} else {
+		fmt.Println("class:         RelationNL (poly-delay enum, FPRAS count, Las Vegas uniform gen)")
+	}
+	if length > 0 {
+		if unamb {
+			fmt.Printf("|L_%d|:        %s (exact)\n", length, exact.CountUFA(trimmed, length))
+		} else if c, err := exact.CountNFA(trimmed, length, 1<<18); err == nil {
+			fmt.Printf("|L_%d|:        %s (exact, subset DP)\n", length, c)
+		} else {
+			fmt.Printf("|L_%d|:        exact counting infeasible (%v); use `nfa count`\n", length, err)
+		}
+	}
+}
+
+func runCount(inst *core.Instance, forceExact bool) {
+	if forceExact {
+		c, err := inst.CountExact(0)
+		if err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("%s (exact, %s)\n", c, inst.Class())
+		return
+	}
+	v, isExact, err := inst.Count()
+	if err != nil {
+		fail(err.Error())
+	}
+	kind := "FPRAS estimate"
+	if isExact {
+		kind = "exact"
+	}
+	fmt.Printf("%s (%s, %s)\n", v.Text('f', 0), kind, inst.Class())
+}
+
+func runEnum(inst *core.Instance, limit int) {
+	ws, err := inst.Witnesses(limit)
+	if err != nil {
+		fail(err.Error())
+	}
+	for _, w := range ws {
+		fmt.Println(w)
+	}
+	fmt.Fprintf(os.Stderr, "# %d witnesses (%s, limit %d)\n", len(ws), inst.Class(), limit)
+}
+
+func runSample(inst *core.Instance, count int) {
+	for i := 0; i < count; i++ {
+		w, err := inst.Sample()
+		if err == core.ErrEmpty {
+			fmt.Println("⊥ (witness set empty)")
+			return
+		}
+		if err != nil {
+			fail(err.Error())
+		}
+		fmt.Println(inst.FormatWord(w))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nfa <info|count|enum|sample> -f FILE -n LENGTH [flags]
+  info    automaton facts, class detection, exact count when feasible
+  count   |L_n| — exact for unambiguous automata, FPRAS otherwise
+  enum    enumerate witnesses (constant or polynomial delay per class)
+  sample  uniform witnesses (exact or Las Vegas per class)`)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "nfa: "+msg)
+	os.Exit(1)
+}

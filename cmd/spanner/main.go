@@ -1,0 +1,120 @@
+// Command spanner runs a document-spanner extraction rule (§4.1 of the
+// paper) over a document: count the extracted mappings (exact or FPRAS per
+// class), enumerate them with class-appropriate delay, or sample them
+// uniformly.
+//
+// Rules are regexes with capture variables, e.g.
+//
+//	spanner -rule ".*(user: a+)=(val: [0-9]+).*" -alphabet "a=0123456789" -doc "aaa=42" -enum 10
+//	spanner -rule ".*(x: err).*" -alphabet aber -doc abberraerr -count
+//	spanner -rule ".*(x: e(r)+).*" -alphabet aber -doc abberraerr -sample 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/spanner"
+)
+
+func main() {
+	var (
+		rule     = flag.String("rule", "", "extraction rule: regex with (name: ...) captures")
+		alphabet = flag.String("alphabet", "", "document alphabet characters")
+		doc      = flag.String("doc", "", "document text")
+		docFile  = flag.String("docfile", "", "read the document from a file instead")
+		count    = flag.Bool("count", false, "print the number of mappings")
+		enum     = flag.Int("enum", 0, "enumerate up to N mappings")
+		sampleN  = flag.Int("sample", 0, "sample N uniform mappings")
+		seed     = flag.Int64("seed", 0, "random seed")
+		k        = flag.Int("k", 0, "FPRAS sketch size override")
+	)
+	flag.Parse()
+	if *rule == "" || *alphabet == "" {
+		fmt.Fprintln(os.Stderr, "usage: spanner -rule RULE -alphabet CHARS (-doc TEXT | -docfile FILE) [-count|-enum N|-sample N]")
+		os.Exit(2)
+	}
+	if *docFile != "" {
+		data, err := os.ReadFile(*docFile)
+		if err != nil {
+			fail(err.Error())
+		}
+		*doc = string(data)
+	}
+	r, err := spanner.CompileRule(*rule, *alphabet)
+	if err != nil {
+		fail(err.Error())
+	}
+	if !r.EVA().IsFunctional() {
+		fail("compiled rule is not functional (internal error)")
+	}
+	inst, err := spanner.BuildInstance(r.EVA(), *doc)
+	if err != nil {
+		fail(err.Error())
+	}
+	ci, err := core.New(inst.N, inst.Length, core.Options{Seed: *seed, K: *k})
+	if err != nil {
+		fail(err.Error())
+	}
+	if !*count && *enum == 0 && *sampleN == 0 {
+		*count = true
+	}
+	if *count {
+		v, isExact, err := ci.Count()
+		if err != nil {
+			fail(err.Error())
+		}
+		kind := "FPRAS estimate"
+		if isExact {
+			kind = "exact"
+		}
+		fmt.Printf("mappings: %s (%s, %s)\n", v.Text('f', 0), kind, ci.Class())
+	}
+	if *enum > 0 {
+		e, err := ci.Enumerate()
+		if err != nil {
+			fail(err.Error())
+		}
+		for i := 0; i < *enum; i++ {
+			w, ok := e.Next()
+			if !ok {
+				break
+			}
+			mp, err := inst.DecodeMapping(w)
+			if err != nil {
+				fail(err.Error())
+			}
+			printMapping(r, mp, *doc)
+		}
+	}
+	for i := 0; i < *sampleN; i++ {
+		w, err := ci.Sample()
+		if err == core.ErrEmpty {
+			fmt.Println("⊥ (no mappings)")
+			return
+		}
+		if err != nil {
+			fail(err.Error())
+		}
+		mp, err := inst.DecodeMapping(w)
+		if err != nil {
+			fail(err.Error())
+		}
+		printMapping(r, mp, *doc)
+	}
+}
+
+func printMapping(r *spanner.Rule, mp spanner.Mapping, doc string) {
+	fmt.Print(mp.Format(r.Vars))
+	for v, s := range mp {
+		fmt.Printf("  %s=%q", r.Vars[v], s.Content(doc))
+	}
+	fmt.Println()
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "spanner: "+msg)
+	os.Exit(1)
+}

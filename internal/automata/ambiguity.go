@@ -1,0 +1,185 @@
+package automata
+
+import (
+	"math/big"
+
+	"repro/internal/bitset"
+)
+
+// IsUnambiguous reports whether every string accepted by n has exactly one
+// accepting run, i.e. whether n is a UFA in the sense of the MEM-UFA
+// relation. The test is the classical squared-automaton criterion: n is
+// ambiguous iff some off-diagonal pair (p, q) is reachable in the product
+// n × n from (start, start) and co-reachable to a pair of final states.
+// Runs in O(m² · |Σ| · d²) time; the automaton must be ε-free.
+func IsUnambiguous(n *NFA) bool {
+	m := n.NumStates()
+	id := func(p, q int) int { return p*m + q }
+
+	// Forward reachability in the product from the diagonal start.
+	reach := bitset.New(m * m)
+	stack := []int{id(n.start, n.start)}
+	reach.Add(stack[0])
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p, q := v/m, v%m
+		for a := 0; a < n.alpha.Size(); a++ {
+			for _, pp := range n.delta[p][a] {
+				for _, qq := range n.delta[q][a] {
+					w := id(pp, qq)
+					if !reach.Has(w) {
+						reach.Add(w)
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+	}
+
+	// Backward reachability in the product from F × F.
+	preds := make([][]int, m*m)
+	reach.ForEach(func(v int) {
+		p, q := v/m, v%m
+		for a := 0; a < n.alpha.Size(); a++ {
+			for _, pp := range n.delta[p][a] {
+				for _, qq := range n.delta[q][a] {
+					w := id(pp, qq)
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+	})
+	co := bitset.New(m * m)
+	stack = stack[:0]
+	for p := 0; p < m; p++ {
+		if !n.final[p] {
+			continue
+		}
+		for q := 0; q < m; q++ {
+			if n.final[q] {
+				v := id(p, q)
+				if !co.Has(v) {
+					co.Add(v)
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range preds[v] {
+			if !co.Has(u) {
+				co.Add(u)
+				stack = append(stack, u)
+			}
+		}
+	}
+
+	ambiguous := false
+	reach.ForEach(func(v int) {
+		p, q := v/m, v%m
+		if p != q && co.Has(v) {
+			ambiguous = true
+		}
+	})
+	return !ambiguous
+}
+
+// CountAcceptingRuns returns the number of accepting runs of n on w, via a
+// run-count dynamic program over the positions of w. For an unambiguous
+// automaton the result is 0 or 1 for every w.
+func CountAcceptingRuns(n *NFA, w Word) *big.Int {
+	m := n.NumStates()
+	cur := make([]*big.Int, m)
+	next := make([]*big.Int, m)
+	for q := 0; q < m; q++ {
+		cur[q] = big.NewInt(0)
+		next[q] = big.NewInt(0)
+	}
+	cur[n.start].SetInt64(1)
+	for _, a := range w {
+		for q := 0; q < m; q++ {
+			next[q].SetInt64(0)
+		}
+		for q := 0; q < m; q++ {
+			if cur[q].Sign() == 0 {
+				continue
+			}
+			for _, p := range n.delta[q][a] {
+				next[p].Add(next[p], cur[q])
+			}
+		}
+		cur, next = next, cur
+	}
+	total := big.NewInt(0)
+	for q := 0; q < m; q++ {
+		if n.final[q] {
+			total.Add(total, cur[q])
+		}
+	}
+	return total
+}
+
+// CountPaths returns the total number of length-n paths from the start
+// state to a final state (counting runs, not strings). For a DFA or UFA
+// this equals |L_n|; for an ambiguous NFA it overcounts, which is exactly
+// why #NFA is hard (§6.1 of the paper).
+func CountPaths(n *NFA, length int) *big.Int {
+	m := n.NumStates()
+	cur := make([]*big.Int, m)
+	next := make([]*big.Int, m)
+	for q := 0; q < m; q++ {
+		cur[q] = big.NewInt(0)
+		next[q] = big.NewInt(0)
+	}
+	cur[n.start].SetInt64(1)
+	for i := 0; i < length; i++ {
+		for q := 0; q < m; q++ {
+			next[q].SetInt64(0)
+		}
+		for q := 0; q < m; q++ {
+			if cur[q].Sign() == 0 {
+				continue
+			}
+			for a := 0; a < n.alpha.Size(); a++ {
+				for _, p := range n.delta[q][a] {
+					next[p].Add(next[p], cur[q])
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	total := big.NewInt(0)
+	for q := 0; q < m; q++ {
+		if n.final[q] {
+			total.Add(total, cur[q])
+		}
+	}
+	return total
+}
+
+// MaxAmbiguity returns the largest number of accepting runs any single
+// string of the given length has, by exhaustive search over L_n. It is
+// exponential and exists for tests and diagnostics only.
+func MaxAmbiguity(n *NFA, length int) *big.Int {
+	maxRuns := big.NewInt(0)
+	w := make(Word, length)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == length {
+			r := CountAcceptingRuns(n, w)
+			if r.Cmp(maxRuns) > 0 {
+				maxRuns.Set(r)
+			}
+			return
+		}
+		for a := 0; a < n.alpha.Size(); a++ {
+			w[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return maxRuns
+}

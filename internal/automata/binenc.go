@@ -1,0 +1,135 @@
+package automata
+
+import "fmt"
+
+// BinaryEncoding maps an automaton over an arbitrary alphabet to one over
+// {0,1}, replacing each symbol by its fixed-width big-endian binary code.
+// This is a witness-preserving reduction in the sense of §5 of the paper:
+// the length-n slice of the original language is in bijection with the
+// length-(n·Width) slice of the encoded language, so counting, sampling and
+// enumeration all transfer. The FPRAS core (internal/fpras) is stated over
+// {0,1} exactly as in the paper (§6.2), and every application funnels
+// through this encoding.
+type BinaryEncoding struct {
+	// Width is the number of bits per source symbol (≥ 1).
+	Width int
+	// Source is the original alphabet.
+	Source *Alphabet
+	// Encoded is the {0,1} automaton.
+	Encoded *NFA
+}
+
+// BinaryEncode builds the encoding of n. Automata that are already binary
+// are passed through with Width 1 (cloned, so mutations don't alias).
+func BinaryEncode(n *NFA) *BinaryEncoding {
+	sigma := n.alpha.Size()
+	if sigma == 0 {
+		panic("automata: cannot binary-encode empty alphabet")
+	}
+	if sigma <= 2 {
+		enc := n.Clone()
+		if sigma == 1 {
+			// Promote unary alphabets to binary so the FPRAS core can
+			// always assume two symbols; symbol 0 keeps its transitions
+			// and symbol 1 has none.
+			promoted := New(Binary(), n.NumStates())
+			promoted.SetStart(n.start)
+			for _, f := range n.Finals() {
+				promoted.SetFinal(f, true)
+			}
+			n.EachTransition(func(q int, a Symbol, p int) {
+				promoted.AddTransition(q, 0, p)
+			})
+			enc = promoted
+		}
+		return &BinaryEncoding{Width: 1, Source: n.alpha, Encoded: enc}
+	}
+	width := 0
+	for (1 << width) < sigma {
+		width++
+	}
+
+	out := New(Binary(), n.NumStates())
+	out.SetStart(n.start)
+	for _, f := range n.Finals() {
+		out.SetFinal(f, true)
+	}
+
+	// Per source state, share the bit-trie across outgoing transitions so
+	// the encoded automaton stays linear in the transition count.
+	for q := 0; q < n.NumStates(); q++ {
+		trie := map[string]int{"": q}
+		for a := 0; a < sigma; a++ {
+			code := symbolBits(a, width)
+			for _, p := range n.delta[q][a] {
+				cur := q
+				for i := 0; i < width-1; i++ {
+					prefix := code[:i+1]
+					node, ok := trie[prefix]
+					if !ok {
+						node = out.AddState()
+						trie[prefix] = node
+					}
+					out.AddTransition(cur, int(code[i]-'0'), node)
+					cur = node
+				}
+				out.AddTransition(cur, int(code[width-1]-'0'), p)
+			}
+		}
+	}
+	return &BinaryEncoding{Width: width, Source: n.alpha, Encoded: out}
+}
+
+func symbolBits(a, width int) string {
+	buf := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		buf[i] = byte('0' + (a & 1))
+		a >>= 1
+	}
+	return string(buf)
+}
+
+// EncodeWord maps a source word to its bit word.
+func (e *BinaryEncoding) EncodeWord(w Word) Word {
+	if e.Width == 1 {
+		out := make(Word, len(w))
+		copy(out, w)
+		return out
+	}
+	out := make(Word, 0, len(w)*e.Width)
+	for _, a := range w {
+		for i := e.Width - 1; i >= 0; i-- {
+			out = append(out, (a>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// DecodeWord maps a bit word back to the source alphabet. It returns an
+// error if the length is not a multiple of Width or a block does not encode
+// a valid symbol.
+func (e *BinaryEncoding) DecodeWord(bits Word) (Word, error) {
+	if e.Width == 1 {
+		out := make(Word, len(bits))
+		copy(out, bits)
+		return out, nil
+	}
+	if len(bits)%e.Width != 0 {
+		return nil, fmt.Errorf("automata: bit word length %d not a multiple of width %d", len(bits), e.Width)
+	}
+	out := make(Word, 0, len(bits)/e.Width)
+	for i := 0; i < len(bits); i += e.Width {
+		a := 0
+		for j := 0; j < e.Width; j++ {
+			a = a<<1 | bits[i+j]
+		}
+		if a >= e.Source.Size() {
+			return nil, fmt.Errorf("automata: bit block %d decodes to invalid symbol %d", i/e.Width, a)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// EncodedLength returns the bit length corresponding to a source length.
+func (e *BinaryEncoding) EncodedLength(n int) int { return n * e.Width }

@@ -1,0 +1,198 @@
+package automata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text format for automata is line-oriented:
+//
+//	# comment
+//	alphabet: a b c
+//	states: 7
+//	start: 0
+//	final: 5 6
+//	0 a 1
+//	0 b 2
+//
+// Transitions are "from symbol to" triples. Blank lines and #-comments are
+// ignored. This is the interchange format used by cmd/nfa.
+
+// Marshal writes the automaton in the text format.
+func Marshal(w io.Writer, n *NFA) error {
+	if n.HasEpsilon() {
+		return fmt.Errorf("automata: cannot marshal automaton with ε-transitions")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "alphabet: %s\n", strings.Join(n.alpha.Names(), " "))
+	fmt.Fprintf(bw, "states: %d\n", n.NumStates())
+	fmt.Fprintf(bw, "start: %d\n", n.Start())
+	finals := n.Finals()
+	parts := make([]string, len(finals))
+	for i, f := range finals {
+		parts[i] = strconv.Itoa(f)
+	}
+	fmt.Fprintf(bw, "final: %s\n", strings.Join(parts, " "))
+	n.EachTransition(func(q int, a Symbol, p int) {
+		fmt.Fprintf(bw, "%d %s %d\n", q, n.alpha.Name(a), p)
+	})
+	return bw.Flush()
+}
+
+// MarshalString renders the automaton in the text format as a string.
+func MarshalString(n *NFA) string {
+	var sb strings.Builder
+	if err := Marshal(&sb, n); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// Unmarshal parses the text format.
+func Unmarshal(r io.Reader) (*NFA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var (
+		alpha      *Alphabet
+		out        *NFA
+		start      = -1
+		finals     []int
+		numStates  = -1
+		transLines [][3]string
+		lineNo     int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "alphabet:"):
+			names := strings.Fields(strings.TrimPrefix(line, "alphabet:"))
+			if len(names) == 0 {
+				return nil, fmt.Errorf("automata: line %d: empty alphabet", lineNo)
+			}
+			seen := map[string]bool{}
+			for _, nm := range names {
+				if seen[nm] {
+					return nil, fmt.Errorf("automata: line %d: duplicate symbol %q", lineNo, nm)
+				}
+				seen[nm] = true
+			}
+			alpha = NewAlphabet(names...)
+		case strings.HasPrefix(line, "states:"):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "states:")))
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("automata: line %d: bad state count", lineNo)
+			}
+			numStates = v
+		case strings.HasPrefix(line, "start:"):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "start:")))
+			if err != nil {
+				return nil, fmt.Errorf("automata: line %d: bad start state", lineNo)
+			}
+			start = v
+		case strings.HasPrefix(line, "final:"):
+			for _, f := range strings.Fields(strings.TrimPrefix(line, "final:")) {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("automata: line %d: bad final state %q", lineNo, f)
+				}
+				finals = append(finals, v)
+			}
+		default:
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("automata: line %d: expected 'from symbol to', got %q", lineNo, line)
+			}
+			transLines = append(transLines, [3]string{fields[0], fields[1], fields[2]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if alpha == nil {
+		return nil, fmt.Errorf("automata: missing alphabet: header")
+	}
+	if numStates < 0 {
+		return nil, fmt.Errorf("automata: missing states: header")
+	}
+	if start < 0 || start >= numStates {
+		return nil, fmt.Errorf("automata: start state %d out of range", start)
+	}
+	out = New(alpha, numStates)
+	out.SetStart(start)
+	for _, f := range finals {
+		if f < 0 || f >= numStates {
+			return nil, fmt.Errorf("automata: final state %d out of range", f)
+		}
+		out.SetFinal(f, true)
+	}
+	for _, t := range transLines {
+		q, err := strconv.Atoi(t[0])
+		if err != nil {
+			return nil, fmt.Errorf("automata: bad source state %q", t[0])
+		}
+		p, err := strconv.Atoi(t[2])
+		if err != nil {
+			return nil, fmt.Errorf("automata: bad target state %q", t[2])
+		}
+		a, ok := alpha.Symbol(t[1])
+		if !ok {
+			return nil, fmt.Errorf("automata: unknown symbol %q", t[1])
+		}
+		if q < 0 || q >= numStates || p < 0 || p >= numStates {
+			return nil, fmt.Errorf("automata: transition %v out of range", t)
+		}
+		out.AddTransition(q, a, p)
+	}
+	return out, nil
+}
+
+// UnmarshalString parses the text format from a string.
+func UnmarshalString(s string) (*NFA, error) {
+	return Unmarshal(strings.NewReader(s))
+}
+
+// Equal reports whether two automata are structurally identical (same
+// alphabet names, start, finals and transition relation). It is a helper
+// for round-trip tests, not a language-equivalence test.
+func Equal(a, b *NFA) bool {
+	if a.NumStates() != b.NumStates() || a.Start() != b.Start() {
+		return false
+	}
+	an, bn := a.alpha.Names(), b.alpha.Names()
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		if a.IsFinal(q) != b.IsFinal(q) {
+			return false
+		}
+		for s := 0; s < a.alpha.Size(); s++ {
+			x, y := a.Successors(q, s), b.Successors(q, s)
+			if len(x) != len(y) {
+				return false
+			}
+			if !sort.IntsAreSorted(x) || !sort.IntsAreSorted(y) {
+				return false
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	alpha := NewAlphabet("a", "b", "c")
+	for trial := 0; trial < 25; trial++ {
+		n := Random(rng, alpha, 1+rng.Intn(8), 0.3, 0.4)
+		text := MarshalString(n)
+		back, err := UnmarshalString(text)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal: %v\n%s", trial, err, text)
+		}
+		if !Equal(n, back) {
+			t.Fatalf("trial %d: round-trip mismatch\n%s\nvs\n%s", trial, text, MarshalString(back))
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"missing alphabet", "states: 2\nstart: 0\nfinal: 1\n0 a 1\n"},
+		{"missing states", "alphabet: a\nstart: 0\nfinal: 0\n"},
+		{"bad start", "alphabet: a\nstates: 2\nstart: 5\nfinal: 1\n"},
+		{"bad final", "alphabet: a\nstates: 2\nstart: 0\nfinal: 7\n"},
+		{"unknown symbol", "alphabet: a\nstates: 2\nstart: 0\nfinal: 1\n0 z 1\n"},
+		{"bad transition arity", "alphabet: a\nstates: 2\nstart: 0\nfinal: 1\n0 a\n"},
+		{"transition out of range", "alphabet: a\nstates: 2\nstart: 0\nfinal: 1\n0 a 9\n"},
+		{"duplicate alphabet symbol", "alphabet: a a\nstates: 1\nstart: 0\nfinal: 0\n"},
+		{"zero states", "alphabet: a\nstates: 0\nstart: 0\nfinal: 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalString(c.text); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestUnmarshalCommentsAndBlanks(t *testing.T) {
+	text := `
+# a comment
+alphabet: x y
+
+states: 2
+start: 0
+# another
+final: 1
+0 x 1
+`
+	n, err := UnmarshalString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumStates() != 2 || !n.IsFinal(1) || len(n.Successors(0, 0)) != 1 {
+		t.Fatalf("parsed automaton wrong: %s", MarshalString(n))
+	}
+}
+
+func TestMarshalRejectsEpsilon(t *testing.T) {
+	n := New(Binary(), 2)
+	n.AddEpsilon(0, 1)
+	var sb strings.Builder
+	if err := Marshal(&sb, n); err == nil {
+		t.Fatal("marshal of ε-automaton should fail")
+	}
+}
+
+func TestDeterminizeMatchesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := Random(rng, Binary(), 2+rng.Intn(5), 0.3, 0.4)
+		d, ok := Determinize(n, 0)
+		if !ok {
+			t.Fatal("unbounded determinize cannot fail")
+		}
+		if !IsDeterministic(d) {
+			t.Fatal("result is not deterministic")
+		}
+		for length := 0; length <= 5; length++ {
+			if !sameStrings(language(d, length), language(n, length)) {
+				t.Fatalf("trial %d: determinize changed language at length %d", trial, length)
+			}
+		}
+	}
+}
+
+func TestDeterminizeBlowupBounded(t *testing.T) {
+	n := SubsetBlowup(14)
+	if _, ok := Determinize(n, 1000); ok {
+		t.Fatal("SubsetBlowup(14) should exceed 1000 subset states")
+	}
+	d, ok := Determinize(SubsetBlowup(4), 0)
+	if !ok || d.NumStates() < 16 {
+		t.Fatalf("SubsetBlowup(4) determinization should have ≥ 16 states, got %d", d.NumStates())
+	}
+}
+
+func TestBinaryEncodeRoundTrip(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c", "d", "e")
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := Random(rng, alpha, 2+rng.Intn(4), 0.25, 0.4)
+		enc := BinaryEncode(n)
+		if enc.Width != 3 {
+			t.Fatalf("width = %d, want 3", enc.Width)
+		}
+		for length := 0; length <= 3; length++ {
+			want := language(n, length)
+			// Encoded language at length·width, decoded back.
+			encLang := language(enc.Encoded, enc.EncodedLength(length))
+			var got []string
+			for _, s := range encLang {
+				bits := make(Word, len(s))
+				for i := range s {
+					bits[i] = int(s[i] - '0')
+				}
+				dec, err := enc.DecodeWord(bits)
+				if err != nil {
+					t.Fatalf("decode %q: %v", s, err)
+				}
+				got = append(got, alpha.FormatWord(dec))
+			}
+			if !sameStrings(got, want) {
+				t.Fatalf("trial %d length %d: got %v want %v", trial, length, got, want)
+			}
+		}
+	}
+}
+
+func TestBinaryEncodePreservesUnambiguity(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c")
+	rng := rand.New(rand.NewSource(37))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 10; trial++ {
+		n := Trim(Random(rng, alpha, 2+rng.Intn(4), 0.2, 0.4))
+		if !IsUnambiguous(n) {
+			continue
+		}
+		checked++
+		enc := BinaryEncode(n)
+		if !IsUnambiguous(enc.Encoded) {
+			t.Fatalf("encoding broke unambiguity:\n%s", MarshalString(n))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no unambiguous automata generated")
+	}
+}
+
+func TestBinaryEncodeWordHelpers(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c")
+	n := Chain(alpha, alpha.WordOf("c", "a", "b"))
+	enc := BinaryEncode(n)
+	w := alpha.WordOf("c", "a", "b")
+	bits := enc.EncodeWord(w)
+	if len(bits) != 6 {
+		t.Fatalf("encoded length %d, want 6", len(bits))
+	}
+	back, err := enc.DecodeWord(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha.FormatWord(back) != "cab" {
+		t.Fatalf("decode = %q", alpha.FormatWord(back))
+	}
+	if _, err := enc.DecodeWord(Word{1, 1, 1}); err == nil {
+		t.Error("decoding symbol 7 of a 3-letter alphabet should fail")
+	}
+	if _, err := enc.DecodeWord(Word{0}); err == nil {
+		t.Error("decoding misaligned word should fail")
+	}
+	if !enc.Encoded.Accepts(bits) {
+		t.Error("encoded automaton should accept encoded word")
+	}
+}
+
+func TestBinaryEncodeUnaryAlphabet(t *testing.T) {
+	alpha := NewAlphabet("a")
+	n := Chain(alpha, Word{0, 0})
+	enc := BinaryEncode(n)
+	if enc.Width != 1 || enc.Encoded.Alphabet().Size() != 2 {
+		t.Fatalf("unary promotion wrong: width=%d sigma=%d", enc.Width, enc.Encoded.Alphabet().Size())
+	}
+	if !enc.Encoded.Accepts(Word{0, 0}) || enc.Encoded.Accepts(Word{0, 1}) {
+		t.Error("unary promotion changed the language")
+	}
+}

@@ -1,0 +1,93 @@
+package automata
+
+import (
+	"repro/internal/bitset"
+)
+
+// Determinize performs the subset construction and returns an equivalent
+// deterministic automaton (represented as an NFA whose transition relation
+// happens to be a function). The state count can be exponential in the
+// input; callers may bound it with maxStates (0 means unbounded). When the
+// bound is exceeded, Determinize returns nil and false — this is the
+// baseline whose blow-up the FPRAS avoids, so the failure mode matters.
+func Determinize(n *NFA, maxStates int) (*NFA, bool) {
+	if n.HasEpsilon() {
+		n = RemoveEpsilon(n)
+	}
+	m := n.NumStates()
+	sigma := n.alpha.Size()
+
+	type entry struct {
+		set *bitset.Set
+		id  int
+	}
+	index := make(map[string]int)
+	var sets []*bitset.Set
+
+	startSet := bitset.New(m)
+	startSet.Add(n.start)
+	index[startSet.Key()] = 0
+	sets = append(sets, startSet)
+
+	// Transition table built as we discover subsets.
+	var table [][]int
+	table = append(table, make([]int, sigma))
+
+	queue := []int{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		src := sets[cur]
+		for a := 0; a < sigma; a++ {
+			next := bitset.New(m)
+			src.ForEach(func(q int) {
+				for _, p := range n.delta[q][a] {
+					next.Add(p)
+				}
+			})
+			key := next.Key()
+			id, ok := index[key]
+			if !ok {
+				id = len(sets)
+				if maxStates > 0 && id >= maxStates {
+					return nil, false
+				}
+				index[key] = id
+				sets = append(sets, next)
+				table = append(table, make([]int, sigma))
+				queue = append(queue, id)
+			}
+			table[cur][a] = id
+		}
+	}
+
+	out := New(n.alpha, len(sets))
+	out.SetStart(0)
+	finals := n.FinalSet()
+	for id, set := range sets {
+		if set.Intersects(finals) {
+			out.SetFinal(id, true)
+		}
+		for a := 0; a < sigma; a++ {
+			out.AddTransition(id, a, table[id][a])
+		}
+	}
+	return out, true
+}
+
+// IsDeterministic reports whether every state has at most one successor per
+// symbol (and the automaton is ε-free), i.e. whether the NFA is in fact a
+// partial DFA.
+func IsDeterministic(n *NFA) bool {
+	if n.HasEpsilon() {
+		return false
+	}
+	for q := 0; q < n.NumStates(); q++ {
+		for a := 0; a < n.alpha.Size(); a++ {
+			if len(n.delta[q][a]) > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

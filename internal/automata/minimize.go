@@ -1,0 +1,170 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Minimize returns the minimal complete DFA equivalent to the input, which
+// must be deterministic (use Determinize first). The implementation is
+// Moore's partition-refinement algorithm: O(m²·|Σ|) worst case, which is
+// plenty for the sizes this library handles; the minimal DFA is the
+// canonical baseline object in the blow-up experiments (its size is what
+// the SubsetBlowup family makes exponential).
+func Minimize(d *NFA) (*NFA, error) {
+	if !IsDeterministic(d) {
+		return nil, fmt.Errorf("automata: Minimize requires a deterministic automaton")
+	}
+	// Complete the automaton with a sink so every state has exactly one
+	// successor per symbol.
+	m := d.NumStates()
+	sigma := d.alpha.Size()
+	next := make([][]int, m+1)
+	final := make([]bool, m+1)
+	sink := m
+	needSink := false
+	for q := 0; q < m; q++ {
+		next[q] = make([]int, sigma)
+		final[q] = d.final[q]
+		for a := 0; a < sigma; a++ {
+			succ := d.delta[q][a]
+			if len(succ) == 0 {
+				next[q][a] = sink
+				needSink = true
+			} else {
+				next[q][a] = succ[0]
+			}
+		}
+	}
+	next[sink] = make([]int, sigma)
+	for a := 0; a < sigma; a++ {
+		next[sink][a] = sink
+	}
+	total := m
+	if needSink {
+		total = m + 1
+	}
+
+	// Initial partition: final vs non-final.
+	class := make([]int, total)
+	for q := 0; q < total; q++ {
+		if final[q] {
+			class[q] = 1
+		}
+	}
+	numClasses := 2
+	for {
+		// Signature of a state: (class, class of successors).
+		sig := make(map[string]int)
+		newClass := make([]int, total)
+		newCount := 0
+		for q := 0; q < total; q++ {
+			key := make([]byte, 0, (sigma+1)*4)
+			key = appendInt(key, class[q])
+			for a := 0; a < sigma; a++ {
+				key = appendInt(key, class[next[q][a]])
+			}
+			id, ok := sig[string(key)]
+			if !ok {
+				id = newCount
+				newCount++
+				sig[string(key)] = id
+			}
+			newClass[q] = id
+		}
+		if newCount == numClasses {
+			break
+		}
+		class = newClass
+		numClasses = newCount
+	}
+
+	// Build the quotient automaton, then trim (dropping the sink class if
+	// it is dead).
+	out := New(d.alpha, numClasses)
+	out.SetStart(class[d.start])
+	seenRep := make([]bool, numClasses)
+	for q := 0; q < total; q++ {
+		c := class[q]
+		if seenRep[c] {
+			continue
+		}
+		seenRep[c] = true
+		if final[q] {
+			out.SetFinal(c, true)
+		}
+		for a := 0; a < sigma; a++ {
+			out.AddTransition(c, a, class[next[q][a]])
+		}
+	}
+	return Trim(out), nil
+}
+
+func appendInt(b []byte, v int) []byte {
+	u := uint32(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+
+// EquivalentUpTo reports whether two ε-free automata accept the same
+// strings of every length up to maxLen, by a product-style breadth-first
+// search over pairs of subset states. Exact language equivalence of NFAs
+// is PSPACE-complete; the bounded check is what fixed-length slices need
+// and what tests use. maxStates bounds the explored subset pairs (0 means
+// 1<<20).
+func EquivalentUpTo(a, b *NFA, maxLen, maxStates int) (bool, error) {
+	if a.alpha.Size() != b.alpha.Size() {
+		return false, nil
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	type pair struct {
+		sa, sb *bitset.Set
+	}
+	start := pair{sa: bitset.New(a.NumStates()), sb: bitset.New(b.NumStates())}
+	start.sa.Add(a.start)
+	start.sb.Add(b.start)
+	acceptA := func(s *bitset.Set) bool { return s.Intersects(a.FinalSet()) }
+	acceptB := func(s *bitset.Set) bool { return s.Intersects(b.FinalSet()) }
+
+	cur := map[string]pair{start.sa.Key() + "|" + start.sb.Key(): start}
+	explored := 0
+	for depth := 0; depth <= maxLen; depth++ {
+		for _, p := range cur {
+			if acceptA(p.sa) != acceptB(p.sb) {
+				return false, nil
+			}
+		}
+		if depth == maxLen {
+			break
+		}
+		next := map[string]pair{}
+		for _, p := range cur {
+			for sym := 0; sym < a.alpha.Size(); sym++ {
+				na := bitset.New(a.NumStates())
+				p.sa.ForEach(func(q int) {
+					for _, t := range a.delta[q][sym] {
+						na.Add(t)
+					}
+				})
+				nb := bitset.New(b.NumStates())
+				p.sb.ForEach(func(q int) {
+					for _, t := range b.delta[q][sym] {
+						nb.Add(t)
+					}
+				})
+				key := na.Key() + "|" + nb.Key()
+				if _, ok := next[key]; !ok {
+					explored++
+					if explored > maxStates {
+						return false, fmt.Errorf("automata: equivalence check exceeded %d subset pairs", maxStates)
+					}
+					next[key] = pair{sa: na, sb: nb}
+				}
+			}
+		}
+		cur = next
+	}
+	return true, nil
+}

@@ -1,0 +1,120 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := Random(rng, Binary(), 2+rng.Intn(5), 0.3, 0.4)
+		d, ok := Determinize(n, 0)
+		if !ok {
+			return false
+		}
+		min, err := Minimize(d)
+		if err != nil {
+			return false
+		}
+		if min.NumStates() > d.NumStates() {
+			return false
+		}
+		for length := 0; length <= 5; length++ {
+			if !sameStrings(language(min, length), language(d, length)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeSubsetBlowupSize(t *testing.T) {
+	// The SubsetBlowup language ("some 1 has ≥ k−1 symbols after it") has
+	// an interesting profile: the raw subset construction explodes (it
+	// remembers the ages of all recent 1s), but the Myhill–Nerode classes
+	// only need the age of the *oldest* 1, capped at k−1 — so the minimal
+	// DFA is linear in k. Minimization must find that collapse.
+	k := 6
+	d, ok := Determinize(SubsetBlowup(k), 0)
+	if !ok {
+		t.Fatal("determinize failed")
+	}
+	if d.NumStates() < 1<<(k-2) {
+		t.Fatalf("subset construction should blow up: only %d states", d.NumStates())
+	}
+	min, err := Minimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() > k+2 {
+		t.Fatalf("minimal DFA should be ≈ k+1 states, got %d", min.NumStates())
+	}
+	ok2, err := EquivalentUpTo(min, SubsetBlowup(k), 12, 0)
+	if err != nil || !ok2 {
+		t.Fatalf("minimized DFA not equivalent: %v %v", ok2, err)
+	}
+}
+
+func TestMinimizeRejectsNFA(t *testing.T) {
+	n := SubsetBlowup(2)
+	if _, err := Minimize(n); err == nil {
+		t.Fatal("Minimize must reject nondeterministic input")
+	}
+}
+
+func TestMinimizeCollapsesRedundantStates(t *testing.T) {
+	// Two final states with identical behaviour must merge.
+	alpha := Binary()
+	d := New(alpha, 4)
+	d.SetStart(0)
+	d.AddTransition(0, 0, 1)
+	d.AddTransition(0, 1, 2)
+	d.SetFinal(1, true)
+	d.SetFinal(2, true)
+	d.AddTransition(1, 0, 3)
+	d.AddTransition(2, 0, 3)
+	min, err := Minimize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() >= d.NumStates() {
+		t.Fatalf("expected collapse, got %d states", min.NumStates())
+	}
+	eq, err := EquivalentUpTo(min, d, 6, 0)
+	if err != nil || !eq {
+		t.Fatalf("not equivalent after minimize: %v %v", eq, err)
+	}
+}
+
+func TestEquivalentUpTo(t *testing.T) {
+	a := SubsetBlowup(3)
+	d, _ := Determinize(a, 0)
+	eq, err := EquivalentUpTo(a, d, 10, 0)
+	if err != nil || !eq {
+		t.Fatalf("NFA and its determinization must be equivalent: %v %v", eq, err)
+	}
+	b := SubsetBlowup(4)
+	eq, err = EquivalentUpTo(a, b, 10, 0)
+	if err != nil || eq {
+		t.Fatalf("different k must differ: %v %v", eq, err)
+	}
+	// Mismatched alphabets are inequivalent by definition.
+	c := Chain(NewAlphabet("x", "y", "z"), Word{0})
+	eq, err = EquivalentUpTo(a, c, 3, 0)
+	if err != nil || eq {
+		t.Fatal("different alphabets must be inequivalent")
+	}
+}
+
+func TestEquivalentUpToBound(t *testing.T) {
+	a := SubsetBlowup(14)
+	b := SubsetBlowup(14)
+	if _, err := EquivalentUpTo(a, b, 30, 64); err == nil {
+		t.Fatal("expected subset-pair bound to trigger")
+	}
+}

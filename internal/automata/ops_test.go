@@ -1,0 +1,121 @@
+package automata
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestComplete(t *testing.T) {
+	n := Chain(Binary(), Word{0, 1})
+	c := Complete(n)
+	for q := 0; q < c.NumStates(); q++ {
+		for a := 0; a < 2; a++ {
+			if len(c.Successors(q, a)) == 0 {
+				t.Fatalf("state %d missing successor on %d", q, a)
+			}
+		}
+	}
+	for length := 0; length <= 4; length++ {
+		if !sameStrings(language(c, length), language(n, length)) {
+			t.Fatalf("Complete changed the language at length %d", length)
+		}
+	}
+	// Already-complete automata gain no states.
+	full := All(Binary())
+	if Complete(full).NumStates() != full.NumStates() {
+		t.Fatal("Complete added a sink to a complete automaton")
+	}
+}
+
+func TestComplementFlipsMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := Random(rng, Binary(), 2+rng.Intn(4), 0.3, 0.4)
+		d, ok := Determinize(n, 0)
+		if !ok {
+			return false
+		}
+		c, err := Complement(d)
+		if err != nil {
+			return false
+		}
+		w := make(Word, rng.Intn(6))
+		for i := range w {
+			w[i] = rng.Intn(2)
+		}
+		return d.Accepts(w) != c.Accepts(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementRejectsNFA(t *testing.T) {
+	if _, err := Complement(SubsetBlowup(3)); err == nil {
+		t.Fatal("Complement must reject nondeterministic input")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	alpha := Binary()
+	// L(a) = all strings; L(b) = strings containing a 1 (blowup(1)).
+	// a ∖ b = 0*.
+	a := All(alpha)
+	b := SubsetBlowup(1)
+	diff, err := Difference(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for length := 0; length <= 5; length++ {
+		got := language(diff, length)
+		want := []string{zeroString(length)}
+		sort.Strings(want)
+		if !sameStrings(got, want) {
+			t.Fatalf("length %d: got %v want %v", length, got, want)
+		}
+	}
+}
+
+func zeroString(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '0'
+	}
+	return string(b)
+}
+
+func TestDifferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 25; trial++ {
+		a := Random(rng, Binary(), 2+rng.Intn(4), 0.3, 0.4)
+		b := Random(rng, Binary(), 2+rng.Intn(4), 0.3, 0.4)
+		diff, err := Difference(a, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for length := 0; length <= 4; length++ {
+			inB := map[string]bool{}
+			for _, s := range language(b, length) {
+				inB[s] = true
+			}
+			var want []string
+			for _, s := range language(a, length) {
+				if !inB[s] {
+					want = append(want, s)
+				}
+			}
+			sort.Strings(want)
+			if !sameStrings(language(diff, length), want) {
+				t.Fatalf("trial %d length %d: difference wrong", trial, length)
+			}
+		}
+	}
+}
+
+func TestDifferenceBoundSurfaces(t *testing.T) {
+	if _, err := Difference(All(Binary()), SubsetBlowup(16), 64); err == nil {
+		t.Fatal("expected determinization bound error")
+	}
+}

@@ -1,0 +1,498 @@
+// Package bdd implements the binary-decision-diagram application of §4.3:
+// ordered BDDs (OBDDs) whose satisfying assignments form a RelationUL
+// problem (one witnessing path per assignment — Corollary 9), and
+// nondeterministic OBDDs (nOBDDs) with unlabelled choice nodes, which drop
+// the single-witness property and land in RelationNL (Corollary 10).
+//
+// A diagram compiles to an automaton over {0,1} whose length-NumVars
+// language is exactly {σ : D(σ) = 1}: skipped variables become free bits,
+// decision nodes become labelled transitions and choice nodes become
+// ε-transitions (removed before returning). Counting, enumeration and
+// sampling of satisfying assignments then reduce to the core automaton
+// machinery, exactly as the corollaries state.
+package bdd
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/unroll"
+)
+
+// Node ids 0 and 1 are the terminal sinks.
+const (
+	Sink0 = 0
+	Sink1 = 1
+)
+
+type kind uint8
+
+const (
+	kindSink kind = iota
+	kindDecision
+	kindChoice
+)
+
+type node struct {
+	kind kind
+	v    int   // decision variable (kindDecision)
+	lo   int   // 0-child (kindDecision)
+	hi   int   // 1-child (kindDecision)
+	kids []int // children (kindChoice)
+}
+
+// Diagram is an (n)OBDD over variables x0 < x1 < ... < x_{NumVars-1}.
+type Diagram struct {
+	NumVars int
+	nodes   []node
+	root    int
+}
+
+// New returns a diagram with only the two sinks; the root defaults to
+// Sink0 (the constant-false function).
+func New(numVars int) *Diagram {
+	if numVars < 0 {
+		panic("bdd: negative variable count")
+	}
+	return &Diagram{
+		NumVars: numVars,
+		nodes:   []node{{kind: kindSink}, {kind: kindSink}},
+		root:    Sink0,
+	}
+}
+
+// NumNodes returns the node count including both sinks.
+func (d *Diagram) NumNodes() int { return len(d.nodes) }
+
+// Root returns the root node id.
+func (d *Diagram) Root() int { return d.root }
+
+// SetRoot designates the root node.
+func (d *Diagram) SetRoot(id int) {
+	d.check(id)
+	d.root = id
+}
+
+func (d *Diagram) check(id int) {
+	if id < 0 || id >= len(d.nodes) {
+		panic(fmt.Sprintf("bdd: node %d out of range", id))
+	}
+}
+
+// AddDecision appends a decision node testing variable v with the given
+// children (which must already exist, keeping the graph acyclic by
+// construction) and returns its id.
+func (d *Diagram) AddDecision(v, lo, hi int) int {
+	if v < 0 || v >= d.NumVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	d.check(lo)
+	d.check(hi)
+	d.nodes = append(d.nodes, node{kind: kindDecision, v: v, lo: lo, hi: hi})
+	return len(d.nodes) - 1
+}
+
+// AddChoice appends a nondeterministic choice node with the given existing
+// children and returns its id. Diagrams containing choice nodes are
+// nOBDDs.
+func (d *Diagram) AddChoice(kids ...int) int {
+	if len(kids) == 0 {
+		panic("bdd: choice node needs children")
+	}
+	for _, k := range kids {
+		d.check(k)
+	}
+	cp := make([]int, len(kids))
+	copy(cp, kids)
+	d.nodes = append(d.nodes, node{kind: kindChoice, kids: cp})
+	return len(d.nodes) - 1
+}
+
+// Deterministic reports whether the diagram has no choice nodes (i.e. it
+// is a plain OBDD).
+func (d *Diagram) Deterministic() bool {
+	for _, n := range d.nodes {
+		if n.kind == kindChoice {
+			return false
+		}
+	}
+	return true
+}
+
+// minVar returns the smallest decision variable reachable from id through
+// choice nodes only, or NumVars when none (a sink).
+func (d *Diagram) minVar(id int) int {
+	switch n := d.nodes[id]; n.kind {
+	case kindSink:
+		return d.NumVars
+	case kindDecision:
+		return n.v
+	default:
+		mv := d.NumVars
+		for _, k := range n.kids {
+			if v := d.minVar(k); v < mv {
+				mv = v
+			}
+		}
+		return mv
+	}
+}
+
+// ValidateOrdered checks the OBDD ordering promise: along every edge the
+// decision variables strictly increase (choice nodes are transparent).
+func (d *Diagram) ValidateOrdered() error {
+	var visit func(id, lowerBound int) error
+	seen := map[[2]int]bool{}
+	visit = func(id, lowerBound int) error {
+		key := [2]int{id, lowerBound}
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		n := d.nodes[id]
+		switch n.kind {
+		case kindSink:
+			return nil
+		case kindDecision:
+			if n.v < lowerBound {
+				return fmt.Errorf("bdd: variable x%d violates order (must be ≥ x%d)", n.v, lowerBound)
+			}
+			if err := visit(n.lo, n.v+1); err != nil {
+				return err
+			}
+			return visit(n.hi, n.v+1)
+		default:
+			for _, k := range n.kids {
+				if err := visit(k, lowerBound); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return visit(d.root, 0)
+}
+
+// Eval reports whether some path under σ reaches Sink1 (for a consistent
+// nOBDD this is the function value; for an OBDD it is the unique path's
+// outcome).
+func (d *Diagram) Eval(assign []bool) bool {
+	if len(assign) != d.NumVars {
+		panic("bdd: assignment length mismatch")
+	}
+	var walk func(id int) bool
+	walk = func(id int) bool {
+		n := d.nodes[id]
+		switch n.kind {
+		case kindSink:
+			return id == Sink1
+		case kindDecision:
+			if assign[n.v] {
+				return walk(n.hi)
+			}
+			return walk(n.lo)
+		default:
+			for _, k := range n.kids {
+				if walk(k) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return walk(d.root)
+}
+
+// NFA compiles the diagram into an automaton over {0,1} accepting, at
+// length NumVars, exactly the satisfying assignments. States are (node,
+// level) pairs; skipped variables contribute free bits, choice nodes
+// ε-edges. For an OBDD the result is unambiguous (each assignment has one
+// accepting run); for an nOBDD ambiguity equals the number of accepting
+// paths of the assignment.
+func (d *Diagram) NFA() *automata.NFA {
+	alpha := automata.Binary()
+	levels := d.NumVars + 1
+	id := func(nd, level int) int { return nd*levels + level }
+	n := automata.New(alpha, len(d.nodes)*levels)
+	n.SetStart(id(d.root, 0))
+	n.SetFinal(id(Sink1, d.NumVars), true)
+	for ndID, nd := range d.nodes {
+		for level := 0; level <= d.NumVars; level++ {
+			from := id(ndID, level)
+			switch nd.kind {
+			case kindSink:
+				if level < d.NumVars {
+					// Remaining variables are free.
+					n.AddTransition(from, 0, id(ndID, level+1))
+					n.AddTransition(from, 1, id(ndID, level+1))
+				}
+			case kindDecision:
+				if level >= d.NumVars {
+					continue
+				}
+				switch {
+				case nd.v > level:
+					// Skipped variable: free bit.
+					n.AddTransition(from, 0, id(ndID, level+1))
+					n.AddTransition(from, 1, id(ndID, level+1))
+				case nd.v == level:
+					n.AddTransition(from, 0, id(nd.lo, level+1))
+					n.AddTransition(from, 1, id(nd.hi, level+1))
+				default:
+					// Unreachable in an ordered diagram; leave stateless so
+					// Trim removes it.
+				}
+			case kindChoice:
+				for _, k := range nd.kids {
+					n.AddEpsilon(from, id(k, level))
+				}
+			}
+		}
+	}
+	return automata.Trim(automata.RemoveEpsilon(n))
+}
+
+// Consistent checks the nOBDD promise of §4.3 — no assignment can reach
+// both sinks. OBDDs are consistent by construction. The check intersects
+// the "reaches 1" and "reaches 0" languages at length NumVars.
+func (d *Diagram) Consistent() bool {
+	reach1 := d.NFA()
+	// Build the complement-path automaton: same construction with Sink0
+	// accepting.
+	flip := *d
+	flipNFA := flip.nfaForSink(Sink0)
+	inter := automata.Intersect(reach1, flipNFA)
+	dag, err := unroll.Build(inter, d.NumVars, unroll.Options{})
+	if err != nil {
+		return false
+	}
+	return dag.Empty()
+}
+
+func (d *Diagram) nfaForSink(sink int) *automata.NFA {
+	alpha := automata.Binary()
+	levels := d.NumVars + 1
+	id := func(nd, level int) int { return nd*levels + level }
+	n := automata.New(alpha, len(d.nodes)*levels)
+	n.SetStart(id(d.root, 0))
+	n.SetFinal(id(sink, d.NumVars), true)
+	for ndID, nd := range d.nodes {
+		for level := 0; level <= d.NumVars; level++ {
+			from := id(ndID, level)
+			switch nd.kind {
+			case kindSink:
+				if level < d.NumVars {
+					n.AddTransition(from, 0, id(ndID, level+1))
+					n.AddTransition(from, 1, id(ndID, level+1))
+				}
+			case kindDecision:
+				if level >= d.NumVars {
+					continue
+				}
+				switch {
+				case nd.v > level:
+					n.AddTransition(from, 0, id(ndID, level+1))
+					n.AddTransition(from, 1, id(ndID, level+1))
+				case nd.v == level:
+					n.AddTransition(from, 0, id(nd.lo, level+1))
+					n.AddTransition(from, 1, id(nd.hi, level+1))
+				}
+			case kindChoice:
+				for _, k := range nd.kids {
+					n.AddEpsilon(from, id(k, level))
+				}
+			}
+		}
+	}
+	return automata.Trim(automata.RemoveEpsilon(n))
+}
+
+// Build constructs a reduced OBDD for an arbitrary boolean function by
+// Shannon expansion with cofactor memoization. Exponential in NumVars (it
+// queries the whole truth table), so it is a tool for tests and examples,
+// not a general compiler.
+func Build(numVars int, f func(assign []bool) bool) *Diagram {
+	d := New(numVars)
+	assign := make([]bool, numVars)
+	memo := map[string]int{}
+	var rec func(level int) int
+	rec = func(level int) int {
+		// Cofactor signature: truth table of the restriction.
+		var sig strings.Builder
+		var table func(i int)
+		table = func(i int) {
+			if i == numVars {
+				if f(assign) {
+					sig.WriteByte('1')
+				} else {
+					sig.WriteByte('0')
+				}
+				return
+			}
+			assign[i] = false
+			table(i + 1)
+			assign[i] = true
+			table(i + 1)
+		}
+		table(level)
+		key := fmt.Sprintf("%d:%s", level, sig.String())
+		if id, ok := memo[key]; ok {
+			return id
+		}
+		var id int
+		if level == numVars {
+			if f(assign) {
+				id = Sink1
+			} else {
+				id = Sink0
+			}
+		} else {
+			assign[level] = false
+			lo := rec(level + 1)
+			assign[level] = true
+			hi := rec(level + 1)
+			if lo == hi {
+				id = lo // reduction: skip the test
+			} else {
+				id = d.AddDecision(level, lo, hi)
+			}
+		}
+		memo[key] = id
+		return id
+	}
+	d.SetRoot(rec(0))
+	return d
+}
+
+// RandomOBDD generates a random layered OBDD for benchmarks: width nodes
+// per variable level wired downward at random.
+func RandomOBDD(rng *rand.Rand, numVars, width int) *Diagram {
+	d := New(numVars)
+	prev := []int{Sink0, Sink1}
+	for v := numVars - 1; v >= 0; v-- {
+		var layer []int
+		for j := 0; j < width; j++ {
+			lo := prev[rng.Intn(len(prev))]
+			hi := prev[rng.Intn(len(prev))]
+			layer = append(layer, d.AddDecision(v, lo, hi))
+		}
+		// Children for the next level up may be this layer or the sinks
+		// (variable skipping).
+		prev = append(layer, Sink0, Sink1)
+	}
+	d.SetRoot(prev[rng.Intn(len(prev)-2)])
+	return d
+}
+
+// RandomNOBDD generates a random consistent nOBDD by taking a random OBDD
+// and replacing some edges with choice nodes over *equivalent* duplicated
+// subdiagrams: a decision node is duplicated with structurally distinct
+// but semantically identical children (cloned decision nodes, or redundant
+// tests wrapping sinks), so the computed function — and hence consistency —
+// is preserved while witnesses gain multiple accepting paths.
+func RandomNOBDD(rng *rand.Rand, numVars, width, duplications int) *Diagram {
+	d := RandomOBDD(rng, numVars, width)
+	// cloneChild returns a fresh node id computing the same function as
+	// child, structurally distinct from it, usable under a parent testing
+	// variable v. Sinks are wrapped in a redundant test of variable v+1
+	// when one exists; otherwise cloning fails.
+	cloneChild := func(child, v int) (int, bool) {
+		cn := d.nodes[child]
+		if cn.kind == kindDecision {
+			return d.AddDecision(cn.v, cn.lo, cn.hi), true
+		}
+		if cn.kind == kindSink && v+1 < numVars {
+			return d.AddDecision(v+1, child, child), true
+		}
+		return 0, false
+	}
+	for i := 0; i < duplications; i++ {
+		// Pick a decision node and duplicate it.
+		var candidates []int
+		for id := 2; id < len(d.nodes); id++ {
+			if d.nodes[id].kind == kindDecision {
+				candidates = append(candidates, id)
+			}
+		}
+		if len(candidates) == 0 {
+			return d
+		}
+		orig := candidates[rng.Intn(len(candidates))]
+		on := d.nodes[orig]
+		loCopy, ok1 := cloneChild(on.lo, on.v)
+		if !ok1 {
+			loCopy = on.lo
+		}
+		hiCopy, ok2 := cloneChild(on.hi, on.v)
+		if !ok2 {
+			hiCopy = on.hi
+		}
+		if !ok1 && !ok2 {
+			continue // cannot make a distinct twin at the last level
+		}
+		dup := d.AddDecision(on.v, loCopy, hiCopy)
+		choice := d.AddChoice(orig, dup)
+		// Redirect one random parent edge (or the root) to the choice node.
+		type edge struct {
+			parent int
+			which  int // 0 = lo, 1 = hi, 2 = choice-kid index
+			kidIdx int
+		}
+		var edges []edge
+		for pid := 2; pid < len(d.nodes); pid++ {
+			pn := d.nodes[pid]
+			switch pn.kind {
+			case kindDecision:
+				if pn.lo == orig && pid != dup && pid != choice {
+					edges = append(edges, edge{parent: pid, which: 0})
+				}
+				if pn.hi == orig && pid != dup && pid != choice {
+					edges = append(edges, edge{parent: pid, which: 1})
+				}
+			case kindChoice:
+				if pid == choice {
+					continue
+				}
+				for ki, k := range pn.kids {
+					if k == orig {
+						edges = append(edges, edge{parent: pid, which: 2, kidIdx: ki})
+					}
+				}
+			}
+		}
+		if d.root == orig {
+			d.root = choice
+			continue
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		ed := edges[rng.Intn(len(edges))]
+		switch ed.which {
+		case 0:
+			d.nodes[ed.parent].lo = choice
+		case 1:
+			d.nodes[ed.parent].hi = choice
+		default:
+			d.nodes[ed.parent].kids[ed.kidIdx] = choice
+		}
+	}
+	return d
+}
+
+// Parity returns the OBDD of the parity function over numVars variables.
+func Parity(numVars int) *Diagram {
+	d := New(numVars)
+	// Two nodes per level: even/odd so far; built bottom-up.
+	even, odd := Sink0, Sink1 // after all vars: accept iff odd parity? Use even = reject.
+	// We accept assignments with an odd number of 1s.
+	for v := numVars - 1; v >= 0; v-- {
+		ne := d.AddDecision(v, even, odd)
+		no := d.AddDecision(v, odd, even)
+		even, odd = ne, no
+	}
+	d.SetRoot(even)
+	return d
+}

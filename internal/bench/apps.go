@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/dnf"
+	"repro/internal/exact"
+	"repro/internal/graphdb"
+	"repro/internal/spanner"
+	"repro/internal/stats"
+)
+
+// E9Spanners runs the §4.1 pipeline: documents, a functional eVA, and the
+// three problems over its mappings (Corollaries 6–7).
+func E9Spanners(quick bool) *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Corollary 6/7: document spanners — count, enumerate, sample mappings",
+		Header: []string{"doc len", "mappings", "class", "count time", "first-10 enum time", "sample time"},
+	}
+	lens := []int{64, 128, 256}
+	if quick {
+		lens = lens[:2]
+	}
+	rng := rand.New(rand.NewSource(9))
+	a := benchSpanner()
+	for _, l := range lens {
+		doc := randomDoc(rng, l)
+		inst, err := spanner.BuildInstance(a, doc)
+		if err != nil {
+			continue
+		}
+		cstart := time.Now()
+		ci, err := core.New(inst.N, inst.Length, core.Options{K: 32, Seed: 7})
+		if err != nil {
+			continue
+		}
+		count, _, err := ci.Count()
+		ctime := time.Since(cstart)
+		if err != nil {
+			t.AddRow(fmt.Sprint(l), "err", "-", err.Error(), "-", "-")
+			continue
+		}
+		estart := time.Now()
+		_, err = ci.Witnesses(10)
+		etime := time.Since(estart)
+		if err != nil {
+			continue
+		}
+		sstart := time.Now()
+		_, serr := ci.Sample()
+		stime := time.Since(sstart)
+		sstr := ms(stime)
+		if serr == core.ErrEmpty {
+			sstr = "empty"
+		} else if serr != nil {
+			sstr = "err"
+		}
+		cf, _ := count.Float64()
+		t.AddRow(fmt.Sprint(l), fmt.Sprintf("%.0f", cf), ci.Class().String(), ms(ctime), ms(etime), sstr)
+	}
+	t.Notes = append(t.Notes, "spanner: extract every 'err' token span from an a/b/r/e log alphabet")
+	return t
+}
+
+// benchSpanner extracts one variable x spanning each occurrence of "err"
+// in documents over {a, b, e, r}.
+func benchSpanner() *spanner.EVA {
+	sigma := []byte("aber")
+	a := spanner.NewEVA([]string{"x"}, 6)
+	for _, ch := range sigma {
+		a.AddLetter(0, ch, 0)
+		a.AddLetter(5, ch, 5)
+	}
+	a.AddSet(0, spanner.Open(0), 1)
+	a.AddLetter(1, 'e', 2)
+	a.AddLetter(2, 'r', 3)
+	a.AddLetter(3, 'r', 4)
+	a.AddSet(4, spanner.Close(0), 5)
+	a.SetFinal(5, true)
+	return a
+}
+
+func randomDoc(rng *rand.Rand, n int) string {
+	letters := []byte("aber")
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(buf)
+}
+
+// E10RPQ runs the §4.2 pipeline: path counting and sampling over a random
+// graph with a regular path query (Corollary 8).
+func E10RPQ(quick bool) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Corollary 8: RPQ path counting & sampling (combined complexity)",
+		Header: []string{"nodes", "edges", "path len", "paths(exact)", "estimate", "rel.err", "time"},
+	}
+	rng := rand.New(rand.NewSource(10))
+	sizes := []struct{ nodes, deg, n int }{{8, 2, 6}, {12, 2, 6}, {16, 2, 6}}
+	if quick {
+		sizes = sizes[:2]
+	}
+	labels := automata.NewAlphabet("a", "b")
+	for _, sz := range sizes {
+		g := graphdb.NewGraph(sz.nodes, labels)
+		for u := 0; u < sz.nodes; u++ {
+			for d := 0; d < sz.deg; d++ {
+				g.AddEdge(u, rng.Intn(2), rng.Intn(sz.nodes))
+			}
+		}
+		q, err := graphdb.NewRPQ("(a|b)*a(a|b)*", labels)
+		if err != nil {
+			continue
+		}
+		prod, err := graphdb.BuildProduct(g, q, 0, sz.nodes-1)
+		if err != nil {
+			continue
+		}
+		want, err := exact.CountNFA(prod.N, sz.n, 0)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		ci, err := core.New(prod.N, sz.n, core.Options{K: 24, Seed: 3})
+		if err != nil {
+			continue
+		}
+		est, _, err := ci.Count()
+		d := time.Since(start)
+		if err != nil {
+			t.AddRow(fmt.Sprint(sz.nodes), fmt.Sprint(g.NumEdges()), fmt.Sprint(sz.n),
+				want.String(), "err", err.Error(), ms(d))
+			continue
+		}
+		gotF, _ := est.Float64()
+		wantF, _ := new(big.Float).SetInt(want).Float64()
+		re := "-"
+		if wantF > 0 {
+			re = fmt.Sprintf("%.3f", stats.RelErr(gotF, wantF))
+		}
+		t.AddRow(fmt.Sprint(sz.nodes), fmt.Sprint(g.NumEdges()), fmt.Sprint(sz.n),
+			want.String(), fmt.Sprintf("%.1f", gotF), re, ms(d))
+	}
+	t.Notes = append(t.Notes, "query: paths using at least one 'a' edge; product automaton = G × A_R")
+	return t
+}
+
+// E11BDD contrasts the exact OBDD algorithms (Corollary 9) with the
+// FPRAS/PLVUG treatment of ambiguous nOBDDs (Corollary 10).
+func E11BDD(quick bool) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Corollary 9/10: OBDD exact vs nOBDD approximate",
+		Header: []string{"diagram", "vars", "class", "exact |f⁻¹(1)|", "estimate", "rel.err", "time"},
+	}
+	rng := rand.New(rand.NewSource(11))
+	vars := 14
+	if quick {
+		vars = 10
+	}
+	run := func(name string, d *bdd.Diagram) {
+		n := d.NFA()
+		start := time.Now()
+		ci, err := core.New(n, d.NumVars, core.Options{K: 48, Seed: 5})
+		if err != nil {
+			return
+		}
+		est, isExact, err := ci.Count()
+		dur := time.Since(start)
+		if err != nil {
+			t.AddRow(name, fmt.Sprint(d.NumVars), ci.Class().String(), "-", "err", err.Error(), ms(dur))
+			return
+		}
+		want, werr := exact.CountNFA(n, d.NumVars, 0)
+		wantS := "-"
+		re := "-"
+		if werr == nil {
+			wantS = want.String()
+			wantF, _ := new(big.Float).SetInt(want).Float64()
+			gotF, _ := est.Float64()
+			if wantF > 0 {
+				re = fmt.Sprintf("%.3f", stats.RelErr(gotF, wantF))
+			}
+		}
+		gotF, _ := est.Float64()
+		estS := fmt.Sprintf("%.1f", gotF)
+		if isExact {
+			estS += " (exact)"
+		}
+		t.AddRow(name, fmt.Sprint(d.NumVars), ci.Class().String(), wantS, estS, re, ms(dur))
+	}
+	run("parity OBDD", bdd.Parity(vars))
+	run("random OBDD", bdd.RandomOBDD(rng, vars, 3))
+	run("random nOBDD", bdd.RandomNOBDD(rng, vars, 3, 4))
+	t.Notes = append(t.Notes, "OBDDs land in RelationUL (exact poly algorithms); nOBDDs in RelationNL (FPRAS)")
+	return t
+}
+
+// E12DNF compares the general #NFA FPRAS against Karp–Luby and exact
+// counting on SAT-DNF — the paper's §3 example and the SpanL corollary.
+func E12DNF(quick bool) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "§3 + Corollary 3: SAT-DNF — #NFA FPRAS vs Karp–Luby vs exact",
+		Header: []string{"vars", "clauses", "exact", "FPRAS", "rel.err", "Karp–Luby", "rel.err", "fpras time", "KL time"},
+	}
+	rng := rand.New(rand.NewSource(12))
+	shapes := []struct{ v, c, w int }{{12, 4, 3}, {16, 6, 4}, {18, 8, 5}}
+	if quick {
+		shapes = shapes[:2]
+	}
+	for _, sh := range shapes {
+		f := dnf.Random(rng, sh.v, sh.c, sh.w)
+		want := f.CountExact()
+		if want.Sign() == 0 {
+			continue
+		}
+		wantF, _ := new(big.Float).SetInt(want).Float64()
+
+		start := time.Now()
+		ci, err := core.New(f.NFA(), f.NumVars, core.Options{K: 48, Seed: 13})
+		var fpS, fpErr string = "err", "-"
+		var fpTime time.Duration
+		if err == nil {
+			est, _, cerr := ci.Count()
+			fpTime = time.Since(start)
+			if cerr == nil {
+				g, _ := est.Float64()
+				fpS = fmt.Sprintf("%.1f", g)
+				fpErr = fmt.Sprintf("%.3f", stats.RelErr(g, wantF))
+			}
+		}
+
+		start = time.Now()
+		kl, kerr := f.KarpLuby(20000, rng)
+		klTime := time.Since(start)
+		klS, klErr := "err", "-"
+		if kerr == nil {
+			g, _ := kl.Float64()
+			klS = fmt.Sprintf("%.1f", g)
+			klErr = fmt.Sprintf("%.3f", stats.RelErr(g, wantF))
+		}
+		t.AddRow(fmt.Sprint(sh.v), fmt.Sprint(sh.c), want.String(),
+			fpS, fpErr, klS, klErr, ms(fpTime), ms(klTime))
+	}
+	t.Notes = append(t.Notes,
+		"Karp–Luby exploits DNF structure; the #NFA FPRAS is generic (any SpanL function) yet stays accurate")
+	return t
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	tables := All(true)
+	if len(tables) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if tab == nil {
+			t.Fatal("nil table")
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", tab.ID)
+		}
+		var sb strings.Builder
+		tab.Fprint(&sb)
+		out := sb.String()
+		if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+			t.Errorf("%s: rendering lost content:\n%s", tab.ID, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range IDs() {
+		if ByID(id, true) == nil {
+			t.Errorf("ByID(%s) = nil", id)
+		}
+	}
+	if ByID("f1", true) == nil {
+		t.Error("ByID should be case-insensitive")
+	}
+	if ByID("nope", true) != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestF1MatchesPaperNumbers(t *testing.T) {
+	tab := F1PaperExample()
+	found := map[string]string{}
+	for _, row := range tab.Rows {
+		found[row[0]] = row[1]
+	}
+	if found["|L_3|"] != "4" {
+		t.Errorf("|L_3| = %s, want 4", found["|L_3|"])
+	}
+	if found["unambiguous"] != "true" {
+		t.Error("paper example must be unambiguous")
+	}
+	if found["Figure-2 DAG vertices (layers 1..n)"] != "5" {
+		t.Errorf("DAG vertices = %s, want 5", found["Figure-2 DAG vertices (layers 1..n)"])
+	}
+	if !strings.Contains(found["enumeration order"], "aaa aab bba bbb") {
+		t.Errorf("enumeration order = %s", found["enumeration order"])
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "hello")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== X: t ==", "a", "bb", "1", "2", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{1, 63, 65, 128, -1, 130} {
+		if s.Has(i) {
+			t.Errorf("Has(%d) = true, want false", i)
+		}
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Len() != 2 {
+		t.Errorf("after Remove(64): Has=%v Len=%d", s.Has(64), s.Len())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear did not empty the set")
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range should panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 70})
+	b := FromSlice(100, []int{2, 3, 4, 99})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Elems(); len(got) != 6 {
+		t.Errorf("union Elems = %v, want 6 elems", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	want := []int{2, 3}
+	got := i.Elems()
+	if len(got) != len(want) || got[0] != 2 || got[1] != 3 {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+
+	d := a.Clone()
+	d.DiffWith(b)
+	if d.Has(2) || d.Has(3) || !d.Has(1) || !d.Has(70) {
+		t.Errorf("difference wrong: %v", d.Elems())
+	}
+
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	c := FromSlice(100, []int{50})
+	if a.Intersects(c) {
+		t.Error("a should not intersect {50}")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromSlice(66, []int{0, 65})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should equal original")
+	}
+	b.Add(1)
+	if a.Equal(b) {
+		t.Fatal("modified clone should differ")
+	}
+	if a.Equal(New(67)) {
+		t.Fatal("sets of different capacity are never equal")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if got := New(10).Min(); got != -1 {
+		t.Errorf("Min of empty = %d, want -1", got)
+	}
+	s := FromSlice(200, []int{199, 130, 7})
+	if got := s.Min(); got != 7 {
+		t.Errorf("Min = %d, want 7", got)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := FromSlice(128, []int{0, 127})
+	b := FromSlice(128, []int{0, 126})
+	if a.Key() == b.Key() {
+		t.Fatal("different sets should have different keys")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("equal sets should have equal keys")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromSlice(300, []int{299, 0, 150, 64, 63})
+	prev := -1
+	s.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", i, prev)
+		}
+		prev = i
+	})
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(70, []int{1, 69})
+	b := New(70)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom should produce an equal set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with capacity mismatch should panic")
+		}
+	}()
+	b.CopyFrom(New(71))
+}
+
+// Property: a set behaves like a map[int]bool under random operations.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		s := New(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			case 2:
+				if s.Has(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for _, e := range s.Elems() {
+			if !ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union/intersection sizes satisfy inclusion-exclusion.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		x := a.Clone()
+		x.IntersectWith(b)
+		return u.Len() == a.Len()+b.Len()-x.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	a := New(4096)
+	c := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		c.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionWith(c)
+	}
+}

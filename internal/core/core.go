@@ -1,0 +1,250 @@
+// Package core is the library's front door: it wraps a MEM-NFA instance
+// (an ε-free automaton plus a witness length, the complete problem of both
+// complexity classes by Proposition 12) and routes the three fundamental
+// problems — ENUM, COUNT, GEN — to the algorithm the paper prescribes for
+// the instance's class:
+//
+//	                 RelationUL (unambiguous)     RelationNL (general)
+//	ENUM     constant delay (Algorithm 1)     polynomial delay (Thm 16)
+//	COUNT    exact, polynomial time (#L)      FPRAS (Theorem 22)
+//	GEN      exact uniform (§5.3.3)           Las Vegas uniform (Cor 23)
+//
+// Class detection is automatic (the squared-automaton unambiguity test);
+// general alphabets are bridged to the binary FPRAS core through the
+// witness-preserving encoding of internal/automata.
+//
+// Instances are not safe for concurrent use.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/enumerate"
+	"repro/internal/exact"
+	"repro/internal/fpras"
+	"repro/internal/sample"
+)
+
+// Class labels which complexity class's algorithms an instance gets.
+type Class int
+
+const (
+	// ClassUL: the automaton is unambiguous — Theorem 5 algorithms apply.
+	ClassUL Class = iota
+	// ClassNL: the automaton is ambiguous — Theorem 2 algorithms apply.
+	ClassNL
+)
+
+func (c Class) String() string {
+	if c == ClassUL {
+		return "RelationUL"
+	}
+	return "RelationNL"
+}
+
+// ErrEmpty is returned by Sample when the witness set is empty (the
+// paper's ⊥ answer).
+var ErrEmpty = errors.New("core: witness set is empty")
+
+// Options tune the randomized components.
+type Options struct {
+	// Delta is the FPRAS target relative error (default 0.1).
+	Delta float64
+	// K overrides the FPRAS sketch size (default derived from Delta).
+	K int
+	// MaxTries bounds rejection-sampling attempts per sample.
+	MaxTries int
+	// Seed makes runs reproducible (default fixed).
+	Seed int64
+	// ForceClass, when non-nil, skips detection and forces a class
+	// (ClassNL is always sound; forcing ClassUL on an ambiguous automaton
+	// yields wrong counts, so it is rejected unless the automaton really
+	// is unambiguous).
+	ForceClass *Class
+}
+
+// Instance is a prepared MEM-NFA instance.
+type Instance struct {
+	n      *automata.NFA
+	length int
+	class  Class
+	opts   Options
+	rng    *rand.Rand
+
+	// Lazily built engines.
+	est        *fpras.Estimator
+	enc        *automata.BinaryEncoding
+	ufaSampler *sample.UFASampler
+}
+
+// New prepares an instance for the witness length `length`. The automaton
+// must be ε-free; it is trimmed and its class detected.
+func New(n *automata.NFA, length int, opts Options) (*Instance, error) {
+	if n.HasEpsilon() {
+		return nil, fmt.Errorf("core: automaton has ε-transitions; call automata.RemoveEpsilon first")
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("core: negative witness length %d", length)
+	}
+	trimmed := automata.Trim(n)
+	var class Class
+	if opts.ForceClass != nil {
+		class = *opts.ForceClass
+		if class == ClassUL && !automata.IsUnambiguous(trimmed) {
+			return nil, fmt.Errorf("core: cannot force RelationUL on an ambiguous automaton")
+		}
+	} else if automata.IsUnambiguous(trimmed) {
+		class = ClassUL
+	} else {
+		class = ClassNL
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0xC0DE
+	}
+	return &Instance{
+		n:      trimmed,
+		length: length,
+		class:  class,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Class returns the detected (or forced) class.
+func (in *Instance) Class() Class { return in.class }
+
+// Automaton returns the trimmed automaton the instance operates on.
+func (in *Instance) Automaton() *automata.NFA { return in.n }
+
+// Length returns the witness length.
+func (in *Instance) Length() int { return in.length }
+
+// CountExact computes |W| exactly. For ClassUL this is the polynomial #L
+// dynamic program; for ClassNL it falls back to the subset-construction
+// counter, which may exceed maxSubsets (0 = package default) and return an
+// error — exact counting for NFAs is #P-hard, which is the point of the
+// FPRAS.
+func (in *Instance) CountExact(maxSubsets int) (*big.Int, error) {
+	if in.class == ClassUL {
+		return exact.CountUFA(in.n, in.length), nil
+	}
+	return exact.CountNFA(in.n, in.length, maxSubsets)
+}
+
+// Count returns the class-appropriate count: exact (as a big.Float, with
+// exact=true) for ClassUL; the FPRAS estimate for ClassNL.
+func (in *Instance) Count() (value *big.Float, isExact bool, err error) {
+	if in.class == ClassUL {
+		c := exact.CountUFA(in.n, in.length)
+		return new(big.Float).SetPrec(uint(64 + in.length)).SetInt(c), true, nil
+	}
+	est, err := in.estimator()
+	if err != nil {
+		return nil, false, err
+	}
+	return est.Count(), est.Exact(), nil
+}
+
+// estimator lazily builds the FPRAS state, binary-encoding the alphabet if
+// needed.
+func (in *Instance) estimator() (*fpras.Estimator, error) {
+	if in.est != nil {
+		return in.est, nil
+	}
+	n, length := in.n, in.length
+	if n.Alphabet().Size() != 2 {
+		in.enc = automata.BinaryEncode(n)
+		n = in.enc.Encoded
+		length = in.enc.EncodedLength(in.length)
+	}
+	est, err := fpras.New(n, length, fpras.Params{
+		K:        in.opts.K,
+		MaxTries: in.opts.MaxTries,
+		Delta:    in.opts.Delta,
+		Seed:     in.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	in.est = est
+	return est, nil
+}
+
+// Enumerate returns the class-appropriate enumerator: Algorithm 1
+// (constant delay) for ClassUL, the flashlight (polynomial delay) for
+// ClassNL. Each call returns a fresh enumerator starting from the first
+// witness.
+func (in *Instance) Enumerate() (enumerate.Enumerator, error) {
+	if in.class == ClassUL {
+		return enumerate.NewUFA(in.n, in.length)
+	}
+	return enumerate.NewNFA(in.n, in.length)
+}
+
+// Witnesses drains the enumerator into formatted strings (limit ≤ 0 means
+// all) — a convenience for examples and CLIs.
+func (in *Instance) Witnesses(limit int) ([]string, error) {
+	e, err := in.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	return enumerate.Collect(in.n.Alphabet(), e, limit), nil
+}
+
+// Sample draws one uniform witness: exact uniform for ClassUL, the Las
+// Vegas generator (with retries) for ClassNL. ErrEmpty signals an empty
+// witness set.
+func (in *Instance) Sample() (automata.Word, error) {
+	if in.class == ClassUL {
+		if in.ufaSampler == nil {
+			s, err := sample.NewUFASampler(in.n, in.length)
+			if err != nil {
+				return nil, err
+			}
+			in.ufaSampler = s
+		}
+		w, err := in.ufaSampler.Sample(in.rng)
+		if err == sample.ErrEmpty {
+			return nil, ErrEmpty
+		}
+		return w, err
+	}
+	est, err := in.estimator()
+	if err != nil {
+		return nil, err
+	}
+	w, err := est.SampleWitness(0)
+	if err == fpras.ErrEmpty {
+		return nil, ErrEmpty
+	}
+	if err != nil {
+		return nil, err
+	}
+	if in.enc != nil {
+		return in.enc.DecodeWord(w)
+	}
+	return w, nil
+}
+
+// SampleMany draws k independent uniform witnesses.
+func (in *Instance) SampleMany(k int) ([]automata.Word, error) {
+	out := make([]automata.Word, 0, k)
+	for i := 0; i < k; i++ {
+		w, err := in.Sample()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// FormatWord renders a witness with the instance's alphabet.
+func (in *Instance) FormatWord(w automata.Word) string {
+	return in.n.Alphabet().FormatWord(w)
+}

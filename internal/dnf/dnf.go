@@ -1,0 +1,371 @@
+// Package dnf implements the SAT-DNF relation used as the paper's running
+// example of RelationNL (§3):
+//
+//	SAT-DNF = {(ϕ, σ) : ϕ a DNF formula, σ a satisfying assignment}.
+//
+// It provides the formula representation, the NL-transducer of §3 as a
+// configuration graph, its compiled NFA over {0,1} (each accepting run
+// picks a disjunct and checks it — ambiguity equals the number of satisfied
+// disjuncts), an exact brute-force counter for validation, and the
+// classical Karp–Luby FPRAS as the DNF-specific baseline the general #NFA
+// FPRAS is compared against (experiment E12).
+package dnf
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/sample"
+	"repro/internal/transducer"
+)
+
+// Literal is a possibly negated propositional variable, 0-indexed.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a conjunction of literals (one disjunct of the DNF).
+type Clause []Literal
+
+// Formula is a DNF formula over variables x1..x_NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Parse reads the textual form "x1 & !x2 | x3 & x4": disjuncts separated by
+// '|', literals by '&', variables x1, x2, ... (1-based), negation '!'.
+// NumVars is the largest index mentioned.
+func Parse(s string) (*Formula, error) {
+	f := &Formula{}
+	disjuncts := strings.Split(s, "|")
+	for di, d := range disjuncts {
+		d = strings.TrimSpace(d)
+		if d == "" {
+			return nil, fmt.Errorf("dnf: empty disjunct %d", di+1)
+		}
+		var clause Clause
+		for _, lit := range strings.Split(d, "&") {
+			lit = strings.TrimSpace(lit)
+			neg := false
+			if strings.HasPrefix(lit, "!") {
+				neg = true
+				lit = strings.TrimSpace(lit[1:])
+			}
+			if !strings.HasPrefix(lit, "x") {
+				return nil, fmt.Errorf("dnf: bad literal %q", lit)
+			}
+			idx, err := strconv.Atoi(lit[1:])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("dnf: bad variable %q", lit)
+			}
+			if idx > f.NumVars {
+				f.NumVars = idx
+			}
+			clause = append(clause, Literal{Var: idx - 1, Neg: neg})
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	if len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("dnf: empty formula")
+	}
+	return f, nil
+}
+
+// String renders the formula in the Parse syntax.
+func (f *Formula) String() string {
+	var ds []string
+	for _, c := range f.Clauses {
+		var ls []string
+		for _, l := range c {
+			s := "x" + strconv.Itoa(l.Var+1)
+			if l.Neg {
+				s = "!" + s
+			}
+			ls = append(ls, s)
+		}
+		ds = append(ds, strings.Join(ls, " & "))
+	}
+	return strings.Join(ds, " | ")
+}
+
+// Eval applies an assignment (length NumVars) to the formula.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := true
+		for _, l := range c {
+			if assign[l.Var] == l.Neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// clauseBits returns, for each variable, the forced bit (0/1) or -1 when
+// the clause leaves it free; contradictory clauses return ok = false.
+func clauseBits(c Clause, numVars int) (bits []int, ok bool) {
+	bits = make([]int, numVars)
+	for i := range bits {
+		bits[i] = -1
+	}
+	for _, l := range c {
+		want := 1
+		if l.Neg {
+			want = 0
+		}
+		if bits[l.Var] != -1 && bits[l.Var] != want {
+			return nil, false
+		}
+		bits[l.Var] = want
+	}
+	return bits, true
+}
+
+// NFA compiles the formula to the §3 automaton over {0,1}: a start state
+// nondeterministically picks a satisfiable disjunct and then scans the
+// assignment left to right, forcing fixed variables and branching on free
+// ones. Satisfying assignments of ϕ are exactly L_NumVars(N); a string's
+// accepting runs are the disjuncts it satisfies.
+func (f *Formula) NFA() *automata.NFA {
+	alpha := automata.Binary()
+	// State layout: 0 is the start; each satisfiable clause c gets a chain
+	// of NumVars states (position j after reading j bits occupies chain
+	// state j, with j = NumVars accepting). Chains share the final
+	// position? No — keeping them separate keeps the run↔disjunct
+	// bijection that the ambiguity analysis of E12 relies on.
+	type chain struct {
+		bits  []int
+		first int // state id of position 1
+	}
+	var chains []chain
+	states := 1
+	for _, c := range f.Clauses {
+		bits, ok := clauseBits(c, f.NumVars)
+		if !ok {
+			continue
+		}
+		chains = append(chains, chain{bits: bits, first: states})
+		states += f.NumVars
+	}
+	n := automata.New(alpha, states)
+	n.SetStart(0)
+	for _, ch := range chains {
+		// Position j state: ch.first + (j-1), reached after j bits.
+		for j := 0; j < f.NumVars; j++ {
+			var from int
+			if j == 0 {
+				from = 0
+			} else {
+				from = ch.first + j - 1
+			}
+			to := ch.first + j
+			switch ch.bits[j] {
+			case -1:
+				n.AddTransition(from, 0, to)
+				n.AddTransition(from, 1, to)
+			default:
+				n.AddTransition(from, ch.bits[j], to)
+			}
+		}
+		n.SetFinal(ch.first+f.NumVars-1, true)
+	}
+	if f.NumVars == 0 {
+		n.SetFinal(0, true)
+	}
+	return n
+}
+
+// CountExact counts satisfying assignments by brute force — 2^NumVars time,
+// the validation oracle for NumVars ≤ ~24.
+func (f *Formula) CountExact() *big.Int {
+	total := big.NewInt(0)
+	assign := make([]bool, f.NumVars)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == f.NumVars {
+			if f.Eval(assign) {
+				total.Add(total, big.NewInt(1))
+			}
+			return
+		}
+		assign[i] = false
+		rec(i + 1)
+		assign[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return total
+}
+
+// KarpLuby runs the classical coverage-based DNF FPRAS [KL83] with the
+// given sample budget and returns the estimate of the model count.
+func (f *Formula) KarpLuby(samples int, rng *rand.Rand) (*big.Float, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("dnf: need positive sample budget")
+	}
+	type satClause struct {
+		bits []int
+		size *big.Int // 2^(free vars)
+	}
+	var cs []satClause
+	union := new(big.Int)
+	for _, c := range f.Clauses {
+		bits, ok := clauseBits(c, f.NumVars)
+		if !ok {
+			continue
+		}
+		free := 0
+		for _, b := range bits {
+			if b == -1 {
+				free++
+			}
+		}
+		size := new(big.Int).Lsh(big.NewInt(1), uint(free))
+		cs = append(cs, satClause{bits: bits, size: size})
+		union.Add(union, size)
+	}
+	if len(cs) == 0 {
+		return big.NewFloat(0), nil
+	}
+	// Cumulative weights for clause selection.
+	cum := make([]*big.Int, len(cs))
+	acc := new(big.Int)
+	for i, c := range cs {
+		acc = new(big.Int).Add(acc, c.size)
+		cum[i] = acc
+	}
+	inClause := func(bits []int, assign []bool) bool {
+		for v, b := range bits {
+			if b == -1 {
+				continue
+			}
+			if (b == 1) != assign[v] {
+				return false
+			}
+		}
+		return true
+	}
+	hits := 0
+	assign := make([]bool, f.NumVars)
+	for s := 0; s < samples; s++ {
+		// Pick clause i with probability |S_i| / Σ|S_j|.
+		pick := sample.RandBig(rng, union)
+		i := 0
+		for cum[i].Cmp(pick) <= 0 {
+			i++
+		}
+		// Uniform assignment in S_i.
+		for v, b := range cs[i].bits {
+			switch b {
+			case -1:
+				assign[v] = rng.Intn(2) == 1
+			case 1:
+				assign[v] = true
+			default:
+				assign[v] = false
+			}
+		}
+		// Coverage check: count the assignment only at its first clause.
+		first := -1
+		for j := range cs {
+			if inClause(cs[j].bits, assign) {
+				first = j
+				break
+			}
+		}
+		if first == i {
+			hits++
+		}
+	}
+	est := new(big.Float).SetPrec(uint(64 + f.NumVars)).SetInt(union)
+	est.Mul(est, big.NewFloat(float64(hits)/float64(samples)))
+	return est, nil
+}
+
+// Random returns a random DNF formula with the given shape, for benchmarks:
+// each of numClauses disjuncts gets width distinct literals with random
+// polarity.
+func Random(rng *rand.Rand, numVars, numClauses, width int) *Formula {
+	if width > numVars {
+		width = numVars
+	}
+	f := &Formula{NumVars: numVars}
+	for c := 0; c < numClauses; c++ {
+		perm := rng.Perm(numVars)[:width]
+		clause := make(Clause, 0, width)
+		for _, v := range perm {
+			clause = append(clause, Literal{Var: v, Neg: rng.Intn(2) == 1})
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return f
+}
+
+// machine is the §3 NL-transducer for SAT-DNF as a configuration graph:
+// from the start it ε-branches on a (satisfiable) disjunct, then emits the
+// assignment bit by bit, branching only on free variables.
+type machine struct {
+	f      *Formula
+	alpha  *automata.Alphabet
+	chains [][]int
+}
+
+// Machine returns the transducer whose outputs on this formula are its
+// satisfying assignments — the paper's worked example of a relation in
+// RelationNL.
+func (f *Formula) Machine() transducer.Machine {
+	m := &machine{f: f, alpha: automata.Binary()}
+	for _, c := range f.Clauses {
+		if bits, ok := clauseBits(c, f.NumVars); ok {
+			m.chains = append(m.chains, bits)
+		}
+	}
+	return m
+}
+
+func (m *machine) Alphabet() *automata.Alphabet { return m.alpha }
+func (m *machine) Start() transducer.Config     { return "start" }
+
+func (m *machine) Accepting(c transducer.Config) bool {
+	var ci, j int
+	if _, err := fmt.Sscanf(string(c), "c%d:%d", &ci, &j); err != nil {
+		return false
+	}
+	return ci < len(m.chains) && j == m.f.NumVars
+}
+
+func (m *machine) Steps(c transducer.Config) []transducer.Step {
+	if c == "start" {
+		out := make([]transducer.Step, 0, len(m.chains))
+		for i := range m.chains {
+			out = append(out, transducer.Step{Emit: -1, Next: transducer.Config(fmt.Sprintf("c%d:0", i))})
+		}
+		return out
+	}
+	var ci, j int
+	if _, err := fmt.Sscanf(string(c), "c%d:%d", &ci, &j); err != nil {
+		return nil
+	}
+	if ci >= len(m.chains) || j >= m.f.NumVars {
+		return nil
+	}
+	next := transducer.Config(fmt.Sprintf("c%d:%d", ci, j+1))
+	switch m.chains[ci][j] {
+	case -1:
+		return []transducer.Step{{Emit: 0, Next: next}, {Emit: 1, Next: next}}
+	case 1:
+		return []transducer.Step{{Emit: 1, Next: next}}
+	default:
+		return []transducer.Step{{Emit: 0, Next: next}}
+	}
+}

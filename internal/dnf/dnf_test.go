@@ -1,0 +1,185 @@
+package dnf
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automata"
+	"repro/internal/exact"
+	"repro/internal/stats"
+	"repro/internal/transducer"
+)
+
+func TestParseAndString(t *testing.T) {
+	f, err := Parse("x1 & !x2 | x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %+v", f)
+	}
+	if f.String() != "x1 & !x2 | x3" {
+		t.Fatalf("String = %q", f.String())
+	}
+	back, err := Parse(f.String())
+	if err != nil || back.String() != f.String() {
+		t.Fatalf("round trip failed: %v %v", back, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "x1 | ", "y1", "x0", "!x", "x1 & & x2", "x1 | | x2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	f, _ := Parse("x1 & !x2 | x3")
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{true, false, false}, true},
+		{[]bool{true, true, false}, false},
+		{[]bool{false, false, true}, true},
+		{[]bool{false, false, false}, false},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.a); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestCountExactKnown(t *testing.T) {
+	f, _ := Parse("x1 & !x2 | x3")
+	// x1&!x2: 2 (x3 free) ; x3: 4 ; overlap x1&!x2&x3: 1 → 2+4−1 = 5.
+	if got := f.CountExact(); got.Cmp(big.NewInt(5)) != 0 {
+		t.Fatalf("count = %v, want 5", got)
+	}
+}
+
+func TestNFAMatchesEval(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Random(rng, 2+rng.Intn(5), 1+rng.Intn(4), 1+rng.Intn(3))
+		n := f.NFA()
+		got, err := exact.CountNFA(n, f.NumVars, 0)
+		if err != nil {
+			return false
+		}
+		return got.Cmp(f.CountExact()) == 0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNFAAmbiguityEqualsSatisfiedClauses(t *testing.T) {
+	f, _ := Parse("x1 | x2")
+	n := f.NFA()
+	// Assignment (1,1) satisfies both clauses → 2 runs.
+	runs := automata.CountAcceptingRuns(n, automata.Word{1, 1})
+	if runs.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("runs(11) = %v, want 2", runs)
+	}
+	if r := automata.CountAcceptingRuns(n, automata.Word{1, 0}); r.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("runs(10) = %v, want 1", r)
+	}
+	if r := automata.CountAcceptingRuns(n, automata.Word{0, 0}); r.Sign() != 0 {
+		t.Fatalf("runs(00) = %v, want 0", r)
+	}
+}
+
+func TestContradictoryClauseDropped(t *testing.T) {
+	f, _ := Parse("x1 & !x1 | x2")
+	// The contradictory disjunct contributes nothing: count = |{x2=1}| = 2.
+	if got := f.CountExact(); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("count = %v, want 2", got)
+	}
+	n := f.NFA()
+	got, err := exact.CountNFA(n, 2, 0)
+	if err != nil || got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("NFA count = %v, want 2", got)
+	}
+}
+
+func TestAllClausesContradictory(t *testing.T) {
+	f, _ := Parse("x1 & !x1")
+	n := f.NFA()
+	got, err := exact.CountNFA(n, 1, 0)
+	if err != nil || got.Sign() != 0 {
+		t.Fatalf("count = %v, want 0", got)
+	}
+}
+
+func TestKarpLubyAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		f := Random(rng, 10, 4, 3)
+		want := f.CountExact()
+		if want.Sign() == 0 {
+			continue
+		}
+		wantF, _ := new(big.Float).SetInt(want).Float64()
+		est, err := f.KarpLuby(20000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := est.Float64()
+		if re := stats.RelErr(got, wantF); re > 0.1 {
+			t.Fatalf("trial %d: KL %f vs %f (rel err %f)", trial, got, wantF, re)
+		}
+	}
+}
+
+func TestKarpLubyEdgeCases(t *testing.T) {
+	f, _ := Parse("x1 & !x1")
+	rng := rand.New(rand.NewSource(33))
+	est, err := f.KarpLuby(100, rng)
+	if err != nil || est.Sign() != 0 {
+		t.Fatalf("contradictory formula: %v %v", est, err)
+	}
+	if _, err := f.KarpLuby(0, rng); err == nil {
+		t.Error("zero samples should error")
+	}
+}
+
+func TestMachineMatchesNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 15; trial++ {
+		f := Random(rng, 2+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(3))
+		compiled, err := transducer.Compile(f.Machine(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exact.CountNFA(compiled, f.NumVars, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(f.CountExact()) != 0 {
+			t.Fatalf("trial %d: transducer count %v, formula count %v\n%s", trial, got, f.CountExact(), f)
+		}
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	f := Random(rng, 6, 4, 8) // width clamped to numVars
+	for _, c := range f.Clauses {
+		if len(c) != 6 {
+			t.Fatalf("clause width %d, want clamped 6", len(c))
+		}
+		seen := map[int]bool{}
+		for _, l := range c {
+			if seen[l.Var] {
+				t.Fatal("duplicate variable in clause")
+			}
+			seen[l.Var] = true
+		}
+	}
+}

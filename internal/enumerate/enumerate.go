@@ -1,0 +1,290 @@
+// Package enumerate implements the two enumeration algorithms of the paper:
+//
+//   - UFAEnumerator is Algorithm 1 (§5.3.1): after a polynomial
+//     precomputation that builds the pruned unrolled DAG of Lemma 15, it
+//     emits the words of L_n(N) one by one with delay O(|output|) — the
+//     paper's notion of constant delay — by walking the DAG with a decision
+//     list. For an unambiguous automaton paths and words are in bijection,
+//     so no output repeats.
+//
+//   - NFAEnumerator is the polynomial-delay enumerator of Theorem 16 for
+//     arbitrary NFAs, realized as the standard "flashlight" search over the
+//     self-reducible structure of §5.2: it extends prefixes symbol by
+//     symbol, tracking the reachable state set of each prefix and pruning
+//     prefixes with no accepting completion (a co-reachability table makes
+//     the test O(m²/64) per step). Delay is O(n·|Σ|·m²/w) between
+//     consecutive outputs, with no duplicates for any NFA.
+//
+// Both types implement the same iterator interface: Next returns the next
+// word and true, or nil and false when the language slice is exhausted.
+package enumerate
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/bitset"
+	"repro/internal/unroll"
+)
+
+// Enumerator is the common iterator interface of both algorithms.
+type Enumerator interface {
+	// Next returns the next witness, or ok=false when exhausted. The
+	// returned slice is only valid until the following call to Next.
+	Next() (w automata.Word, ok bool)
+}
+
+// Collect drains an enumerator into a slice of formatted strings, stopping
+// after limit outputs (limit ≤ 0 means no bound). A helper for tests, CLIs
+// and examples.
+func Collect(alpha *automata.Alphabet, e Enumerator, limit int) []string {
+	var out []string
+	for {
+		w, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, alpha.FormatWord(w))
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}
+
+// UFAEnumerator enumerates L_n(N) for an unambiguous N with constant delay
+// (Algorithm 1 of the paper).
+type UFAEnumerator struct {
+	dag *unroll.DAG
+	// succs[t][q] are the outgoing edges of vertex (t, q): t in 0..N where
+	// t=0 is s_start (indexed by q=0). Each edge carries the symbol and the
+	// successor state; edges of layer N lead to s_final and carry no
+	// successor.
+	succs  [][][]outEdge
+	finals []int // layer-N states wired to s_final (sorted)
+
+	// Iterator state: the current path as (vertex per layer, edge index per
+	// layer). path[t] is the state at layer t (t ≥ 1); choice[t] is the
+	// index of the edge taken out of layer t-1's vertex.
+	started bool
+	done    bool
+	choice  []int
+	path    []int
+	word    automata.Word
+}
+
+type outEdge struct {
+	sym automata.Symbol
+	to  int
+}
+
+// NewUFA runs the precomputation phase for N and n: the Lemma 15 DAG with
+// both forward and backward pruning, plus forward adjacency. The automaton
+// must be ε-free; unambiguity is the caller's contract (verify with
+// automata.IsUnambiguous) — an ambiguous automaton enumerates accepting
+// *paths*, so words may repeat.
+func NewUFA(n *automata.NFA, length int) (*UFAEnumerator, error) {
+	dag, err := unroll.Build(n, length, unroll.Options{PruneBackward: true})
+	if err != nil {
+		return nil, err
+	}
+	e := &UFAEnumerator{dag: dag}
+	e.succs = make([][][]outEdge, length)
+	// Layer 0: the start vertex has one slot.
+	if length == 0 {
+		e.done = dag.Empty()
+		e.started = dag.Empty()
+		// The single possible output is ε, handled in Next.
+		return e, nil
+	}
+	e.succs[0] = make([][]outEdge, 1)
+	for t := 1; t <= length; t++ {
+		if t < length {
+			e.succs[t] = make([][]outEdge, dag.M)
+		}
+		dag.AliveSet(t).ForEach(func(q int) {
+			for _, edge := range dag.Preds(t, q) {
+				if edge.FromState == -1 {
+					e.succs[0][0] = append(e.succs[0][0], outEdge{sym: edge.Symbol, to: q})
+				} else {
+					e.succs[t-1][edge.FromState] = append(e.succs[t-1][edge.FromState], outEdge{sym: edge.Symbol, to: q})
+				}
+			}
+		})
+	}
+	for _, edge := range dag.FinalPreds() {
+		e.finals = append(e.finals, edge.FromState)
+	}
+	e.done = dag.Empty()
+	e.choice = make([]int, length)
+	e.path = make([]int, length+1)
+	e.word = make(automata.Word, length)
+	return e, nil
+}
+
+// Count of distinct outputs is |L_n| for a UFA; exposed via the dag for
+// diagnostics.
+func (e *UFAEnumerator) DAG() *unroll.DAG { return e.dag }
+
+// Next implements Enumerator. The first call descends the minimal path;
+// subsequent calls backtrack to the deepest vertex with an untried edge and
+// descend minimally from there, exactly the decision-list walk of
+// Algorithm 1.
+func (e *UFAEnumerator) Next() (automata.Word, bool) {
+	if e.done {
+		return nil, false
+	}
+	n := e.dag.N
+	if n == 0 {
+		// Only ε can be output, once.
+		e.done = true
+		if !e.started {
+			return automata.Word{}, true
+		}
+		return nil, false
+	}
+	start := 0
+	if e.started {
+		// Backtrack: find deepest layer whose edge choice can advance.
+		t := n - 1
+		for t >= 0 {
+			src := e.sourceAt(t)
+			if e.choice[t]+1 < len(e.succs[t][src]) {
+				e.choice[t]++
+				break
+			}
+			t--
+		}
+		if t < 0 {
+			e.done = true
+			return nil, false
+		}
+		start = t
+	} else {
+		e.started = true
+		e.choice[0] = 0
+	}
+	// Descend minimally from layer `start` (its choice is already set).
+	for t := start; t < n; t++ {
+		if t > start {
+			e.choice[t] = 0
+		}
+		src := e.sourceAt(t)
+		edge := e.succs[t][src][e.choice[t]]
+		e.word[t] = edge.sym
+		e.path[t+1] = edge.to
+	}
+	return e.word, true
+}
+
+// sourceAt returns the vertex whose out-edges layer t's choice indexes:
+// the start vertex for t=0, else the state stored on the current path.
+func (e *UFAEnumerator) sourceAt(t int) int {
+	if t == 0 {
+		return 0
+	}
+	return e.path[t]
+}
+
+// NFAEnumerator enumerates L_n(N) for an arbitrary ε-free NFA with
+// polynomial delay and no duplicates (Theorem 16).
+type NFAEnumerator struct {
+	n      *automata.NFA
+	length int
+	sigma  int
+	// coReach[t] = states at depth t having an accepting completion of
+	// length exactly length−t.
+	coReach []*bitset.Set
+
+	// Iterator state: the prefix, the reachable-set stack, and the next
+	// symbol to try at each depth.
+	word    automata.Word
+	sets    []*bitset.Set
+	nextSym []int
+	depth   int
+	done    bool
+	started bool
+	scratch *bitset.Set
+}
+
+// NewNFA runs the (polynomial) preprocessing for the flashlight search.
+func NewNFA(n *automata.NFA, length int) (*NFAEnumerator, error) {
+	if n.HasEpsilon() {
+		return nil, fmt.Errorf("enumerate: automaton has ε-transitions")
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("enumerate: negative length %d", length)
+	}
+	m := n.NumStates()
+	e := &NFAEnumerator{n: n, length: length, sigma: n.Alphabet().Size()}
+	e.coReach = make([]*bitset.Set, length+1)
+	e.coReach[length] = n.FinalSet()
+	for t := length - 1; t >= 0; t-- {
+		s := bitset.New(m)
+		for q := 0; q < m; q++ {
+			for a := 0; a < e.sigma; a++ {
+				for _, p := range n.Successors(q, a) {
+					if e.coReach[t+1].Has(p) {
+						s.Add(q)
+					}
+				}
+			}
+		}
+		e.coReach[t] = s
+	}
+	e.word = make(automata.Word, length)
+	e.sets = make([]*bitset.Set, length+1)
+	for i := range e.sets {
+		e.sets[i] = bitset.New(m)
+	}
+	e.sets[0].Add(n.Start())
+	e.sets[0].IntersectWith(e.coReach[0])
+	e.nextSym = make([]int, length+1)
+	e.scratch = bitset.New(m)
+	e.done = e.sets[0].Empty()
+	return e, nil
+}
+
+// Next implements Enumerator with the flashlight invariant: e.sets[t] is
+// the set of states reachable via word[:t] that still have an accepting
+// completion, so every maintained prefix extends to at least one witness.
+func (e *NFAEnumerator) Next() (automata.Word, bool) {
+	if e.done {
+		return nil, false
+	}
+	if e.started && e.depth == e.length {
+		// Leave the previous leaf before searching on.
+		e.depth--
+		if e.depth < 0 {
+			e.done = true
+			return nil, false
+		}
+	}
+	e.started = true
+	for {
+		if e.depth == e.length {
+			// Invariant guarantees acceptance here (coReach[length] = F).
+			return e.word, true
+		}
+		a := e.nextSym[e.depth]
+		if a >= e.sigma {
+			// Exhausted this depth; backtrack.
+			e.nextSym[e.depth] = 0
+			e.depth--
+			if e.depth < 0 {
+				e.done = true
+				return nil, false
+			}
+			continue
+		}
+		e.nextSym[e.depth] = a + 1
+		e.n.StepSet(e.scratch, e.sets[e.depth], a)
+		e.scratch.IntersectWith(e.coReach[e.depth+1])
+		if e.scratch.Empty() {
+			continue
+		}
+		e.word[e.depth] = a
+		e.sets[e.depth+1].CopyFrom(e.scratch)
+		e.nextSym[e.depth+1] = 0
+		e.depth++
+	}
+}

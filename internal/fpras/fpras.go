@@ -1,0 +1,618 @@
+// Package fpras implements the paper's central result (Theorem 22): a fully
+// polynomial-time randomized approximation scheme for #NFA — counting the
+// words of length n accepted by an NFA over {0,1} — together with the
+// polynomial-time Las Vegas uniform generator it induces (Corollary 23).
+//
+// The structure follows Algorithms 2–5 of §6 exactly:
+//
+//   - The automaton is unrolled into the layered DAG N_unroll
+//     (internal/unroll), forward-pruned (Algorithm 5 step 3).
+//
+//   - For every vertex s, processed layer by layer, the estimator keeps a
+//     pair (R(s), X(s)): R(s) approximates |U(s)|, the number of distinct
+//     strings labelling s_start→s paths, and X(s) is a multiset of
+//     (ideally) uniform samples of U(s) acting as a sketch of that set.
+//
+//   - While witness sets are small (|U(s)| ≤ k) they are materialized
+//     exactly and the vertex is "exactly handled" (step 4).
+//
+//   - Otherwise R(s) is estimated from the predecessor sketches via the
+//     first-occurrence union decomposition with the fixed order ≺
+//     (step 5a), and X(s) is filled by the rejection sampler Sample
+//     (Algorithm 4), which walks predecessor sets T^t backwards choosing
+//     each bit with probability proportional to the sketch-estimated
+//     partition sizes W̃, and finally accepts with probability
+//     ϕ = (e⁻⁴/R(s)) / Π p_b, making accepted outputs exactly uniform on
+//     U(s) (Proposition 18).
+//
+// The count returned is R(s_final) and the PLVUG samples U(s_final)
+// (stripping the trailing marker bit of Remark 1).
+//
+// Parameterization. The paper fixes k = ⌈(nm/δ)^64⌉ samples per sketch and
+// ⌈(nm/δ)^4⌉ retries purely to make the union bounds in the proof sum to
+// the advertised 3/4 success probability; those constants are astronomically
+// infeasible (the authors say as much in their concluding remarks). Params
+// exposes k and the retry budget; the defaults scale like (n/δ)·polylog and
+// give empirical error well inside δ on the evaluation families (see
+// EXPERIMENTS.md, experiment E4). The algorithm is otherwise unmodified.
+package fpras
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/bitset"
+	"repro/internal/unroll"
+)
+
+// ErrFail is the Las Vegas failure answer of the generator: no sample was
+// produced within the attempt budget. Callers simply retry; Corollary 23
+// bounds the failure probability of a single properly-parameterized attempt
+// by a constant < 1.
+var ErrFail = errors.New("fpras: sampling attempt failed (Las Vegas reject)")
+
+// ErrEmpty is returned when L_n(N) = ∅, the generator's ⊥ answer.
+var ErrEmpty = errors.New("fpras: witness set is empty")
+
+// Params tune the estimator.
+type Params struct {
+	// K is the sketch size (samples per vertex). 0 selects the default
+	// max(96, min(1024, ⌈8·n/δ⌉)).
+	K int
+	// MaxTries bounds the rejection-sampling attempts per needed sample
+	// (Algorithm 5 step 5(c)ii). 0 selects 64·⌈1/ϕ-scale⌉ ≈ 6000, far above
+	// the e⁻⁵ acceptance floor of Proposition 18.
+	MaxTries int
+	// Delta is the target relative error used only to pick K's default.
+	Delta float64
+	// Seed seeds the internal PRNG; 0 uses a fixed default (runs are then
+	// deterministic, which the tests rely on).
+	Seed int64
+	// SkipRejection disables the Jerrum–Valiant–Vazirani rejection
+	// correction (Algorithm 4 step 1/2): descents are accepted
+	// unconditionally, so samples follow the raw product of estimated
+	// partition ratios instead of the exactly uniform distribution. This
+	// is the ablation of experiment E13 — it shows why the paper insists
+	// on a PLVUG rather than an almost-uniform generator: without the
+	// correction, sketch error leaks into the output distribution and
+	// compounds across layers.
+	SkipRejection bool
+}
+
+func (p Params) withDefaults(n int) Params {
+	if p.Delta <= 0 || p.Delta >= 1 {
+		p.Delta = 0.1
+	}
+	if p.K <= 0 {
+		k := int(math.Ceil(8 * float64(n+1) / p.Delta))
+		if k < 96 {
+			k = 96
+		}
+		if k > 1024 {
+			k = 1024
+		}
+		p.K = k
+	}
+	if p.MaxTries <= 0 {
+		p.MaxTries = 6000
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x5eed
+	}
+	return p
+}
+
+// sampleEntry is one sketch element: the sampled string and the set of
+// layer-|bits| states whose U-set contains it. All of Algorithm 4/5's
+// membership queries "x ∈ U(s')" concern vertices in the same layer as
+// |x|, so one bit set per sample answers them all in O(1).
+type sampleEntry struct {
+	bits  string // '0'/'1' bytes, length = layer of the owning vertex
+	reach *bitset.Set
+}
+
+// vertexData holds (R, X) for one vertex of N_unroll.
+type vertexData struct {
+	exact   bool
+	r       *big.Float // R(s); for exact vertices this equals |U(s)| exactly
+	entries []sampleEntry
+}
+
+// Estimator is the built FPRAS state for one (N, 0^n) instance: after New
+// returns, Count is O(1) and Sample is one Las Vegas attempt.
+type Estimator struct {
+	dag    *unroll.DAG
+	params Params
+	rng    *rand.Rand
+	prec   uint
+
+	// data[t][q] for layers 1..n; finalData is s_final.
+	data      [][]*vertexData
+	finalData *vertexData
+
+	// memo caches W̃ computations keyed by (layer, T): Sample revisits the
+	// same suffix sets constantly and the sketches are frozen per layer
+	// once built, so memoization is exact, not an approximation.
+	memo map[string]*stepChoice
+
+	empty bool
+}
+
+// stepChoice is a memoized Sample step: the predecessor sets and their
+// estimated weights.
+type stepChoice struct {
+	t0, t1 []int // sorted predecessor states (layer r-1); -1 encodes s_start
+	w0, w1 *big.Float
+}
+
+// New builds the full FPRAS state: DAG construction plus the layer-by-layer
+// sketch computation of Algorithm 5. The automaton must be ε-free over a
+// two-symbol alphabet (use automata.BinaryEncode for larger alphabets).
+func New(n *automata.NFA, length int, params Params) (*Estimator, error) {
+	if n.Alphabet().Size() != 2 {
+		return nil, fmt.Errorf("fpras: alphabet size %d; binary-encode first", n.Alphabet().Size())
+	}
+	if n.HasEpsilon() {
+		return nil, fmt.Errorf("fpras: automaton has ε-transitions")
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("fpras: negative length %d", length)
+	}
+	params = params.withDefaults(length)
+	dag, err := unroll.Build(n, length, unroll.Options{})
+	if err != nil {
+		return nil, err
+	}
+	e := &Estimator{
+		dag:    dag,
+		params: params,
+		rng:    rand.New(rand.NewSource(params.Seed)),
+		prec:   uint(64 + length),
+		memo:   map[string]*stepChoice{},
+	}
+	if dag.Empty() {
+		e.empty = true
+		return e, nil
+	}
+	e.data = make([][]*vertexData, length+1)
+	for t := 1; t <= length; t++ {
+		e.data[t] = make([]*vertexData, dag.M)
+	}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Count returns the estimate R(s_final) of |L_n(N)| as a big.Float.
+func (e *Estimator) Count() *big.Float {
+	if e.empty {
+		return big.NewFloat(0)
+	}
+	return new(big.Float).SetPrec(e.prec).Set(e.finalData.r)
+}
+
+// CountInt returns the estimate rounded to the nearest integer.
+func (e *Estimator) CountInt() *big.Int {
+	c := e.Count()
+	half := big.NewFloat(0.5)
+	c.Add(c, half)
+	out, _ := c.Int(nil)
+	return out
+}
+
+// Exact reports whether s_final was exactly handled, in which case Count is
+// the exact |L_n(N)| and Sample never fails.
+func (e *Estimator) Exact() bool {
+	return e.empty || e.finalData.exact
+}
+
+// K returns the effective sketch size in use.
+func (e *Estimator) K() int { return e.params.K }
+
+// build runs steps 4–5 of Algorithm 5 over all layers and then s_final.
+func (e *Estimator) build() error {
+	n := e.dag.N
+	for t := 1; t <= n; t++ {
+		var failed error
+		e.dag.AliveSet(t).ForEach(func(q int) {
+			if failed != nil {
+				return
+			}
+			vd, err := e.buildVertex(t, q, e.dag.Preds(t, q))
+			if err != nil {
+				failed = err
+				return
+			}
+			e.data[t][q] = vd
+		})
+		if failed != nil {
+			return failed
+		}
+	}
+	vd, err := e.buildVertex(n+1, -1, e.dag.FinalPreds())
+	if err != nil {
+		return err
+	}
+	e.finalData = vd
+	return nil
+}
+
+// buildVertex computes (R, X) for one vertex with the given incoming edges.
+func (e *Estimator) buildVertex(layer, state int, preds []unroll.Edge) (*vertexData, error) {
+	// Partition predecessors by symbol, keeping ≺ (state-index) order; the
+	// unroll package emits them ordered already, but we do not rely on it.
+	t0, t1 := splitPreds(preds)
+
+	// Exactly-handled path (Algorithm 5 step 4): requires every predecessor
+	// exactly handled.
+	if e.predsExact(layer, t0) && e.predsExact(layer, t1) {
+		entries, within := e.exactUnion(layer, t0, t1)
+		if within {
+			r := new(big.Float).SetPrec(e.prec).SetInt64(int64(len(entries)))
+			return &vertexData{exact: true, r: r, entries: entries}, nil
+		}
+	}
+
+	// Estimated path (step 5).
+	w0 := e.estimateUnion(layer, t0)
+	w1 := e.estimateUnion(layer, t1)
+	r := new(big.Float).SetPrec(e.prec).Add(w0, w1)
+	if r.Sign() <= 0 {
+		return nil, fmt.Errorf("fpras: estimate collapsed to 0 at layer %d state %d (increase K)", layer, state)
+	}
+	vd := &vertexData{r: r}
+	vd.entries = make([]sampleEntry, 0, e.params.K)
+	target := []int{state}
+	if state == -1 {
+		target = []int{-1}
+	}
+	for len(vd.entries) < e.params.K {
+		entry, err := e.sampleOnce(layer, target, vd.r)
+		if err != nil {
+			return nil, err
+		}
+		vd.entries = append(vd.entries, entry)
+	}
+	return vd, nil
+}
+
+func splitPreds(preds []unroll.Edge) (t0, t1 []int) {
+	for _, p := range preds {
+		if p.Symbol == 0 {
+			t0 = append(t0, p.FromState)
+		} else {
+			t1 = append(t1, p.FromState)
+		}
+	}
+	return t0, t1
+}
+
+// predsExact reports whether every predecessor in list (states of layer-1,
+// or -1 for s_start) is exactly handled.
+func (e *Estimator) predsExact(layer int, list []int) bool {
+	for _, q := range list {
+		if q == -1 {
+			continue // s_start is trivially exact: U = {ε}
+		}
+		vd := e.data[layer-1][q]
+		if vd == nil || !vd.exact {
+			return false
+		}
+	}
+	return true
+}
+
+// exactUnion materializes U(s) = ⋃_b ⋃_{s'∈T_b} { x∘b : x ∈ U(s') },
+// deduplicated, as long as it stays within k elements. The reach set of
+// x∘b is one DAG step from the reach set of x.
+func (e *Estimator) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
+	seen := map[string]bool{}
+	var out []sampleEntry
+	add := func(bits string, reach *bitset.Set) bool {
+		if seen[bits] {
+			return true
+		}
+		seen[bits] = true
+		if len(out) >= e.params.K {
+			return false
+		}
+		out = append(out, sampleEntry{bits: bits, reach: reach})
+		return true
+	}
+	for b, list := range [][]int{t0, t1} {
+		bit := byte('0' + b)
+		for _, q := range list {
+			if q == -1 {
+				// Predecessor is s_start: the extended string is the single
+				// bit itself.
+				bits := string([]byte{bit})
+				if !seen[bits] {
+					reach := e.stepReach(nil, automata.Symbol(b), layer)
+					if !add(bits, reach) {
+						return nil, false
+					}
+				}
+				continue
+			}
+			for _, entry := range e.data[layer-1][q].entries {
+				bits := entry.bits + string([]byte{bit})
+				if seen[bits] {
+					continue
+				}
+				reach := e.stepReach(entry.reach, automata.Symbol(b), layer)
+				if !add(bits, reach) {
+					return nil, false
+				}
+			}
+		}
+	}
+	return out, true
+}
+
+// stepReach advances a reach set one layer on symbol b. A nil src means
+// the singleton {s_start}. For the final layer (layer == N+1) the reach set
+// is the singleton {s_final}, which no later query ever inspects, so an
+// empty set of capacity 1 is returned.
+func (e *Estimator) stepReach(src *bitset.Set, b automata.Symbol, layer int) *bitset.Set {
+	if layer == e.dag.N+1 {
+		return bitset.New(1)
+	}
+	dst := bitset.New(e.dag.M)
+	if src == nil {
+		for _, p := range e.dag.Src.Successors(e.dag.Src.Start(), b) {
+			if e.dag.Alive(layer, p) {
+				dst.Add(p)
+			}
+		}
+		return dst
+	}
+	src.ForEach(func(q int) {
+		for _, p := range e.dag.Src.Successors(q, b) {
+			if e.dag.Alive(layer, p) {
+				dst.Add(p)
+			}
+		}
+	})
+	return dst
+}
+
+// estimateUnion computes W̃ for one predecessor list (step 5(a)):
+//
+//	W̃ = Σ_{s'∈T} R(s') · |{x ∈ X(s') : x ∉ U(s'') for all s''∈T, s''≺s'}| / |X(s')|
+//
+// where membership is answered by the per-sample reach sets. The -1
+// (s_start) pseudo-predecessor contributes exactly 1 (its witness set is
+// {ε}).
+func (e *Estimator) estimateUnion(layer int, list []int) *big.Float {
+	total := new(big.Float).SetPrec(e.prec)
+	if len(list) == 0 {
+		return total
+	}
+	before := bitset.New(e.dag.M)
+	for _, q := range list {
+		if q == -1 {
+			total.Add(total, big.NewFloat(1))
+			continue
+		}
+		vd := e.data[layer-1][q]
+		fresh := 0
+		for _, entry := range vd.entries {
+			if !entry.reach.Intersects(before) {
+				fresh++
+			}
+		}
+		if fresh > 0 && len(vd.entries) > 0 {
+			contrib := new(big.Float).SetPrec(e.prec).Set(vd.r)
+			ratio := new(big.Float).SetPrec(e.prec).Quo(
+				new(big.Float).SetInt64(int64(fresh)),
+				new(big.Float).SetInt64(int64(len(vd.entries))))
+			contrib.Mul(contrib, ratio)
+			total.Add(total, contrib)
+		}
+		before.Add(q)
+	}
+	return total
+}
+
+// sampleOnce obtains one uniform element of U(s) for the vertex at the
+// given layer, retrying the rejection sampler up to MaxTries times
+// (Algorithm 5 step 5(c)). For exactly handled vertices callers should
+// sample the materialized set directly instead.
+func (e *Estimator) sampleOnce(layer int, target []int, r *big.Float) (sampleEntry, error) {
+	for try := 0; try < e.params.MaxTries; try++ {
+		entry, ok, err := e.sampleAttempt(layer, target, r)
+		if err != nil {
+			return sampleEntry{}, err
+		}
+		if ok {
+			return entry, nil
+		}
+	}
+	return sampleEntry{}, fmt.Errorf("fpras: no sample after %d attempts at layer %d (increase MaxTries/K)", e.params.MaxTries, layer)
+}
+
+// sampleAttempt is Algorithm 4: one recursive descent with rejection.
+func (e *Estimator) sampleAttempt(layer int, target []int, r *big.Float) (sampleEntry, bool, error) {
+	// ϕ is tracked in log space: log ϕ₀ = −4 − log R(s).
+	logPhi := -4 - logBigFloat(r)
+	bits := make([]byte, layer)
+	cur := target
+	for t := layer; t > 0; t-- {
+		ch, err := e.choiceFor(t, cur)
+		if err != nil {
+			return sampleEntry{}, false, err
+		}
+		sum := new(big.Float).SetPrec(e.prec).Add(ch.w0, ch.w1)
+		if sum.Sign() <= 0 {
+			return sampleEntry{}, false, fmt.Errorf("fpras: dead end during sampling at layer %d", t)
+		}
+		p1, _ := new(big.Float).Quo(ch.w1, sum).Float64()
+		var b int
+		if e.rng.Float64() < p1 {
+			b = 1
+			logPhi -= math.Log(p1)
+			cur = ch.t1
+		} else {
+			b = 0
+			logPhi -= math.Log(1 - p1)
+			cur = ch.t0
+		}
+		bits[t-1] = byte('0' + b)
+	}
+	// cur must now be {s_start}; accept with probability ϕ (unless the
+	// E13 ablation disabled the correction).
+	if !e.params.SkipRejection {
+		if !(logPhi < 0) { // ϕ ∉ (0,1): reject, as Algorithm 4 step 1
+			return sampleEntry{}, false, nil
+		}
+		if e.rng.Float64() >= math.Exp(logPhi) {
+			return sampleEntry{}, false, nil
+		}
+	}
+	s := string(bits)
+	entry := sampleEntry{bits: s, reach: e.traceReach(s, layer)}
+	return entry, true, nil
+}
+
+// choiceFor returns (memoized) the predecessor sets and W̃ weights for the
+// current vertex set at layer t.
+func (e *Estimator) choiceFor(t int, cur []int) (*stepChoice, error) {
+	key := memoKey(t, cur)
+	if ch, ok := e.memo[key]; ok {
+		return ch, nil
+	}
+	var t0, t1 []int
+	seen0 := map[int]bool{}
+	seen1 := map[int]bool{}
+	appendPred := func(edge unroll.Edge) {
+		if edge.Symbol == 0 {
+			if !seen0[edge.FromState] {
+				seen0[edge.FromState] = true
+				t0 = insertSorted(t0, edge.FromState)
+			}
+		} else {
+			if !seen1[edge.FromState] {
+				seen1[edge.FromState] = true
+				t1 = insertSorted(t1, edge.FromState)
+			}
+		}
+	}
+	for _, v := range cur {
+		if t == e.dag.N+1 && v == -1 {
+			for _, edge := range e.dag.FinalPreds() {
+				appendPred(edge)
+			}
+			continue
+		}
+		for _, edge := range e.dag.Preds(t, v) {
+			appendPred(edge)
+		}
+	}
+	ch := &stepChoice{
+		t0: t0, t1: t1,
+		w0: e.estimateUnion(t, t0),
+		w1: e.estimateUnion(t, t1),
+	}
+	e.memo[key] = ch
+	return ch, nil
+}
+
+// traceReach computes the reach set of a freshly sampled string at its own
+// layer. For strings owned by s_final (layer N+1) the set is the unused
+// singleton placeholder.
+func (e *Estimator) traceReach(bits string, layer int) *bitset.Set {
+	if layer == e.dag.N+1 {
+		return bitset.New(1)
+	}
+	var cur *bitset.Set
+	for i := 0; i < layer; i++ {
+		cur = e.stepReach(cur, automata.Symbol(bits[i]-'0'), i+1)
+	}
+	return cur
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := 0
+	for i < len(xs) && xs[i] < v {
+		i++
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func memoKey(t int, cur []int) string {
+	buf := make([]byte, 0, 4+len(cur)*4)
+	buf = append(buf, byte(t), byte(t>>8))
+	for _, v := range cur {
+		u := uint32(int32(v))
+		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return string(buf)
+}
+
+// logBigFloat returns the natural log of a positive big.Float.
+func logBigFloat(x *big.Float) float64 {
+	mant := new(big.Float)
+	exp := x.MantExp(mant)
+	m, _ := mant.Float64()
+	return math.Log(m) + float64(exp)*math.Ln2
+}
+
+// Sample makes one Las Vegas attempt to draw a uniform witness of L_n(N).
+// It returns ErrEmpty when the language slice is empty, ErrFail when the
+// rejection sampler rejected (retry), a word of length n on success.
+func (e *Estimator) Sample() (automata.Word, error) {
+	if e.empty {
+		return nil, ErrEmpty
+	}
+	fd := e.finalData
+	n := e.dag.N
+	if fd.exact {
+		// Materialized witness set: perfect uniform draw, never fails.
+		if len(fd.entries) == 0 {
+			return nil, ErrEmpty
+		}
+		pick := fd.entries[e.rng.Intn(len(fd.entries))]
+		return bitsToWord(pick.bits[:n]), nil
+	}
+	entry, ok, err := e.sampleAttempt(n+1, []int{-1}, fd.r)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrFail
+	}
+	return bitsToWord(entry.bits[:n]), nil
+}
+
+// SampleWitness retries Sample up to maxAttempts times (0 means 2000;
+// acceptance per attempt is ≈ e⁻⁴ ≈ 1.8%, so 2000 attempts fail with
+// probability ≈ 10⁻¹⁶ — Corollary 23's amplification argument).
+func (e *Estimator) SampleWitness(maxAttempts int) (automata.Word, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 2000
+	}
+	for i := 0; i < maxAttempts; i++ {
+		w, err := e.Sample()
+		if err == ErrFail {
+			continue
+		}
+		return w, err
+	}
+	return nil, ErrFail
+}
+
+func bitsToWord(bits string) automata.Word {
+	w := make(automata.Word, len(bits))
+	for i := range bits {
+		w[i] = int(bits[i] - '0')
+	}
+	return w
+}

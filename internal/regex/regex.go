@@ -1,0 +1,435 @@
+// Package regex implements the regular-expression front end used by the
+// graph-database application (§4.2: regular path queries are regexes over
+// edge labels) and the headline "uniform sampling from a regex" example:
+// a recursive-descent parser and the Glushkov position construction, which
+// yields an ε-free NFA with one state per symbol occurrence — exactly the
+// automaton shape MEM-NFA wants.
+//
+// Supported syntax: literal characters, '.' (any symbol), character classes
+// [abc] and ranges [a-z] (with leading ^ for negation), grouping (...),
+// alternation |, and the postfix operators *, +, ?, {m}, {m,n}. Escaping
+// with \ makes any metacharacter literal. The alphabet is supplied
+// explicitly so that '.' and negated classes are well defined.
+package regex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// maxRepeat bounds {m,n} expansion to keep automata polynomial.
+const maxRepeat = 512
+
+// Compile parses the pattern and builds its Glushkov NFA over the given
+// alphabet. Every symbol name in the alphabet must be a single character.
+func Compile(pattern string, alpha *automata.Alphabet) (*automata.NFA, error) {
+	for _, name := range alpha.Names() {
+		if len([]rune(name)) != 1 {
+			return nil, fmt.Errorf("regex: alphabet symbol %q is not a single character", name)
+		}
+	}
+	p := &parser{input: []rune(pattern), alpha: alpha}
+	ast, err := p.parseAlternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("regex: unexpected %q at position %d", string(p.input[p.pos]), p.pos)
+	}
+	return glushkov(ast, alpha), nil
+}
+
+// ast nodes. Positions are assigned to lit nodes during linearization.
+type node interface{}
+
+type epsNode struct{}
+type litNode struct {
+	syms []automata.Symbol // the class; one entry for plain literals
+	pos  int               // Glushkov position, assigned later
+}
+type catNode struct{ l, r node }
+type altNode struct{ l, r node }
+type starNode struct{ sub node }
+
+type parser struct {
+	input []rune
+	pos   int
+	alpha *automata.Alphabet
+}
+
+func (p *parser) peek() (rune, bool) {
+	if p.pos >= len(p.input) {
+		return 0, false
+	}
+	return p.input[p.pos], true
+}
+
+func (p *parser) parseAlternation() (node, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = &altNode{l: left, r: right}
+	}
+}
+
+func (p *parser) parseConcat() (node, error) {
+	var parts []node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		part, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 0 {
+		return epsNode{}, nil
+	}
+	out := parts[0]
+	for _, part := range parts[1:] {
+		out = &catNode{l: out, r: part}
+	}
+	return out, nil
+}
+
+func (p *parser) parseRepeat() (node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			atom = &starNode{sub: atom}
+		case '+':
+			p.pos++
+			atom = &catNode{l: atom, r: &starNode{sub: clone(atom)}}
+		case '?':
+			p.pos++
+			atom = &altNode{l: atom, r: epsNode{}}
+		case '{':
+			var err error
+			atom, err = p.parseBound(atom)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *parser) parseBound(atom node) (node, error) {
+	// at '{'
+	end := p.pos
+	for end < len(p.input) && p.input[end] != '}' {
+		end++
+	}
+	if end == len(p.input) {
+		return nil, fmt.Errorf("regex: unterminated {m,n} at %d", p.pos)
+	}
+	body := string(p.input[p.pos+1 : end])
+	p.pos = end + 1
+	var minRep, maxRep int
+	if i := strings.IndexByte(body, ','); i >= 0 {
+		var err1, err2 error
+		minRep, err1 = strconv.Atoi(strings.TrimSpace(body[:i]))
+		maxRep, err2 = strconv.Atoi(strings.TrimSpace(body[i+1:]))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("regex: bad bound {%s}", body)
+		}
+	} else {
+		v, err := strconv.Atoi(strings.TrimSpace(body))
+		if err != nil {
+			return nil, fmt.Errorf("regex: bad bound {%s}", body)
+		}
+		minRep, maxRep = v, v
+	}
+	if minRep < 0 || maxRep < minRep || maxRep > maxRepeat {
+		return nil, fmt.Errorf("regex: bound {%s} out of range (max %d)", body, maxRepeat)
+	}
+	// r{m,n} = r^m · (r?)^(n−m)
+	out := node(epsNode{})
+	for i := 0; i < minRep; i++ {
+		out = &catNode{l: out, r: clone(atom)}
+	}
+	for i := minRep; i < maxRep; i++ {
+		out = &catNode{l: out, r: &altNode{l: clone(atom), r: epsNode{}}}
+	}
+	return out, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		sub, err := p.parseAlternation()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := p.peek(); !ok || c != ')' {
+			return nil, fmt.Errorf("regex: missing ) at %d", p.pos)
+		}
+		p.pos++
+		return sub, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		syms := make([]automata.Symbol, alphaSize(p.alpha))
+		for i := range syms {
+			syms[i] = i
+		}
+		return &litNode{syms: syms}, nil
+	case '*', '+', '?', '{', ')', '|':
+		return nil, fmt.Errorf("regex: unexpected %q at %d", string(c), p.pos)
+	case '\\':
+		p.pos++
+		c2, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("regex: dangling escape")
+		}
+		p.pos++
+		return p.literal(c2)
+	default:
+		p.pos++
+		return p.literal(c)
+	}
+}
+
+func alphaSize(a *automata.Alphabet) int { return a.Size() }
+
+func (p *parser) literal(c rune) (node, error) {
+	s, ok := p.alpha.Symbol(string(c))
+	if !ok {
+		return nil, fmt.Errorf("regex: character %q not in alphabet", string(c))
+	}
+	return &litNode{syms: []automata.Symbol{s}}, nil
+}
+
+func (p *parser) parseClass() (node, error) {
+	// at '['
+	p.pos++
+	neg := false
+	if c, ok := p.peek(); ok && c == '^' {
+		neg = true
+		p.pos++
+	}
+	include := map[automata.Symbol]bool{}
+	addRune := func(c rune) error {
+		s, ok := p.alpha.Symbol(string(c))
+		if !ok {
+			return fmt.Errorf("regex: class character %q not in alphabet", string(c))
+		}
+		include[s] = true
+		return nil
+	}
+	first := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("regex: unterminated class")
+		}
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		if c == '\\' {
+			p.pos++
+			c2, ok := p.peek()
+			if !ok {
+				return nil, fmt.Errorf("regex: dangling escape in class")
+			}
+			p.pos++
+			if err := addRune(c2); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p.pos++
+		// Range a-b?
+		if nx, ok := p.peek(); ok && nx == '-' && p.pos+1 < len(p.input) && p.input[p.pos+1] != ']' {
+			p.pos++
+			hi, _ := p.peek()
+			p.pos++
+			if hi < c {
+				return nil, fmt.Errorf("regex: inverted range %c-%c", c, hi)
+			}
+			for r := c; r <= hi; r++ {
+				// Characters outside the alphabet inside a range are
+				// skipped: [0-9] over alphabet {0,1} means [01].
+				if _, ok := p.alpha.Symbol(string(r)); ok {
+					if err := addRune(r); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
+		}
+		if err := addRune(c); err != nil {
+			return nil, err
+		}
+	}
+	var syms []automata.Symbol
+	for s := 0; s < p.alpha.Size(); s++ {
+		if include[s] != neg {
+			syms = append(syms, s)
+		}
+	}
+	if len(syms) == 0 {
+		return nil, fmt.Errorf("regex: empty character class")
+	}
+	return &litNode{syms: syms}, nil
+}
+
+func clone(n node) node {
+	switch t := n.(type) {
+	case epsNode:
+		return epsNode{}
+	case *litNode:
+		syms := make([]automata.Symbol, len(t.syms))
+		copy(syms, t.syms)
+		return &litNode{syms: syms}
+	case *catNode:
+		return &catNode{l: clone(t.l), r: clone(t.r)}
+	case *altNode:
+		return &altNode{l: clone(t.l), r: clone(t.r)}
+	case *starNode:
+		return &starNode{sub: clone(t.sub)}
+	}
+	panic("regex: unknown node type")
+}
+
+// glushkov builds the position automaton: state 0 is the start, states
+// 1..n correspond to symbol occurrences.
+func glushkov(ast node, alpha *automata.Alphabet) *automata.NFA {
+	var positions []*litNode
+	var assign func(n node)
+	assign = func(n node) {
+		switch t := n.(type) {
+		case *litNode:
+			positions = append(positions, t)
+			t.pos = len(positions)
+		case *catNode:
+			assign(t.l)
+			assign(t.r)
+		case *altNode:
+			assign(t.l)
+			assign(t.r)
+		case *starNode:
+			assign(t.sub)
+		}
+	}
+	assign(ast)
+
+	type sets struct {
+		nullable    bool
+		first, last []int
+	}
+	follow := make([][]int, len(positions)+1)
+	var walk func(n node) sets
+	walk = func(n node) sets {
+		switch t := n.(type) {
+		case epsNode:
+			return sets{nullable: true}
+		case *litNode:
+			return sets{first: []int{t.pos}, last: []int{t.pos}}
+		case *altNode:
+			a, b := walk(t.l), walk(t.r)
+			return sets{
+				nullable: a.nullable || b.nullable,
+				first:    append(append([]int{}, a.first...), b.first...),
+				last:     append(append([]int{}, a.last...), b.last...),
+			}
+		case *catNode:
+			a, b := walk(t.l), walk(t.r)
+			for _, q := range a.last {
+				follow[q] = append(follow[q], b.first...)
+			}
+			out := sets{nullable: a.nullable && b.nullable}
+			out.first = append(out.first, a.first...)
+			if a.nullable {
+				out.first = append(out.first, b.first...)
+			}
+			out.last = append(out.last, b.last...)
+			if b.nullable {
+				out.last = append(out.last, a.last...)
+			}
+			return out
+		case *starNode:
+			a := walk(t.sub)
+			for _, q := range a.last {
+				follow[q] = append(follow[q], a.first...)
+			}
+			return sets{nullable: true, first: a.first, last: a.last}
+		}
+		panic("regex: unknown node type")
+	}
+	root := walk(ast)
+
+	nfa := automata.New(alpha, len(positions)+1)
+	nfa.SetStart(0)
+	addEdges := func(from int, tos []int) {
+		for _, to := range tos {
+			for _, s := range positions[to-1].syms {
+				nfa.AddTransition(from, s, to)
+			}
+		}
+	}
+	addEdges(0, root.first)
+	for q := 1; q <= len(positions); q++ {
+		addEdges(q, follow[q])
+	}
+	for _, q := range root.last {
+		nfa.SetFinal(q, true)
+	}
+	if root.nullable {
+		nfa.SetFinal(0, true)
+	}
+	return nfa
+}
+
+// Match is a reference matcher that interprets the pattern directly via
+// the compiled automaton; exported for tests and the CLI.
+func Match(pattern string, alpha *automata.Alphabet, input string) (bool, error) {
+	nfa, err := Compile(pattern, alpha)
+	if err != nil {
+		return false, err
+	}
+	w := make(automata.Word, 0, len(input))
+	for _, r := range input {
+		s, ok := alpha.Symbol(string(r))
+		if !ok {
+			return false, nil
+		}
+		w = append(w, s)
+	}
+	return nfa.Accepts(w), nil
+}

@@ -1,0 +1,314 @@
+package regex
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/exact"
+)
+
+var binAlpha = automata.Binary()
+var abcAlpha = automata.NewAlphabet("a", "b", "c")
+
+func mustCompile(t *testing.T, pattern string, alpha *automata.Alphabet) *automata.NFA {
+	t.Helper()
+	n, err := Compile(pattern, alpha)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	return n
+}
+
+func accepts(n *automata.NFA, alpha *automata.Alphabet, s string) bool {
+	w := make(automata.Word, 0, len(s))
+	for _, r := range s {
+		sym, ok := alpha.Symbol(string(r))
+		if !ok {
+			return false
+		}
+		w = append(w, sym)
+	}
+	return n.Accepts(w)
+}
+
+func TestBasicPatterns(t *testing.T) {
+	cases := []struct {
+		pattern string
+		alpha   *automata.Alphabet
+		yes     []string
+		no      []string
+	}{
+		{"abc", abcAlpha, []string{"abc"}, []string{"", "ab", "abcc", "acb"}},
+		{"a|b", abcAlpha, []string{"a", "b"}, []string{"c", "ab", ""}},
+		{"a*", abcAlpha, []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{"a+", abcAlpha, []string{"a", "aa"}, []string{"", "b"}},
+		{"a?b", abcAlpha, []string{"b", "ab"}, []string{"a", "aab"}},
+		{"(ab)*", abcAlpha, []string{"", "ab", "abab"}, []string{"a", "aba"}},
+		{"a(b|c)a", abcAlpha, []string{"aba", "aca"}, []string{"aaa", "abca"}},
+		{".", abcAlpha, []string{"a", "b", "c"}, []string{"", "ab"}},
+		{".*", abcAlpha, []string{"", "abcabc"}, nil},
+		{"[ab]c", abcAlpha, []string{"ac", "bc"}, []string{"cc", "c"}},
+		{"[^a]", abcAlpha, []string{"b", "c"}, []string{"a", ""}},
+		{"[a-b]*", abcAlpha, []string{"", "abba"}, []string{"c"}},
+		{"a{3}", abcAlpha, []string{"aaa"}, []string{"aa", "aaaa"}},
+		{"a{1,3}", abcAlpha, []string{"a", "aa", "aaa"}, []string{"", "aaaa"}},
+		{"(0|1)*1", binAlpha, []string{"1", "01", "111"}, []string{"", "0", "10"}},
+		{"0{2,4}1?", binAlpha, []string{"00", "000", "0000", "001", "00001"}, []string{"0", "1", "000001"}},
+	}
+	for _, c := range cases {
+		n := mustCompile(t, c.pattern, c.alpha)
+		for _, s := range c.yes {
+			if !accepts(n, c.alpha, s) {
+				t.Errorf("%q should accept %q", c.pattern, s)
+			}
+		}
+		for _, s := range c.no {
+			if accepts(n, c.alpha, s) {
+				t.Errorf("%q should reject %q", c.pattern, s)
+			}
+		}
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	alpha := automata.NewAlphabet("a", "*", "(", ")")
+	n := mustCompile(t, `\*\(a\)`, alpha)
+	if !accepts(n, alpha, "*(a)") {
+		t.Fatal("escaped metacharacters should match literally")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(", ")", "a)", "(a", "*", "a**b(", "[", "[]", "[a", "a{", "a{2",
+		"a{3,1}", "a{-1}", "a{9999}", "[b-a]", "z", `\`, "a|*",
+	}
+	for _, p := range bad {
+		if _, err := Compile(p, abcAlpha); err == nil {
+			t.Errorf("Compile(%q) should fail", p)
+		}
+	}
+}
+
+func TestEmptyPatternMatchesEpsilon(t *testing.T) {
+	n := mustCompile(t, "", abcAlpha)
+	if !accepts(n, abcAlpha, "") || accepts(n, abcAlpha, "a") {
+		t.Fatal("empty pattern must match exactly ε")
+	}
+}
+
+func TestGlushkovIsEpsilonFree(t *testing.T) {
+	n := mustCompile(t, "(a|b)*c?", abcAlpha)
+	if n.HasEpsilon() {
+		t.Fatal("Glushkov construction must be ε-free")
+	}
+}
+
+func TestMultiCharAlphabetRejected(t *testing.T) {
+	alpha := automata.NewAlphabet("ab", "c")
+	if _, err := Compile("c", alpha); err == nil {
+		t.Fatal("multi-character symbols must be rejected")
+	}
+}
+
+// Reference matcher: direct backtracking interpretation of the pattern via
+// a simple derivative-free recursive match on the AST is complex; instead
+// compare the compiled NFA against Go's semantics on a simpler fragment by
+// brute-force language comparison with hand-computed expectations.
+func TestCountsAgainstClosedForms(t *testing.T) {
+	cases := []struct {
+		pattern string
+		length  int
+		want    int64
+	}{
+		{"(0|1)*", 8, 256},  // everything
+		{"(0|1)*1", 8, 128}, // ends in 1
+		{"0*1*", 6, 7},      // 0^i 1^j
+		{"(01)*", 6, 1},     // only 010101
+		{"(0|1){4}", 4, 16}, // exact length
+		{"1(0|1)*0", 5, 8},  // starts 1 ends 0
+		{"(00|11)*", 8, 16}, // pairs: 2^4
+	}
+	for _, c := range cases {
+		n := mustCompile(t, c.pattern, binAlpha)
+		got, err := exact.CountNFA(n, c.length, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("|L_%d(%q)| = %v, want %d", c.length, c.pattern, got, c.want)
+		}
+	}
+}
+
+// Property-style test: random patterns from a small grammar, compared
+// against brute-force membership of every string up to length 5.
+func TestRandomPatternsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var gen func(depth int) string
+	atoms := []string{"a", "b", "c", ".", "[ab]"}
+	gen = func(depth int) string {
+		if depth == 0 {
+			return atoms[rng.Intn(len(atoms))]
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return gen(depth-1) + gen(depth-1)
+		case 1:
+			return "(" + gen(depth-1) + "|" + gen(depth-1) + ")"
+		case 2:
+			return "(" + gen(depth-1) + ")*"
+		case 3:
+			return "(" + gen(depth-1) + ")?"
+		default:
+			return atoms[rng.Intn(len(atoms))]
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		pattern := gen(3)
+		n, err := Compile(pattern, abcAlpha)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pattern, err)
+		}
+		ref := newRefMatcher(pattern)
+		var words []string
+		var build func(s string)
+		build = func(s string) {
+			words = append(words, s)
+			if len(s) == 4 {
+				return
+			}
+			for _, c := range []string{"a", "b", "c"} {
+				build(s + c)
+			}
+		}
+		build("")
+		for _, w := range words {
+			want := ref.match(w)
+			got := accepts(n, abcAlpha, w)
+			if got != want {
+				t.Fatalf("pattern %q word %q: nfa=%v ref=%v", pattern, w, got, want)
+			}
+		}
+	}
+}
+
+// refMatcher is an independent continuation-passing regex interpreter used
+// purely as a test oracle.
+type refMatcher struct{ ast node }
+
+func newRefMatcher(pattern string) *refMatcher {
+	p := &parser{input: []rune(pattern), alpha: abcAlpha}
+	ast, err := p.parseAlternation()
+	if err != nil {
+		panic(err)
+	}
+	return &refMatcher{ast: ast}
+}
+
+func (r *refMatcher) match(s string) bool {
+	var m func(n node, s string, k func(string) bool) bool
+	seen := map[string]bool{}
+	m = func(n node, s string, k func(string) bool) bool {
+		switch t := n.(type) {
+		case epsNode:
+			return k(s)
+		case *litNode:
+			if s == "" {
+				return false
+			}
+			sym, ok := abcAlpha.Symbol(s[:1])
+			if !ok {
+				return false
+			}
+			for _, allowed := range t.syms {
+				if allowed == sym {
+					return k(s[1:])
+				}
+			}
+			return false
+		case *catNode:
+			return m(t.l, s, func(rest string) bool { return m(t.r, rest, k) })
+		case *altNode:
+			return m(t.l, s, k) || m(t.r, s, k)
+		case *starNode:
+			key := posKey(t, s)
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			defer delete(seen, key)
+			if k(s) {
+				return true
+			}
+			return m(t.sub, s, func(rest string) bool {
+				if rest == s {
+					return false // no progress: avoid ε-loops
+				}
+				return m(t, rest, k)
+			})
+		}
+		panic("unknown node")
+	}
+	return m(r.ast, s, func(rest string) bool { return rest == "" })
+}
+
+func posKey(n node, s string) string {
+	return string(rune(uintptr(nodeID(n)))) + "/" + s
+}
+
+var nodeIDs = map[node]int{}
+
+func nodeID(n node) int {
+	if id, ok := nodeIDs[n]; ok {
+		return id
+	}
+	id := len(nodeIDs) + 1
+	nodeIDs[n] = id
+	return id
+}
+
+func TestMatchHelper(t *testing.T) {
+	ok, err := Match("a+b", abcAlpha, "aab")
+	if err != nil || !ok {
+		t.Fatalf("Match: %v %v", ok, err)
+	}
+	ok, err = Match("a+b", abcAlpha, "zzz")
+	if err != nil || ok {
+		t.Fatalf("Match on out-of-alphabet input: %v %v", ok, err)
+	}
+	if _, err := Match("(", abcAlpha, "a"); err == nil {
+		t.Fatal("Match must surface parse errors")
+	}
+}
+
+func TestGlushkovStateCount(t *testing.T) {
+	// Position automaton: states = occurrences + 1.
+	n := mustCompile(t, "(a|b)*abb", abcAlpha)
+	if n.NumStates() != 6 {
+		t.Fatalf("states = %d, want 6 (5 positions + start)", n.NumStates())
+	}
+}
+
+func TestLongerPipeline(t *testing.T) {
+	// Compile → binary encode → exact count, end to end over a password
+	// policy-like pattern.
+	alpha := automata.NewAlphabet("a", "b", "1", "2")
+	n := mustCompile(t, "[ab]+[12][ab12]*", alpha)
+	got, err := exact.CountNFA(n, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count strings of length 4: choose split i = |prefix [ab]+| ≥ 1, then
+	// digit, then free: Σ_{i=1..3} 2^i·2·4^(3-i) = 2·2·16 + 4·2·4 + 8·2·1
+	// = 64+32+16 = 112.
+	if got.Cmp(big.NewInt(112)) != 0 {
+		t.Fatalf("count = %v, want 112", got)
+	}
+	if strings.Contains(automata.MarshalString(n), "ε") {
+		t.Fatal("unexpected ε in marshalled automaton")
+	}
+}

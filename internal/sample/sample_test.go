@@ -1,0 +1,257 @@
+package sample
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/exact"
+	"repro/internal/stats"
+)
+
+func TestRandBigUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	max := big.NewInt(5)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := RandBig(rng, max)
+		counts[v.Int64()]++
+	}
+	ok, stat, err := stats.UniformityOK(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("RandBig not uniform: chi2 = %f, counts = %v", stat, counts)
+	}
+}
+
+func TestRandBigLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	max := new(big.Int).Lsh(big.NewInt(1), 200)
+	for i := 0; i < 100; i++ {
+		v := RandBig(rng, max)
+		if v.Sign() < 0 || v.Cmp(max) >= 0 {
+			t.Fatalf("RandBig out of range: %v", v)
+		}
+	}
+}
+
+func TestRandBigPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandBig(0) should panic")
+		}
+	}()
+	RandBig(rand.New(rand.NewSource(3)), big.NewInt(0))
+}
+
+func TestUFASamplerPaperExample(t *testing.T) {
+	n, length := automata.PaperExample()
+	s, err := NewUFASampler(n, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count().Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("Count = %v, want 4", s.Count())
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := map[string]int{}
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		w, err := s.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n.Alphabet().FormatWord(w)]++
+	}
+	want := map[string]bool{"aaa": true, "aab": true, "bba": true, "bbb": true}
+	var vec []int
+	for k, c := range counts {
+		if !want[k] {
+			t.Fatalf("sampled non-witness %q", k)
+		}
+		vec = append(vec, c)
+	}
+	if len(vec) != 4 {
+		t.Fatalf("only %d of 4 witnesses sampled: %v", len(vec), counts)
+	}
+	ok, stat, err := stats.UniformityOK(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("sampler not uniform: chi2 = %f, counts = %v", stat, counts)
+	}
+}
+
+func TestUFASamplerMatchesExactCountsOnRandomDFAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := automata.RandomDFA(rng, automata.Binary(), 2+rng.Intn(4), 0.5)
+		length := 2 + rng.Intn(4)
+		s, err := NewUFASampler(n, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lang := exact.LanguageSlice(n, length)
+		if len(lang) == 0 {
+			if _, err := s.Sample(rng); err != ErrEmpty {
+				t.Fatalf("empty language should give ErrEmpty, got %v", err)
+			}
+			continue
+		}
+		if s.Count().Cmp(big.NewInt(int64(len(lang)))) != 0 {
+			t.Fatalf("count mismatch: %v vs %d", s.Count(), len(lang))
+		}
+		seen := map[string]int{}
+		draws := 400 * len(lang)
+		if draws > 20000 {
+			draws = 20000
+		}
+		for i := 0; i < draws; i++ {
+			w, err := s.Sample(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[n.Alphabet().FormatWord(w)]++
+		}
+		langSet := map[string]bool{}
+		for _, s := range lang {
+			langSet[s] = true
+		}
+		for k := range seen {
+			if !langSet[k] {
+				t.Fatalf("sampled non-witness %q", k)
+			}
+		}
+		if len(lang) >= 2 && draws >= 100*len(lang) {
+			vec := make([]int, 0, len(lang))
+			for _, w := range lang {
+				vec = append(vec, seen[w])
+			}
+			ok, stat, err := stats.UniformityOK(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: not uniform (chi2=%f): %v", trial, stat, seen)
+			}
+		}
+	}
+}
+
+func TestUFASamplerRejectsAmbiguous(t *testing.T) {
+	if _, err := NewUFASampler(automata.AmbiguityGap(3), 3); err == nil {
+		t.Fatal("ambiguous automaton must be rejected")
+	}
+}
+
+func TestUFASamplerRejectsBadInput(t *testing.T) {
+	n := automata.New(automata.Binary(), 2)
+	n.AddEpsilon(0, 1)
+	if _, err := NewUFASampler(n, 2); err == nil {
+		t.Fatal("ε-automaton must be rejected")
+	}
+	ok := automata.Chain(automata.Binary(), automata.Word{0})
+	if _, err := NewUFASampler(ok, -1); err == nil {
+		t.Fatal("negative length must be rejected")
+	}
+}
+
+func TestPsiSampleAgreesWithUFASampler(t *testing.T) {
+	n, length := automata.PaperExample()
+	rng := rand.New(rand.NewSource(6))
+	counts := map[string]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		w, err := PsiSample(n, length, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n.Alphabet().FormatWord(w)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("ψ-sampler missed witnesses: %v", counts)
+	}
+	vec := make([]int, 0, 4)
+	for _, c := range counts {
+		vec = append(vec, c)
+	}
+	ok, stat, err := stats.UniformityOK(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("ψ-sampler not uniform: chi2 = %f %v", stat, counts)
+	}
+}
+
+func TestPsiSampleEmpty(t *testing.T) {
+	n := automata.Chain(automata.Binary(), automata.Word{0, 1})
+	rng := rand.New(rand.NewSource(7))
+	if _, err := PsiSample(n, 5, rng); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestPsiSampleZeroLength(t *testing.T) {
+	alpha := automata.Binary()
+	acc := automata.New(alpha, 1)
+	acc.SetFinal(0, true)
+	acc.AddTransition(0, 0, 0)
+	rng := rand.New(rand.NewSource(8))
+	w, err := PsiSample(acc, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 0 {
+		t.Fatalf("want ε, got %v", w)
+	}
+	s, err := NewUFASampler(acc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err = s.Sample(rng)
+	if err != nil || len(w) != 0 {
+		t.Fatalf("UFASampler at n=0: %v %v", w, err)
+	}
+}
+
+func TestSamplerTernaryAlphabet(t *testing.T) {
+	alpha := automata.NewAlphabet("a", "b", "c")
+	// L_2 = {ab, ac, ba, ca, cc} via a small hand-built DFA-ish UFA.
+	n := automata.New(alpha, 4)
+	n.SetStart(0)
+	n.SetFinal(3, true)
+	n.AddTransition(0, 0, 1) // a then b|c
+	n.AddTransition(1, 1, 3)
+	n.AddTransition(1, 2, 3)
+	n.AddTransition(0, 1, 2) // b then a
+	n.AddTransition(2, 0, 3)
+	n.AddTransition(0, 2, 1) // c then b|c ... shares state 1
+	if !automata.IsUnambiguous(n) {
+		t.Fatal("test automaton should be unambiguous")
+	}
+	s, err := NewUFASampler(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.LanguageSlice(n, 2)
+	if s.Count().Cmp(big.NewInt(int64(len(want)))) != 0 {
+		t.Fatalf("count %v != |lang| %d", s.Count(), len(want))
+	}
+	rng := rand.New(rand.NewSource(9))
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		w, err := s.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[alpha.FormatWord(w)] = true
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("coverage %d of %d: %v", len(seen), len(want), seen)
+	}
+}

@@ -1,0 +1,223 @@
+package selfreduce
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automata"
+)
+
+func language(n *automata.NFA, length int) []string {
+	var out []string
+	w := make(automata.Word, length)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == length {
+			if n.Accepts(w) {
+				out = append(out, n.Alphabet().FormatWord(w))
+			}
+			return
+		}
+		for a := 0; a < n.Alphabet().Size(); a++ {
+			w[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.Strings(out)
+	return out
+}
+
+func TestEllSigmaBasics(t *testing.T) {
+	n, k := automata.PaperExample()
+	inst := Instance{N: n, K: k}
+	if Ell(inst) != 3 || Sigma(inst) != 1 {
+		t.Fatalf("ℓ=%d σ=%d, want 3, 1", Ell(inst), Sigma(inst))
+	}
+	base := Instance{N: n, K: 0}
+	if Ell(base) != 0 || Sigma(base) != 0 {
+		t.Fatalf("base case ℓ=%d σ=%d", Ell(base), Sigma(base))
+	}
+	if Ell(Instance{N: nil, K: 5}) != 0 {
+		t.Fatal("nil automaton must have ℓ = 0")
+	}
+	if Ell(Instance{N: n, K: -2}) != 0 {
+		t.Fatal("negative k must have ℓ = 0")
+	}
+}
+
+func TestEmptyWitness(t *testing.T) {
+	alpha := automata.Binary()
+	acc := automata.New(alpha, 1)
+	acc.SetFinal(0, true)
+	if !EmptyWitness(Instance{N: acc, K: 0}) {
+		t.Error("ε-accepting automaton at k=0 should have ε witness")
+	}
+	rej := automata.New(alpha, 1)
+	if EmptyWitness(Instance{N: rej, K: 0}) {
+		t.Error("non-accepting start should have no ε witness")
+	}
+	if EmptyWitness(Instance{N: acc, K: 2}) {
+		t.Error("k>0 never has ε witness")
+	}
+}
+
+// The derivative property: L_{k-1}(ψ(x, w)) = { y : w∘y ∈ L_k(N) }.
+func TestQuotientDerivativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := automata.Random(rng, automata.Binary(), 2+rng.Intn(5), 0.3, 0.4)
+		k := 1 + rng.Intn(5)
+		for w := 0; w < 2; w++ {
+			q := Quotient(n, w)
+			want := map[string]bool{}
+			for _, s := range language(n, k) {
+				if int(s[0]-'0') == w {
+					want[s[1:]] = true
+				}
+			}
+			got := language(q, k-1)
+			if len(got) != len(want) {
+				return false
+			}
+			for _, s := range got {
+				if !want[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotientSizeBound(t *testing.T) {
+	// The sound quotient stays within m+1 states (after trimming), so a
+	// ψ-chain of any length never grows instances — the property the
+	// paper's condition (5) exists to guarantee.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		n := automata.Random(rng, automata.Binary(), 2+rng.Intn(6), 0.4, 0.3)
+		for w := 0; w < 2; w++ {
+			q := Quotient(n, w)
+			if q.NumStates() > n.NumStates()+1 {
+				t.Fatalf("quotient grew: %d -> %d", n.NumStates(), q.NumStates())
+			}
+			// Chain five more quotients: size must stay bounded by m+1.
+			cur := q
+			for step := 0; step < 5; step++ {
+				cur = Quotient(cur, rng.Intn(2))
+				if cur.NumStates() > n.NumStates()+1 {
+					t.Fatalf("ψ-chain grew to %d states from %d", cur.NumStates(), n.NumStates())
+				}
+			}
+		}
+	}
+}
+
+// TestPaperMergeCounterexample documents why Quotient deviates from the
+// literal §5.2 construction: merging Q_w lets a run enter the merged state
+// as one member and leave as another. On this automaton the merged variant
+// would accept 101 as a 0-derivative witness at k=4 although 0101 ∉ L_4(N).
+// The sound quotient must report an empty derivative.
+func TestPaperMergeCounterexample(t *testing.T) {
+	alpha := automata.Binary()
+	// q0=0, A=1, B=2, C=3, F=4. Q_0 = {A, B}. A cycles with C; B accepts.
+	n := automata.New(alpha, 5)
+	n.SetStart(0)
+	n.AddTransition(0, 0, 1)
+	n.AddTransition(0, 0, 2)
+	n.AddTransition(1, 1, 3)
+	n.AddTransition(3, 0, 1)
+	n.AddTransition(2, 1, 4)
+	n.SetFinal(4, true)
+
+	if n.Accepts(alpha.WordOf("0", "1", "0", "1")) {
+		t.Fatal("test premise wrong: 0101 should not be accepted")
+	}
+	q := Quotient(n, 0)
+	if q.Accepts(alpha.WordOf("1", "0", "1")) {
+		t.Fatal("quotient accepts 101, the over-merge bug")
+	}
+	if !q.Accepts(alpha.WordOf("1")) {
+		t.Fatal("quotient must keep the genuine derivative witness 1")
+	}
+}
+
+func TestQuotientPreservesUnambiguityOnPaperExample(t *testing.T) {
+	n, _ := automata.PaperExample()
+	for w := 0; w < 2; w++ {
+		q := Quotient(n, w)
+		if !automata.IsUnambiguous(q) {
+			t.Fatalf("quotient by %d broke unambiguity", w)
+		}
+	}
+}
+
+func TestPsiChainsDownToEmpty(t *testing.T) {
+	n, k := automata.PaperExample()
+	alpha := n.Alphabet()
+	// Walk ψ along the witness "bba"; every residual must keep the suffix.
+	inst := Instance{N: n, K: k}
+	word := alpha.WordOf("b", "b", "a")
+	for i, w := range word {
+		if !inst.N.Accepts(word[i:]) {
+			t.Fatalf("step %d: residual automaton lost the suffix", i)
+		}
+		var err error
+		inst, err = Psi(inst, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.K != k-i-1 {
+			t.Fatalf("step %d: k = %d", i, inst.K)
+		}
+	}
+	if !EmptyWitness(inst) {
+		t.Fatal("after consuming the whole witness, ε must be a witness")
+	}
+}
+
+func TestPsiIdentityAtBase(t *testing.T) {
+	n, _ := automata.PaperExample()
+	inst := Instance{N: n, K: 0}
+	out, err := Psi(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != inst.N || out.K != 0 {
+		t.Fatal("ψ at σ=0 must be the identity")
+	}
+}
+
+func TestPsiRejectsBadSymbol(t *testing.T) {
+	n, k := automata.PaperExample()
+	if _, err := Psi(Instance{N: n, K: k}, 99); err == nil {
+		t.Fatal("symbol outside alphabet should error")
+	}
+	if _, err := Psi(Instance{N: nil, K: 1}, 0); err == nil {
+		t.Fatal("nil automaton should error")
+	}
+}
+
+func TestWitnessLanguageCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := automata.Random(rng, automata.Binary(), 2+rng.Intn(4), 0.3, 0.4)
+		k := rng.Intn(5)
+		inst := Instance{N: n, K: k}
+		y := make(automata.Word, rng.Intn(6))
+		for i := range y {
+			y[i] = rng.Intn(2)
+		}
+		ok, err := WitnessLanguageCheck(inst, y)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

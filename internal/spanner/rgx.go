@@ -1,0 +1,299 @@
+package spanner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/regex"
+)
+
+// This file implements the "functional RGX" front end of §4.1: extraction
+// rules written as regex formulas with capture variables, compiled to
+// functional eVAs. The paper notes (after Corollary 6) that every
+// functional RGX converts in polynomial time to a functional eVA; this is
+// that conversion for the sequential fragment
+//
+//	context (x: body) context (y: body) ... context
+//
+// where context and body are plain regexes over the document alphabet and
+// every variable appears exactly once (which is what makes the result
+// functional by construction).
+
+// Rule is one parsed extraction rule.
+type Rule struct {
+	Vars []string
+	eva  *EVA
+}
+
+// EVA returns the compiled automaton.
+func (r *Rule) EVA() *EVA { return r.eva }
+
+// CompileRule parses a rule like
+//
+//	".*(x: ab+)a*(y: b)b*"
+//
+// over the given document alphabet (single-character symbols) and returns
+// the equivalent functional eVA. Capture groups use the syntax
+// "(name: regex)"; everything outside captures is context regex. Nested or
+// repeated captures are rejected — those fall outside the sequential
+// fragment this compiler supports.
+func CompileRule(pattern string, alphabet string) (*Rule, error) {
+	alphaRunes := []rune(alphabet)
+	seen := map[rune]bool{}
+	names := make([]string, 0, len(alphaRunes))
+	for _, r := range alphaRunes {
+		if seen[r] {
+			return nil, fmt.Errorf("spanner: duplicate alphabet character %q", string(r))
+		}
+		seen[r] = true
+		names = append(names, string(r))
+	}
+	alpha := automata.NewAlphabet(names...)
+
+	// Split the pattern into alternating context and capture segments.
+	type segment struct {
+		capture bool
+		name    string
+		body    string
+	}
+	var segs []segment
+	depth := 0
+	cur := strings.Builder{}
+	i := 0
+	runes := []rune(pattern)
+	flushContext := func() {
+		segs = append(segs, segment{body: cur.String()})
+		cur.Reset()
+	}
+	for i < len(runes) {
+		c := runes[i]
+		if c == '\\' && i+1 < len(runes) {
+			cur.WriteRune(c)
+			cur.WriteRune(runes[i+1])
+			i += 2
+			continue
+		}
+		if depth == 0 && c == '(' && isCaptureStart(runes[i:]) {
+			flushContext()
+			// Parse "(name:".
+			j := i + 1
+			nameEnd := j
+			for nameEnd < len(runes) && runes[nameEnd] != ':' {
+				nameEnd++
+			}
+			name := strings.TrimSpace(string(runes[j:nameEnd]))
+			// Find the matching close parenthesis.
+			bodyStart := nameEnd + 1
+			d := 1
+			k := bodyStart
+			for k < len(runes) && d > 0 {
+				switch runes[k] {
+				case '\\':
+					k++
+				case '(':
+					d++
+				case ')':
+					d--
+				}
+				k++
+			}
+			if d != 0 {
+				return nil, fmt.Errorf("spanner: unterminated capture group for %q", name)
+			}
+			body := strings.TrimSpace(string(runes[bodyStart : k-1]))
+			if open := strings.IndexByte(body, '('); open >= 0 && isCaptureStart([]rune(body[open:])) {
+				return nil, fmt.Errorf("spanner: nested captures are not supported")
+			}
+			segs = append(segs, segment{capture: true, name: name, body: body})
+			i = k
+			continue
+		}
+		cur.WriteRune(c)
+		i++
+	}
+	flushContext()
+
+	var vars []string
+	varIdx := map[string]int{}
+	for _, s := range segs {
+		if !s.capture {
+			continue
+		}
+		if s.name == "" {
+			return nil, fmt.Errorf("spanner: capture group with empty name")
+		}
+		if _, dup := varIdx[s.name]; dup {
+			return nil, fmt.Errorf("spanner: variable %q captured twice", s.name)
+		}
+		varIdx[s.name] = len(vars)
+		vars = append(vars, s.name)
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("spanner: rule has no capture groups")
+	}
+	if len(vars) > MaxVars {
+		return nil, fmt.Errorf("spanner: too many capture variables (%d)", len(vars))
+	}
+
+	// Compile each segment to an ε-free NFA over the document alphabet and
+	// stitch them: letter transitions stay letters; segment boundaries
+	// carry the marker transitions. A subtlety: the open marker of a
+	// capture and the close marker of the previous capture can land on the
+	// same document position when the intervening context matches ε, so
+	// boundary stitching inserts combined marker transitions for every
+	// marker subset that can coincide. We realize this by tracking, for
+	// each stitch point, the set of pending markers and emitting one set
+	// transition per contiguous run of ε-crossable boundaries.
+	type block struct {
+		nfa     *automata.NFA
+		capture bool
+		varID   int
+	}
+	var blocks []block
+	for _, s := range segs {
+		n, err := regex.Compile(s.body, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("spanner: segment %q: %w", s.body, err)
+		}
+		b := block{nfa: automata.Trim(n), capture: s.capture}
+		if s.capture {
+			b.varID = varIdx[s.name]
+		}
+		blocks = append(blocks, b)
+	}
+
+	// Assemble the eVA. Offsets place each block's states; plus a chain of
+	// "junction" states between blocks where marker transitions fire.
+	total := 0
+	offsets := make([]int, len(blocks))
+	for i, b := range blocks {
+		offsets[i] = total
+		total += b.nfa.NumStates()
+	}
+	junctions := make([]int, len(blocks)+1)
+	for i := range junctions {
+		junctions[i] = total
+		total++
+	}
+	eva := NewEVA(vars, total)
+	eva.SetStart(junctions[0])
+
+	// Letter transitions inside each block.
+	for bi, b := range blocks {
+		off := offsets[bi]
+		b.nfa.EachTransition(func(q int, a automata.Symbol, p int) {
+			eva.AddLetter(off+q, alphabet[a], off+p)
+		})
+	}
+
+	// Junction wiring. markersAt[i] is the marker set fired at junction i
+	// (between block i-1 and block i): close of block i-1 if it captures,
+	// plus open of block i if it captures.
+	markersAt := make([]Markers, len(blocks)+1)
+	for i := range junctions {
+		if i > 0 && blocks[i-1].capture {
+			markersAt[i] |= Close(blocks[i-1].varID)
+		}
+		if i < len(blocks) && blocks[i].capture {
+			markersAt[i] |= Open(blocks[i].varID)
+		}
+	}
+	// Entry of block i: junction i → block i's start (marker or identity).
+	// Exit of block i: block i's finals → junction i+1. When a block can
+	// match ε (start is final), junction i connects to junction i+1 too,
+	// merging marker sets — handled transitively below.
+	// We add, from each junction i, a transition for every reachable
+	// junction j ≥ i through ε-blocks, carrying the union of markers, into
+	// the states of block j.
+	for i := 0; i <= len(blocks); i++ {
+		acc := Markers(0)
+		j := i
+		for {
+			if j > len(blocks) {
+				break
+			}
+			acc |= markersAt[j]
+			if j < len(blocks) {
+				off := offsets[j]
+				entry := off + blocks[j].nfa.Start()
+				if acc == 0 {
+					// No markers pending: junction i IS block j's entry;
+					// add identity via letter-level aliasing: copy block
+					// j's start transitions onto junction i.
+					blocks[j].nfa.EachTransition(func(q int, a automata.Symbol, p int) {
+						if q == blocks[j].nfa.Start() {
+							eva.AddLetter(junctions[i], alphabet[a], off+p)
+						}
+					})
+				} else {
+					eva.AddSet(junctions[i], acc, entry)
+				}
+				// Continue across block j only if it matches ε.
+				if !blocks[j].nfa.IsFinal(blocks[j].nfa.Start()) {
+					break
+				}
+				j++
+			} else {
+				// Reached the final junction: accept here.
+				if acc == 0 {
+					eva.SetFinal(junctions[i], true)
+				} else {
+					// Need a marker application then accept: add a final
+					// landing state.
+					eva.AddSet(junctions[i], acc, junctions[len(blocks)])
+					eva.SetFinal(junctions[len(blocks)], true)
+				}
+				break
+			}
+		}
+	}
+	// Block exits: finals of block j feed junction j+1.
+	for j, b := range blocks {
+		off := offsets[j]
+		for q := 0; q < b.nfa.NumStates(); q++ {
+			if !b.nfa.IsFinal(q) {
+				continue
+			}
+			// Alias: everything junction j+1 can do, the final state can
+			// do as well.
+			src := off + q
+			dst := junctions[j+1]
+			aliasJunction(eva, src, dst)
+		}
+	}
+
+	r := &Rule{Vars: vars, eva: eva}
+	return r, nil
+}
+
+// aliasJunction copies all outgoing transitions and finality of junction
+// state dst onto src. Junctions are wired before exits, so a single pass
+// suffices.
+func aliasJunction(eva *EVA, src, dst int) {
+	for _, le := range eva.letter[dst] {
+		eva.AddLetter(src, le.c, le.to)
+	}
+	for _, se := range eva.sets[dst] {
+		eva.AddSet(src, se.m, se.to)
+	}
+	if eva.finals[dst] {
+		eva.SetFinal(src, true)
+	}
+}
+
+func isCaptureStart(rs []rune) bool {
+	// "(name:" with name = identifier characters.
+	if len(rs) < 3 || rs[0] != '(' {
+		return false
+	}
+	i := 1
+	for i < len(rs) && (isIdentRune(rs[i]) || rs[i] == ' ') {
+		i++
+	}
+	return i > 1 && i < len(rs) && rs[i] == ':'
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+}

@@ -1,0 +1,175 @@
+package spanner
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func ruleMappings(t *testing.T, pattern, alphabet, doc string) []Mapping {
+	t.Helper()
+	r, err := CompileRule(pattern, alphabet)
+	if err != nil {
+		t.Fatalf("CompileRule(%q): %v", pattern, err)
+	}
+	return AllMappings(r.EVA(), doc)
+}
+
+func ruleCount(t *testing.T, pattern, alphabet, doc string) int64 {
+	t.Helper()
+	r, err := CompileRule(pattern, alphabet)
+	if err != nil {
+		t.Fatalf("CompileRule(%q): %v", pattern, err)
+	}
+	inst, err := BuildInstance(r.EVA(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := exact.CountNFA(inst.N, inst.Length, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Int64()
+}
+
+func TestRuleSingleCapture(t *testing.T) {
+	// x captures a single 'a' anywhere.
+	pattern := ".*(x: a).*"
+	doc := "abaa"
+	got := ruleCount(t, pattern, "ab", doc)
+	if got != 3 {
+		t.Fatalf("count = %d, want 3 ('a' at positions 1,3,4)", got)
+	}
+	mps := ruleMappings(t, pattern, "ab", doc)
+	if len(mps) != 3 {
+		t.Fatalf("oracle mappings = %v", mps)
+	}
+	for _, mp := range mps {
+		if mp[0].Content(doc) != "a" {
+			t.Fatalf("captured %q, want a", mp[0].Content(doc))
+		}
+	}
+}
+
+func TestRuleVariableLengthCapture(t *testing.T) {
+	// x captures a maximal-free run: any nonempty block of b's.
+	pattern := ".*(x: b+).*"
+	doc := "abba"
+	// Substrings of b's: [2,3⟩ [3,4⟩ [2,4⟩ → 3 mappings.
+	if got := ruleCount(t, pattern, "ab", doc); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+func TestRuleTwoCaptures(t *testing.T) {
+	pattern := ".*(x: a)b*(y: a).*"
+	doc := "aba"
+	// x = first a, y = second a (x before y, only b's between).
+	mps := ruleMappings(t, pattern, "ab", doc)
+	if len(mps) != 1 {
+		t.Fatalf("mappings = %v", mps)
+	}
+	if got := ruleCount(t, pattern, "ab", doc); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	doc2 := "aaa"
+	// Pairs of distinct a-positions with nothing (b*=ε) between ⇒ adjacent
+	// pairs only: (1,2), (2,3).
+	if got := ruleCount(t, pattern, "ab", doc2); got != 2 {
+		t.Fatalf("count on aaa = %d, want 2", got)
+	}
+}
+
+func TestRuleAdjacentCaptures(t *testing.T) {
+	// Empty context between captures: close/open coincide at one position
+	// and must travel as a combined marker set.
+	pattern := "(x: a+)(y: b+)"
+	doc := "aabb"
+	// x = a-prefix (a|aa ending at the boundary), y = b-suffix. Splits:
+	// x=[1,3⟩ y=[3,5⟩; x=[2,3⟩ y=[3,5⟩ — y must cover all b's? No: y: b+
+	// then end of pattern, so y must reach the end; x must start at the
+	// start? No: no leading context, so x starts at position 1.
+	// x ∈ {[1,2⟩?} — x: a+ must be followed directly by y: b+ and the
+	// pattern consumes the whole document, so x=[1,3⟩, y=[3,5⟩ only.
+	mps := ruleMappings(t, pattern, "ab", doc)
+	if len(mps) != 1 {
+		t.Fatalf("mappings = %v", mps)
+	}
+	if mps[0][0].Content(doc) != "aa" || mps[0][1].Content(doc) != "bb" {
+		t.Fatalf("captured %q %q", mps[0][0].Content(doc), mps[0][1].Content(doc))
+	}
+	if got := ruleCount(t, pattern, "ab", doc); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestRuleFunctionalAndInstanceAgree(t *testing.T) {
+	pattern := ".*(x: ab*a).*"
+	alphabet := "ab"
+	r, err := CompileRule(pattern, alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.EVA().IsFunctional() {
+		t.Fatal("compiled rule must be functional")
+	}
+	docs := []string{"", "a", "aa", "aba", "abba", "aabaa", "bbabab"}
+	for _, doc := range docs {
+		want := int64(len(AllMappings(r.EVA(), doc)))
+		inst, err := BuildInstance(r.EVA(), doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exact.CountNFA(inst.N, inst.Length, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("doc %q: instance %v vs oracle %d", doc, got, want)
+		}
+	}
+}
+
+func TestRuleEmptyCaptureBody(t *testing.T) {
+	// A capture that can match ε yields empty spans [i,i⟩.
+	pattern := "a(x: b*)a"
+	doc := "aa"
+	mps := ruleMappings(t, pattern, "ab", doc)
+	if len(mps) != 1 {
+		t.Fatalf("mappings = %v", mps)
+	}
+	if mps[0][0].Start != 2 || mps[0][0].End != 2 {
+		t.Fatalf("span = %+v, want [2,2⟩", mps[0][0])
+	}
+	if got := ruleCount(t, pattern, "ab", doc); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestRuleErrors(t *testing.T) {
+	cases := []struct{ pattern, alphabet string }{
+		{"abc", "abc"},         // no captures
+		{"(x: a)(x: b)", "ab"}, // duplicate variable
+		{"(x: a", "ab"},        // unterminated
+		{"(: a)", "ab"},        // empty name
+		{"(x: a[z)", "ab"},     // bad inner regex
+		{".*(x: a).*", "aa"},   // duplicate alphabet chars
+	}
+	for _, c := range cases {
+		if _, err := CompileRule(c.pattern, c.alphabet); err == nil {
+			t.Errorf("CompileRule(%q) should fail", c.pattern)
+		}
+	}
+}
+
+func TestRuleVars(t *testing.T) {
+	r, err := CompileRule("(first: a)(second: b)", "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r.Vars) != "[first second]" {
+		t.Fatalf("Vars = %v", r.Vars)
+	}
+}

@@ -1,0 +1,506 @@
+// Package spanner implements the information-extraction application of
+// §4.1: document spanners specified by extended variable-set automata
+// (eVA), the functionality check that makes their evaluation tractable, and
+// the reduction of
+//
+//	EVAL-eVA = {((A, d), µ) : A functional eVA, d a document, µ ∈ ⟦A⟧(d)}
+//
+// to MEM-NFA. A mapping µ (variables → spans of d) is encoded as the
+// string S₁S₂…S_{n+1} of marker sets applied before each position of the
+// document (and after its last letter); for a functional eVA the mappings
+// of ⟦A⟧(d) are in bijection with the accepted encodings, so counting
+// mappings (FPRAS, Corollary 6), uniform sampling (PLVUG), constant-delay
+// enumeration in the unambiguous case (Corollary 7), and polynomial-delay
+// enumeration in general all reduce to the core automaton algorithms.
+package spanner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// MaxVars bounds the number of capture variables (marker sets live in a
+// uint64 bitmask: two bits per variable).
+const MaxVars = 32
+
+// Markers is a set of open/close markers encoded as a bitmask: bit 2v is
+// "open variable v" (x⊢), bit 2v+1 is "close variable v" (⊣x).
+type Markers uint64
+
+// Open returns the marker set {v⊢}.
+func Open(v int) Markers { return 1 << (2 * uint(v)) }
+
+// Close returns the marker set {⊣v}.
+func Close(v int) Markers { return 1 << (2*uint(v) + 1) }
+
+// Has reports whether m contains all markers of sub.
+func (m Markers) Has(sub Markers) bool { return m&sub == sub }
+
+// Format renders a marker set with the given variable names.
+func (m Markers) Format(vars []string) string {
+	if m == 0 {
+		return "∅"
+	}
+	var parts []string
+	for v, name := range vars {
+		if m.Has(Open(v)) {
+			parts = append(parts, name+"⊢")
+		}
+		if m.Has(Close(v)) {
+			parts = append(parts, "⊣"+name)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Span is a document span [Start, End⟩ with 1 ≤ Start ≤ End ≤ n+1,
+// denoting the substring d[Start-1 : End-1].
+type Span struct {
+	Start, End int
+}
+
+// Mapping assigns one span per variable (indexed as in EVA.Vars).
+type Mapping []Span
+
+// Format renders a mapping as x=[1,3⟩ y=[2,2⟩.
+func (mp Mapping) Format(vars []string) string {
+	parts := make([]string, len(mp))
+	for v, s := range mp {
+		parts[v] = fmt.Sprintf("%s=[%d,%d⟩", vars[v], s.Start, s.End)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Content returns the substring of doc covered by the span.
+func (s Span) Content(doc string) string {
+	if s.Start < 1 || s.End < s.Start || s.End > len(doc)+1 {
+		return ""
+	}
+	return doc[s.Start-1 : s.End-1]
+}
+
+// EVA is an extended variable-set automaton. Letter transitions read one
+// document byte; variable-set transitions apply a non-empty marker set
+// without consuming input (at most one per position, per the eVA run
+// definition).
+type EVA struct {
+	Vars   []string
+	states int
+	start  int
+	finals []bool
+	// letter[q] lists (byte, target).
+	letter [][]letterEdge
+	// sets[q] lists (markers, target).
+	sets [][]setEdge
+}
+
+type letterEdge struct {
+	c  byte
+	to int
+}
+
+type setEdge struct {
+	m  Markers
+	to int
+}
+
+// NewEVA creates an eVA with the given capture variables and state count;
+// state 0 is initial.
+func NewEVA(vars []string, states int) *EVA {
+	if len(vars) > MaxVars {
+		panic("spanner: too many variables")
+	}
+	return &EVA{
+		Vars:   vars,
+		states: states,
+		finals: make([]bool, states),
+		letter: make([][]letterEdge, states),
+		sets:   make([][]setEdge, states),
+	}
+}
+
+// NumStates returns the state count.
+func (a *EVA) NumStates() int { return a.states }
+
+// SetStart designates the initial state (state 0 by default).
+func (a *EVA) SetStart(q int) {
+	a.checkState(q)
+	a.start = q
+}
+
+// Start returns the initial state.
+func (a *EVA) Start() int { return a.start }
+
+// SetFinal marks q as accepting.
+func (a *EVA) SetFinal(q int, f bool) { a.finals[q] = f }
+
+// AddLetter adds the letter transition (q, c, p).
+func (a *EVA) AddLetter(q int, c byte, p int) {
+	a.checkState(q)
+	a.checkState(p)
+	a.letter[q] = append(a.letter[q], letterEdge{c: c, to: p})
+}
+
+// AddSet adds the variable-set transition (q, m, p); m must be non-empty.
+func (a *EVA) AddSet(q int, m Markers, p int) {
+	a.checkState(q)
+	a.checkState(p)
+	if m == 0 {
+		panic("spanner: empty marker set transition")
+	}
+	a.sets[q] = append(a.sets[q], setEdge{m: m, to: p})
+}
+
+func (a *EVA) checkState(q int) {
+	if q < 0 || q >= a.states {
+		panic(fmt.Sprintf("spanner: state %d out of range", q))
+	}
+}
+
+// varStatus tracks one variable through a run: unopened → open → closed.
+const (
+	statusUnopened = 0
+	statusOpen     = 1
+	statusClosed   = 2
+)
+
+// applyMarkers advances a per-variable status vector by a marker set; the
+// boolean reports validity (no double open, close before open, etc.).
+func applyMarkers(status []uint8, m Markers) ([]uint8, bool) {
+	out := make([]uint8, len(status))
+	copy(out, status)
+	for v := range status {
+		if m.Has(Open(v)) {
+			if out[v] != statusUnopened {
+				return nil, false
+			}
+			out[v] = statusOpen
+		}
+		if m.Has(Close(v)) {
+			if out[v] != statusOpen {
+				return nil, false
+			}
+			out[v] = statusClosed
+		}
+	}
+	return out, true
+}
+
+// IsFunctional checks the §4.1 property that every accepting run (over any
+// document) is valid, by exploring the product of the automaton with the
+// per-variable status monitor. The product has ≤ states·3^|Vars| nodes.
+func (a *EVA) IsFunctional() bool {
+	type cfg struct {
+		q   int
+		key string
+	}
+	start := make([]uint8, len(a.Vars))
+	enc := func(s []uint8) string { return string(s) }
+	type item struct {
+		q      int
+		status []uint8
+	}
+	seen := map[string]bool{}
+	stack := []item{{q: a.start, status: start}}
+	seen[fmt.Sprintf("%d/%s", a.start, enc(start))] = true
+	allClosed := func(s []uint8) bool {
+		for _, v := range s {
+			if v != statusClosed {
+				return false
+			}
+		}
+		return true
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// An accepting state reachable with any variable not closed means
+		// some accepting run is invalid.
+		if a.finals[it.q] && !allClosed(it.status) {
+			return false
+		}
+		push := func(q int, status []uint8) {
+			key := fmt.Sprintf("%d/%s", q, enc(status))
+			if !seen[key] {
+				seen[key] = true
+				stack = append(stack, item{q: q, status: status})
+			}
+		}
+		// Letter transitions keep the status. The concrete byte does not
+		// matter for functionality, only connectivity.
+		for _, e := range a.letter[it.q] {
+			push(e.to, it.status)
+		}
+		for _, e := range a.sets[it.q] {
+			next, ok := applyMarkers(it.status, e.m)
+			if !ok {
+				// An invalid marker application can still be harmless if no
+				// accepting state is reachable beyond it; to check that we
+				// would need to continue exploring. Treat it conservatively:
+				// follow only if an accepting state is reachable from e.to
+				// at all.
+				if a.reachesFinal(e.to) {
+					return false
+				}
+				continue
+			}
+			push(e.to, next)
+		}
+	}
+	return true
+}
+
+func (a *EVA) reachesFinal(from int) bool {
+	seen := make([]bool, a.states)
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.finals[q] {
+			return true
+		}
+		for _, e := range a.letter[q] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+		for _, e := range a.sets[q] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return false
+}
+
+// Instance is the compiled MEM-NFA instance for one (A, d) pair. The
+// automaton N accepts, at length len(d)+1, exactly the marker-set
+// encodings of ⟦A⟧(d).
+type Instance struct {
+	A     *EVA
+	Doc   string
+	Alpha *automata.Alphabet
+	N     *automata.NFA
+	// Length is the witness length: len(Doc)+1.
+	Length int
+	// symbolMarkers[i] is the marker set encoded by symbol i.
+	symbolMarkers []Markers
+}
+
+// BuildInstance compiles (A, d) into an NFA over the alphabet of marker
+// sets occurring in A (plus ∅). The construction follows the reduction in
+// the package comment: position i (1-based) first applies an optional set
+// transition and then reads d[i-1]; position n+1 applies an optional set
+// transition and must sit in a final state.
+func BuildInstance(a *EVA, doc string) (*Instance, error) {
+	// Collect the distinct marker sets.
+	distinct := map[Markers]bool{0: true}
+	for q := 0; q < a.states; q++ {
+		for _, e := range a.sets[q] {
+			distinct[e.m] = true
+		}
+	}
+	var sets []Markers
+	for m := range distinct {
+		sets = append(sets, m)
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+	names := make([]string, len(sets))
+	symOf := map[Markers]int{}
+	for i, m := range sets {
+		names[i] = m.Format(a.Vars)
+		symOf[m] = i
+	}
+	alpha := automata.NewAlphabet(names...)
+
+	n := len(doc)
+	// NFA states: (q, i) for i in 0..n plus a distinguished accept state.
+	// (q, i) means: i letters consumed, about to process position i+1.
+	id := func(q, i int) int { return q*(n+1) + i }
+	accept := a.states * (n + 1)
+	nfa := automata.New(alpha, accept+1)
+	nfa.SetStart(id(a.start, 0))
+	nfa.SetFinal(accept, true)
+
+	// One step at position i (0-based letters consumed): apply marker set
+	// (possibly ∅), then the letter d[i].
+	for q := 0; q < a.states; q++ {
+		for i := 0; i < n; i++ {
+			from := id(q, i)
+			// ∅ + letter.
+			for _, le := range a.letter[q] {
+				if le.c == doc[i] {
+					nfa.AddTransition(from, symOf[0], id(le.to, i+1))
+				}
+			}
+			// S + letter.
+			for _, se := range a.sets[q] {
+				for _, le := range a.letter[se.to] {
+					if le.c == doc[i] {
+						nfa.AddTransition(from, symOf[se.m], id(le.to, i+1))
+					}
+				}
+			}
+		}
+		// Position n+1: set (or ∅) then accept.
+		from := id(q, n)
+		if a.finals[q] {
+			nfa.AddTransition(from, symOf[0], accept)
+		}
+		for _, se := range a.sets[q] {
+			if a.finals[se.to] {
+				nfa.AddTransition(from, symOf[se.m], accept)
+			}
+		}
+	}
+
+	return &Instance{
+		A:             a,
+		Doc:           doc,
+		Alpha:         alpha,
+		N:             automata.Trim(nfa),
+		Length:        n + 1,
+		symbolMarkers: sets,
+	}, nil
+}
+
+// DecodeMapping converts an accepted word (length n+1 over the marker-set
+// alphabet) into the mapping it encodes. It errors on invalid encodings,
+// which a functional eVA never produces.
+func (inst *Instance) DecodeMapping(w automata.Word) (Mapping, error) {
+	if len(w) != inst.Length {
+		return nil, fmt.Errorf("spanner: word length %d, want %d", len(w), inst.Length)
+	}
+	mp := make(Mapping, len(inst.A.Vars))
+	status := make([]uint8, len(inst.A.Vars))
+	for pos, sym := range w {
+		if sym < 0 || sym >= len(inst.symbolMarkers) {
+			return nil, fmt.Errorf("spanner: symbol %d out of range", sym)
+		}
+		m := inst.symbolMarkers[sym]
+		for v := range inst.A.Vars {
+			if m.Has(Open(v)) {
+				if status[v] != statusUnopened {
+					return nil, fmt.Errorf("spanner: variable %s opened twice", inst.A.Vars[v])
+				}
+				status[v] = statusOpen
+				mp[v].Start = pos + 1
+			}
+			if m.Has(Close(v)) {
+				if status[v] != statusOpen {
+					return nil, fmt.Errorf("spanner: variable %s closed before open", inst.A.Vars[v])
+				}
+				status[v] = statusClosed
+				mp[v].End = pos + 1
+			}
+		}
+	}
+	for v, st := range status {
+		if st != statusClosed {
+			return nil, fmt.Errorf("spanner: variable %s not closed", inst.A.Vars[v])
+		}
+	}
+	return mp, nil
+}
+
+// EncodeMapping is the inverse of DecodeMapping, for tests.
+func (inst *Instance) EncodeMapping(mp Mapping) (automata.Word, error) {
+	if len(mp) != len(inst.A.Vars) {
+		return nil, fmt.Errorf("spanner: mapping arity mismatch")
+	}
+	perPos := make([]Markers, inst.Length)
+	for v, s := range mp {
+		if s.Start < 1 || s.End < s.Start || s.End > inst.Length {
+			return nil, fmt.Errorf("spanner: bad span %+v", s)
+		}
+		perPos[s.Start-1] |= Open(v)
+		perPos[s.End-1] |= Close(v)
+	}
+	w := make(automata.Word, inst.Length)
+	for i, m := range perPos {
+		sym := -1
+		for j, cand := range inst.symbolMarkers {
+			if cand == m {
+				sym = j
+				break
+			}
+		}
+		if sym < 0 {
+			return nil, fmt.Errorf("spanner: marker set %s not in alphabet", m.Format(inst.A.Vars))
+		}
+		w[i] = sym
+	}
+	return w, nil
+}
+
+// AllMappings enumerates ⟦A⟧(d) by exhaustive search over runs — the
+// validation oracle.
+func AllMappings(a *EVA, doc string) []Mapping {
+	type state struct {
+		q      int
+		status []uint8
+		mp     Mapping
+	}
+	var out []Mapping
+	seen := map[string]bool{}
+	var walk func(q, pos int, status []uint8, mp Mapping, usedSet bool)
+	record := func(mp Mapping) {
+		key := fmt.Sprint(mp)
+		if !seen[key] {
+			seen[key] = true
+			cp := make(Mapping, len(mp))
+			copy(cp, mp)
+			out = append(out, cp)
+		}
+	}
+	walk = func(q, pos int, status []uint8, mp Mapping, usedSet bool) {
+		if pos == len(doc) {
+			if a.finals[q] {
+				valid := true
+				for _, s := range status {
+					if s != statusClosed {
+						valid = false
+					}
+				}
+				if valid {
+					record(mp)
+				}
+			}
+		}
+		if !usedSet {
+			for _, se := range a.sets[q] {
+				next, ok := applyMarkers(status, se.m)
+				if !ok {
+					continue
+				}
+				mp2 := make(Mapping, len(mp))
+				copy(mp2, mp)
+				for v := range a.Vars {
+					if se.m.Has(Open(v)) {
+						mp2[v].Start = pos + 1
+					}
+					if se.m.Has(Close(v)) {
+						mp2[v].End = pos + 1
+					}
+				}
+				walk(se.to, pos, next, mp2, true)
+			}
+		}
+		if pos < len(doc) {
+			for _, le := range a.letter[q] {
+				if le.c == doc[pos] {
+					walk(le.to, pos+1, status, mp, false)
+				}
+			}
+		}
+	}
+	walk(a.start, 0, make([]uint8, len(a.Vars)), make(Mapping, len(a.Vars)), false)
+	sort.Slice(out, func(i, j int) bool { return fmt.Sprint(out[i]) < fmt.Sprint(out[j]) })
+	return out
+}

@@ -1,0 +1,315 @@
+package spanner
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/enumerate"
+	"repro/internal/exact"
+)
+
+// singleVarSpanner builds the eVA extracting every span of doc whose
+// content is a maximal-free match of one literal character c: x spans any
+// occurrence of the (single) character c. States: 0 scan-before, 1 opened
+// (expect c), 2 closed scan-after.
+func singleVarSpanner(c byte, sigma []byte) *EVA {
+	a := NewEVA([]string{"x"}, 4)
+	// 0: before capture. Any letter loops.
+	for _, ch := range sigma {
+		a.AddLetter(0, ch, 0)
+	}
+	// open x: 0 → 1
+	a.AddSet(0, Open(0), 1)
+	// 1: inside capture; read exactly one c then close.
+	a.AddLetter(1, c, 2)
+	// close x: 2 → 3
+	a.AddSet(2, Close(0), 3)
+	// 3: after capture. Any letter loops.
+	for _, ch := range sigma {
+		a.AddLetter(3, ch, 3)
+	}
+	a.SetFinal(3, true)
+	return a
+}
+
+func TestSingleVarSpannerMappings(t *testing.T) {
+	sigma := []byte("ab")
+	a := singleVarSpanner('a', sigma)
+	if !a.IsFunctional() {
+		t.Fatal("spanner should be functional")
+	}
+	doc := "abaa"
+	mappings := AllMappings(a, doc)
+	// 'a' occurs at positions 1, 3, 4 → spans [1,2⟩ [3,4⟩ [4,5⟩.
+	if len(mappings) != 3 {
+		t.Fatalf("mappings = %d, want 3: %v", len(mappings), mappings)
+	}
+	inst, err := BuildInstance(a, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := exact.CountNFA(inst.N, inst.Length, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("NFA count = %v, want 3", count)
+	}
+}
+
+func TestInstanceMatchesOracleOnManyDocs(t *testing.T) {
+	sigma := []byte("ab")
+	a := singleVarSpanner('b', sigma)
+	var docs []string
+	var build func(s string)
+	build = func(s string) {
+		docs = append(docs, s)
+		if len(s) == 4 {
+			return
+		}
+		build(s + "a")
+		build(s + "b")
+	}
+	build("")
+	for _, doc := range docs {
+		inst, err := BuildInstance(a, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exact.CountNFA(inst.N, inst.Length, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(len(AllMappings(a, doc)))
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("doc %q: count %v, want %d", doc, got, want)
+		}
+	}
+}
+
+// pairSpanner extracts pairs (x, y): x a single 'a' occurring before a 'b'
+// captured by y.
+func pairSpanner(sigma []byte) *EVA {
+	a := NewEVA([]string{"x", "y"}, 7)
+	for _, ch := range sigma {
+		a.AddLetter(0, ch, 0) // scan
+		a.AddLetter(3, ch, 3) // between captures
+		a.AddLetter(6, ch, 6) // after captures
+	}
+	a.AddSet(0, Open(0), 1)
+	a.AddLetter(1, 'a', 2)
+	a.AddSet(2, Close(0), 3)
+	a.AddSet(3, Open(1), 4)
+	// Adjacent captures close x and open y at the same position, which the
+	// eVA run model requires to be a single combined marker set.
+	a.AddSet(2, Close(0)|Open(1), 4)
+	a.AddLetter(4, 'b', 5)
+	a.AddSet(5, Close(1), 6)
+	a.SetFinal(6, true)
+	return a
+}
+
+func TestPairSpanner(t *testing.T) {
+	sigma := []byte("ab")
+	a := pairSpanner(sigma)
+	if !a.IsFunctional() {
+		t.Fatal("pair spanner should be functional")
+	}
+	doc := "aabb"
+	inst, err := BuildInstance(a, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exact.CountNFA(inst.N, inst.Length, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x ∈ {pos1, pos2}, y ∈ {pos3, pos4} → 4 mappings.
+	if got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("count = %v, want 4", got)
+	}
+	want := AllMappings(a, doc)
+	if len(want) != 4 {
+		t.Fatalf("oracle disagrees: %v", want)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	sigma := []byte("ab")
+	a := pairSpanner(sigma)
+	doc := "aabb"
+	inst, err := BuildInstance(a, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := enumerate.NewNFA(inst.N, inst.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for {
+		w, ok := e.Next()
+		if !ok {
+			break
+		}
+		mp, err := inst.DecodeMapping(w)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		back, err := inst.EncodeMapping(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(back) != fmt.Sprint(w) {
+			t.Fatalf("round trip %v -> %v -> %v", w, mp, back)
+		}
+		seen[mp.Format(a.Vars)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("enumerated %d distinct mappings, want 4", len(seen))
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	sigma := []byte("ab")
+	a := singleVarSpanner('a', sigma)
+	inst, err := BuildInstance(a, "aa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.DecodeMapping(automata.Word{0}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	// All-∅ word never closes x.
+	if _, err := inst.DecodeMapping(automata.Word{0, 0, 0}); err == nil {
+		t.Error("unclosed variable should fail")
+	}
+}
+
+func TestNonFunctionalDetected(t *testing.T) {
+	// An eVA that can accept with x never opened.
+	a := NewEVA([]string{"x"}, 2)
+	a.AddLetter(0, 'a', 1)
+	a.SetFinal(1, true)
+	a.AddSet(0, Open(0), 0) // can open but never closes
+	if a.IsFunctional() {
+		t.Fatal("missing close must break functionality")
+	}
+
+	// Double-open reachable before an accepting state.
+	b := NewEVA([]string{"x"}, 3)
+	b.AddSet(0, Open(0), 1)
+	b.AddSet(1, Open(0), 2)
+	b.SetFinal(2, true)
+	if b.IsFunctional() {
+		t.Fatal("double open must break functionality")
+	}
+
+	// Invalid set transition that leads nowhere accepting is harmless.
+	c := NewEVA([]string{"x"}, 4)
+	c.AddSet(0, Open(0), 1)
+	c.AddLetter(1, 'a', 1)
+	c.AddSet(1, Close(0), 2)
+	c.SetFinal(2, true)
+	c.AddSet(1, Open(0), 3) // invalid double-open into a dead state
+	if !c.IsFunctional() {
+		t.Fatal("dead invalid branch should not break functionality")
+	}
+}
+
+func TestMarkersFormat(t *testing.T) {
+	vars := []string{"x", "y"}
+	if got := Markers(0).Format(vars); got != "∅" {
+		t.Fatalf("empty set = %q", got)
+	}
+	m := Open(0) | Close(1)
+	got := m.Format(vars)
+	if !strings.Contains(got, "x⊢") || !strings.Contains(got, "⊣y") {
+		t.Fatalf("format = %q", got)
+	}
+}
+
+func TestSpanContentAndMappingFormat(t *testing.T) {
+	doc := "hello"
+	s := Span{Start: 2, End: 4}
+	if s.Content(doc) != "el" {
+		t.Fatalf("content = %q", s.Content(doc))
+	}
+	if (Span{Start: 0, End: 2}).Content(doc) != "" {
+		t.Fatal("invalid span should have empty content")
+	}
+	mp := Mapping{{Start: 1, End: 3}}
+	if got := mp.Format([]string{"x"}); got != "x=[1,3⟩" {
+		t.Fatalf("format = %q", got)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	sigma := []byte("ab")
+	a := singleVarSpanner('a', sigma)
+	inst, err := BuildInstance(a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exact.CountNFA(inst.N, inst.Length, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No 'a' to capture: zero mappings.
+	if got.Sign() != 0 {
+		t.Fatalf("count on empty doc = %v, want 0", got)
+	}
+}
+
+func TestEmptySpanSupport(t *testing.T) {
+	// A spanner that captures an empty span [i,i⟩ at a position before 'a':
+	// open and close applied at the same position via chained set
+	// transitions is not allowed (one set per position), so the eVA uses a
+	// single transition carrying both markers.
+	a := NewEVA([]string{"x"}, 3)
+	a.AddSet(0, Open(0)|Close(0), 1)
+	a.AddLetter(1, 'a', 2)
+	a.SetFinal(2, true)
+	if !a.IsFunctional() {
+		t.Fatal("empty-span spanner should be functional")
+	}
+	inst, err := BuildInstance(a, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exact.CountNFA(inst.N, inst.Length, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("count = %v, want 1", got)
+	}
+	mappings := AllMappings(a, "a")
+	if len(mappings) != 1 || mappings[0][0].Start != 1 || mappings[0][0].End != 1 {
+		t.Fatalf("mappings = %v", mappings)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewEVA([]string{"x"}, 2)
+	mustPanic("empty set", func() { a.AddSet(0, 0, 1) })
+	mustPanic("bad state", func() { a.AddLetter(0, 'a', 9) })
+	mustPanic("too many vars", func() {
+		names := make([]string, MaxVars+1)
+		for i := range names {
+			names[i] = fmt.Sprintf("v%d", i)
+		}
+		NewEVA(names, 1)
+	})
+}

@@ -1,0 +1,140 @@
+// Package stats provides the statistical machinery the test suite and the
+// experiment harness use to validate the paper's distributional claims:
+// chi-square uniformity tests for the generators and empirical total
+// variation distance, plus small summary helpers for benchmark tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against the uniform distribution over k categories, together with the
+// degrees of freedom (k−1). counts must have length k ≥ 2 and a positive
+// total.
+func ChiSquareUniform(counts []int) (stat float64, dof int, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 categories, got %d", k)
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("stats: zero total count")
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, k - 1, nil
+}
+
+// ChiSquareCritical999 returns an upper bound on the 99.9% critical value of
+// the chi-square distribution with the given degrees of freedom, using the
+// Wilson–Hilferty approximation. Tests compare the statistic against this
+// to keep the false-failure rate of randomized tests around one in a
+// thousand.
+func ChiSquareCritical999(dof int) float64 {
+	if dof < 1 {
+		return 0
+	}
+	// Wilson–Hilferty: X² ≈ dof · (1 − 2/(9·dof) + z·sqrt(2/(9·dof)))³ with
+	// z the normal quantile (z_0.999 ≈ 3.0902).
+	const z = 3.0902
+	d := float64(dof)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// UniformityOK draws the conclusion of a chi-square uniformity test at the
+// 99.9% level: true means "consistent with uniform".
+func UniformityOK(counts []int) (bool, float64, error) {
+	stat, dof, err := ChiSquareUniform(counts)
+	if err != nil {
+		return false, 0, err
+	}
+	return stat <= ChiSquareCritical999(dof), stat, nil
+}
+
+// TotalVariation returns the total variation distance between the empirical
+// distribution of counts and the uniform distribution over the same
+// categories, a number in [0, 1].
+func TotalVariation(counts []int) (float64, error) {
+	k := len(counts)
+	if k == 0 {
+		return 0, fmt.Errorf("stats: no categories")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("stats: zero total count")
+	}
+	tv := 0.0
+	u := 1.0 / float64(k)
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(total) - u)
+	}
+	return tv / 2, nil
+}
+
+// Summary holds order statistics of a sample of float64 measurements.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum, sumsq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P50:    q(0.50),
+		P90:    q(0.90),
+		P99:    q(0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// RelErr returns |got−want| / want; want must be nonzero.
+func RelErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}

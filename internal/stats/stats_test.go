@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSquareUniformExact(t *testing.T) {
+	stat, dof, err := ChiSquareUniform([]int{10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 3 {
+		t.Fatalf("stat=%f dof=%d, want 0, 3", stat, dof)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single category should error")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("zero total should error")
+	}
+	if _, _, err := ChiSquareUniform([]int{3, -1}); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestChiSquareDetectsBias(t *testing.T) {
+	ok, stat, err := UniformityOK([]int{1000, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("gross bias not detected, stat = %f", stat)
+	}
+}
+
+func TestChiSquareAcceptsUniformSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rejections := 0
+	for trial := 0; trial < 50; trial++ {
+		counts := make([]int, 8)
+		for i := 0; i < 4000; i++ {
+			counts[rng.Intn(8)]++
+		}
+		ok, _, err := UniformityOK(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			rejections++
+		}
+	}
+	// At the 99.9% level, 50 trials should essentially never reject twice.
+	if rejections > 1 {
+		t.Fatalf("too many false rejections: %d of 50", rejections)
+	}
+}
+
+func TestChiSquareCriticalMonotone(t *testing.T) {
+	prev := 0.0
+	for dof := 1; dof <= 100; dof++ {
+		c := ChiSquareCritical999(dof)
+		if c <= prev {
+			t.Fatalf("critical value not increasing at dof=%d: %f <= %f", dof, c, prev)
+		}
+		prev = c
+	}
+	// Spot-check against the table value χ²_{0.999}(10) ≈ 29.59.
+	if c := ChiSquareCritical999(10); math.Abs(c-29.59) > 1.0 {
+		t.Fatalf("critical(10) = %f, want ≈ 29.59", c)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	tv, err := TotalVariation([]int{10, 10})
+	if err != nil || tv != 0 {
+		t.Fatalf("tv=%f err=%v, want 0", tv, err)
+	}
+	tv, err = TotalVariation([]int{20, 0})
+	if err != nil || math.Abs(tv-0.5) > 1e-9 {
+		t.Fatalf("tv=%f, want 0.5", tv)
+	}
+	if _, err := TotalVariation(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := TotalVariation([]int{0, 0}); err == nil {
+		t.Error("zero total should error")
+	}
+	if _, err := TotalVariation([]int{-1, 2}); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-9 {
+		t.Fatalf("mean = %f", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %f", s.StdDev)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Fatalf("RelErr = %f", RelErr(110, 100))
+	}
+	if RelErr(90, 100) != 0.1 {
+		t.Fatalf("RelErr = %f", RelErr(90, 100))
+	}
+}

@@ -1,0 +1,62 @@
+package transducer
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+)
+
+// SpanL realizes Corollary 3 of the paper: every function in SpanL — that
+// is, every f(x) = |M(x)| for an NL-transducer M — admits an FPRAS. Given
+// the transducer's configuration graph on a concrete input and the output
+// length (p-relations have fixed-length outputs; pad if needed), it
+// compiles the Lemma 13 automaton and returns the class-appropriate count:
+// exact when the transducer is unambiguous on this input, the FPRAS
+// estimate otherwise.
+func SpanL(m Machine, outputLen, maxConfigs int, opts core.Options) (value *big.Float, isExact bool, err error) {
+	nfa, err := Compile(m, maxConfigs)
+	if err != nil {
+		return nil, false, err
+	}
+	inst, err := core.New(nfa, outputLen, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return inst.Count()
+}
+
+// SpanLSampler returns a uniform generator over M(x) restricted to outputs
+// of the given length — the GEN side of Theorem 2 lifted to transducers.
+type SpanLSampler struct {
+	inst *core.Instance
+}
+
+// NewSpanLSampler compiles the machine and prepares the generator.
+func NewSpanLSampler(m Machine, outputLen, maxConfigs int, opts core.Options) (*SpanLSampler, error) {
+	nfa, err := Compile(m, maxConfigs)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.New(nfa, outputLen, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SpanLSampler{inst: inst}, nil
+}
+
+// Sample draws one uniform output of the machine.
+func (s *SpanLSampler) Sample() (automata.Word, error) {
+	w, err := s.inst.Sample()
+	if err == core.ErrEmpty {
+		return nil, fmt.Errorf("transducer: machine has no outputs of this length")
+	}
+	return w, err
+}
+
+// Class reports which complexity class the compiled instance landed in.
+func (s *SpanLSampler) Class() core.Class { return s.inst.Class() }
+
+// Instance exposes the underlying core instance for enumeration etc.
+func (s *SpanLSampler) Instance() *core.Instance { return s.inst }

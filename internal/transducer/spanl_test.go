@@ -1,0 +1,74 @@
+package transducer
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestSpanLExactOnUnambiguousMachine(t *testing.T) {
+	m := &parityMachine{n: 8, alpha: automata.Binary()}
+	v, isExact, err := SpanL(m, 8, 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isExact {
+		t.Fatal("parity machine should count exactly")
+	}
+	f, _ := v.Float64()
+	if f != 128 {
+		t.Fatalf("|M(x)| = %f, want 128", f)
+	}
+}
+
+func TestSpanLApproxOnAmbiguousMachine(t *testing.T) {
+	m := &doublingMachine{n: 10, alpha: automata.Binary()}
+	v, _, err := SpanL(m, 10, 0, core.Options{K: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := v.Float64()
+	if re := stats.RelErr(f, 1024); re > 0.25 {
+		t.Fatalf("SpanL estimate %f vs 1024 (rel err %f)", f, re)
+	}
+}
+
+func TestSpanLSampler(t *testing.T) {
+	m := &doublingMachine{n: 6, alpha: automata.Binary()}
+	s, err := NewSpanLSampler(m, 6, 0, core.Options{K: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Class() != core.ClassNL {
+		t.Fatalf("doubling machine class = %v", s.Class())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 600; i++ {
+		w, err := s.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w) != 6 {
+			t.Fatalf("output length %d", len(w))
+		}
+		seen[automata.Binary().FormatWord(w)] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("coverage too low: %d of 64", len(seen))
+	}
+	if _, err := s.Instance().Witnesses(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanLConfigBoundPropagates(t *testing.T) {
+	m := &parityMachine{n: 50, alpha: automata.Binary()}
+	if _, _, err := SpanL(m, 50, 5, core.Options{}); err == nil {
+		t.Fatal("config bound should propagate")
+	}
+	if _, err := NewSpanLSampler(m, 50, 5, core.Options{}); err == nil {
+		t.Fatal("config bound should propagate to sampler")
+	}
+}

@@ -1,0 +1,279 @@
+package transducer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// This file provides a concrete logspace Turing-machine transducer — the
+// literal machine model of Definition 1 — and its adapter to the Machine
+// interface, so Lemma 13's compilation can be demonstrated on an actual
+// TM rather than a hand-built configuration graph. A TM here has a
+// read-only input tape, a bounded work tape (the caller chooses the cell
+// budget; O(log n) cells is the logspace regime), and a write-only output
+// tape realized by the Emit field of its rules.
+
+// ReadEnd is the pseudo-symbol a rule matches when the input head sits one
+// past the last input cell (the right end marker ⊣).
+const ReadEnd = -1
+
+// NoEmit marks a rule that writes nothing to the output tape.
+const NoEmit = -1
+
+// Move directions for the two heads.
+const (
+	Left  = -1
+	Stay  = 0
+	Right = 1
+)
+
+// TMRule is one nondeterministic transition: if the machine is in State,
+// reads In on the input tape (ReadEnd at the right marker) and Work on the
+// work tape, it may write WriteWork, move both heads, emit Emit (or
+// NoEmit), and enter Next.
+type TMRule struct {
+	State     int
+	In        automata.Symbol
+	Work      byte
+	Next      int
+	WriteWork byte
+	MoveIn    int
+	MoveWork  int
+	Emit      automata.Symbol
+}
+
+// TM is a nondeterministic logspace transducer.
+type TM struct {
+	// States is the number of control states; 0 is initial.
+	States int
+	// Accept marks accepting control states (acceptance is by control
+	// state, any head position).
+	Accept []bool
+	// Input is the input-tape alphabet.
+	Input *automata.Alphabet
+	// Output is the output-tape alphabet.
+	Output *automata.Alphabet
+	// WorkSymbols is the size of the work alphabet; cells hold bytes in
+	// [0, WorkSymbols), 0 being the blank.
+	WorkSymbols int
+	// WorkCells is the usable work-tape length — the f(|x|) ∈ O(log n)
+	// bound of the definition, chosen by the caller per input.
+	WorkCells int
+	// Rules is the transition table.
+	Rules []TMRule
+}
+
+// Validate checks structural sanity of the machine description.
+func (tm *TM) Validate() error {
+	if tm.States <= 0 {
+		return fmt.Errorf("transducer: TM needs at least one state")
+	}
+	if len(tm.Accept) != tm.States {
+		return fmt.Errorf("transducer: Accept must have one entry per state")
+	}
+	if tm.WorkSymbols < 1 || tm.WorkCells < 1 {
+		return fmt.Errorf("transducer: work tape must have ≥1 symbol and ≥1 cell")
+	}
+	for i, r := range tm.Rules {
+		if r.State < 0 || r.State >= tm.States || r.Next < 0 || r.Next >= tm.States {
+			return fmt.Errorf("transducer: rule %d has bad state", i)
+		}
+		if r.In != ReadEnd && (r.In < 0 || r.In >= tm.Input.Size()) {
+			return fmt.Errorf("transducer: rule %d reads invalid symbol %d", i, r.In)
+		}
+		if int(r.Work) >= tm.WorkSymbols || int(r.WriteWork) >= tm.WorkSymbols {
+			return fmt.Errorf("transducer: rule %d uses invalid work symbol", i)
+		}
+		if r.Emit != NoEmit && (r.Emit < 0 || r.Emit >= tm.Output.Size()) {
+			return fmt.Errorf("transducer: rule %d emits invalid symbol %d", i, r.Emit)
+		}
+		if abs(r.MoveIn) > 1 || abs(r.MoveWork) > 1 {
+			return fmt.Errorf("transducer: rule %d has bad head move", i)
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// tmMachine adapts a TM running on a fixed input to the Machine interface.
+// Configurations are (state, input position, work position, work content)
+// — exactly the tuple the Lemma 13 proof counts.
+type tmMachine struct {
+	tm    *TM
+	input automata.Word
+	// rules indexed by control state for fast lookup.
+	byState [][]TMRule
+}
+
+// On fixes an input word and returns the configuration-graph view of the
+// machine, ready for Compile. The caller chose WorkCells appropriately for
+// |input| (logspace means WorkCells = O(log |input|)).
+func (tm *TM) On(input automata.Word) (Machine, error) {
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	m := &tmMachine{tm: tm, input: input, byState: make([][]TMRule, tm.States)}
+	for _, r := range tm.Rules {
+		m.byState[r.State] = append(m.byState[r.State], r)
+	}
+	return m, nil
+}
+
+func (m *tmMachine) Alphabet() *automata.Alphabet { return m.tm.Output }
+
+func (m *tmMachine) Start() Config {
+	blank := strings.Repeat(string(byte(0)), m.tm.WorkCells)
+	return m.encode(0, 0, 0, blank)
+}
+
+func (m *tmMachine) encode(state, inPos, workPos int, work string) Config {
+	return Config(fmt.Sprintf("%d;%d;%d;%s", state, inPos, workPos, work))
+}
+
+func (m *tmMachine) decode(c Config) (state, inPos, workPos int, work string, ok bool) {
+	parts := strings.SplitN(string(c), ";", 4)
+	if len(parts) != 4 {
+		return 0, 0, 0, "", false
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &state); err != nil {
+		return 0, 0, 0, "", false
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &inPos); err != nil {
+		return 0, 0, 0, "", false
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &workPos); err != nil {
+		return 0, 0, 0, "", false
+	}
+	return state, inPos, workPos, parts[3], true
+}
+
+func (m *tmMachine) Accepting(c Config) bool {
+	state, _, _, _, ok := m.decode(c)
+	return ok && state >= 0 && state < m.tm.States && m.tm.Accept[state]
+}
+
+func (m *tmMachine) Steps(c Config) []Step {
+	state, inPos, workPos, work, ok := m.decode(c)
+	if !ok {
+		return nil
+	}
+	var cur automata.Symbol = ReadEnd
+	if inPos < len(m.input) {
+		cur = m.input[inPos]
+	}
+	workSym := byte(0)
+	if workPos >= 0 && workPos < len(work) {
+		workSym = work[workPos]
+	}
+	var out []Step
+	for _, r := range m.byState[state] {
+		if r.In != cur || r.Work != workSym {
+			continue
+		}
+		ni := clamp(inPos+r.MoveIn, 0, len(m.input))
+		nw := clamp(workPos+r.MoveWork, 0, m.tm.WorkCells-1)
+		newWork := work
+		if r.WriteWork != workSym {
+			b := []byte(work)
+			b[workPos] = r.WriteWork
+			newWork = string(b)
+		}
+		out = append(out, Step{
+			Emit: r.Emit,
+			Next: m.encode(r.Next, ni, nw, newWork),
+		})
+	}
+	return out
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FibonacciTM builds a logspace transducer whose outputs on input 0^n are
+// exactly the binary strings of length n with no two consecutive 1s —
+// |M(0^n)| = Fib(n+2) — using one work cell to remember the previous bit.
+// The machine is unambiguous (each output has one run), so the compiled
+// automaton lands in RelationUL; a nice end-to-end witness for Lemma 13.
+func FibonacciTM() *TM {
+	in := automata.NewAlphabet("0")
+	out := automata.Binary()
+	// State 0: scanning; accept when the input head reaches the end.
+	// Work cell: 0 = previous bit was 0 (or none), 1 = previous bit was 1.
+	tm := &TM{
+		States:      2,
+		Accept:      []bool{false, true},
+		Input:       in,
+		Output:      out,
+		WorkSymbols: 2,
+		WorkCells:   1,
+		Rules: []TMRule{
+			// Emit 0 regardless of the previous bit.
+			{State: 0, In: 0, Work: 0, Next: 0, WriteWork: 0, MoveIn: Right, Emit: 0},
+			{State: 0, In: 0, Work: 1, Next: 0, WriteWork: 0, MoveIn: Right, Emit: 0},
+			// Emit 1 only if the previous bit was 0.
+			{State: 0, In: 0, Work: 0, Next: 0, WriteWork: 1, MoveIn: Right, Emit: 1},
+			// At the end marker, accept.
+			{State: 0, In: ReadEnd, Work: 0, Next: 1, WriteWork: 0, Emit: NoEmit},
+			{State: 0, In: ReadEnd, Work: 1, Next: 1, WriteWork: 1, Emit: NoEmit},
+		},
+	}
+	return tm
+}
+
+// SubstringGuessTM builds an ambiguous transducer: on input x over {0,1}
+// it guesses a start position and copies a substring of length exactly k
+// to the output. Distinct occurrences of the same substring give distinct
+// runs, so |M(x)| counts distinct substrings while runs count occurrences —
+// the prototypical SpanL function ("span" literally).
+func SubstringGuessTM(k int) *TM {
+	in := automata.Binary()
+	out := automata.Binary()
+	// Work tape: a counter over k+1 values (unary in work symbols).
+	// States: 0 = seeking start (move right nondeterministically or begin),
+	// 1 = copying, 2 = accept.
+	tm := &TM{
+		States:      3,
+		Accept:      []bool{false, false, true},
+		Input:       in,
+		Output:      out,
+		WorkSymbols: k + 1,
+		WorkCells:   1,
+		Rules:       nil,
+	}
+	for _, b := range []automata.Symbol{0, 1} {
+		// Seek: skip this cell.
+		tm.Rules = append(tm.Rules, TMRule{State: 0, In: b, Work: 0, Next: 0, WriteWork: 0, MoveIn: Right, Emit: NoEmit})
+		// Or start copying here (count starts at 0): handled by the copy
+		// rules below matching state 0 as well via a bridge rule.
+		tm.Rules = append(tm.Rules, TMRule{State: 0, In: b, Work: 0, Next: 1, WriteWork: 0, Emit: NoEmit})
+	}
+	for c := 0; c < k; c++ {
+		for _, b := range []automata.Symbol{0, 1} {
+			tm.Rules = append(tm.Rules, TMRule{
+				State: 1, In: b, Work: byte(c),
+				Next: 1, WriteWork: byte(c + 1), MoveIn: Right, Emit: b,
+			})
+		}
+	}
+	// Done copying k symbols.
+	tm.Rules = append(tm.Rules, TMRule{State: 1, In: ReadEnd, Work: byte(k), Next: 2, WriteWork: byte(k), Emit: NoEmit})
+	for _, b := range []automata.Symbol{0, 1} {
+		tm.Rules = append(tm.Rules, TMRule{State: 1, In: b, Work: byte(k), Next: 2, WriteWork: byte(k), Emit: NoEmit})
+	}
+	return tm
+}

@@ -1,0 +1,133 @@
+// Package transducer implements the machine model behind both complexity
+// classes of the paper: nondeterministic logspace transducers
+// (NL-transducers, Definition 1) and their unambiguous restriction
+// (UL-transducers, Definition 4), together with the Lemma 13 compilation
+// that turns a transducer plus a concrete input into an NFA whose language
+// is exactly the witness set.
+//
+// A logspace transducer on input x has configurations (state, input-head
+// position, work-tape content of O(log|x|) cells); there are polynomially
+// many of them. Rather than model tapes, a Machine exposes its
+// configuration graph directly: Start, Accepting, and the labelled
+// successor relation, where each step optionally emits one output symbol.
+// This is precisely the object the Lemma 13 proof constructs before turning
+// it into an automaton, so nothing is lost — and every concrete relation in
+// this repository (SAT-DNF below, spanners, RPQs, BDDs in their own
+// packages) is given by such a configuration graph.
+//
+// SpanL (Álvarez–Jenner) is the class of functions f(x) = |M(x)| for an
+// NL-transducer M; Corollary 3 of the paper (every SpanL function has an
+// FPRAS) is realized here by Compile + internal/fpras.
+package transducer
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+)
+
+// Config is an opaque configuration identifier. Machines may encode
+// anything in it (state, head positions, counters) as long as equal strings
+// mean equal configurations.
+type Config string
+
+// Step is one transition of the configuration graph: an optional emitted
+// symbol and the successor configuration.
+type Step struct {
+	// Emit is the symbol written to the output tape on this step, or -1
+	// when the step writes nothing (an ε-step of the output).
+	Emit automata.Symbol
+	// Next is the successor configuration.
+	Next Config
+}
+
+// Machine is the configuration-graph view of an NL-transducer running on a
+// fixed input. The graph must be finite and acyclic along ε-only paths is
+// NOT required — arbitrary graphs are allowed; the compiled NFA handles
+// cycles because witness length is externally bounded (p-relations have
+// |y| = q(|x|)).
+type Machine interface {
+	// Alphabet is the output alphabet.
+	Alphabet() *automata.Alphabet
+	// Start is the initial configuration.
+	Start() Config
+	// Accepting reports whether cfg is an accepting halt configuration.
+	Accepting(cfg Config) bool
+	// Steps enumerates the successor steps of cfg.
+	Steps(cfg Config) []Step
+}
+
+// Compile explores the configuration graph of m (breadth-first from the
+// start configuration, up to maxConfigs configurations) and emits the NFA
+// N_x of Lemma 13: runs of m correspond to paths of N_x and the string
+// written to the output tape is the path label. ε-steps become
+// ε-transitions and are removed, so the result is a plain NFA with
+// L(N_x) = M(x). maxConfigs ≤ 0 means 1<<20.
+func Compile(m Machine, maxConfigs int) (*automata.NFA, error) {
+	if maxConfigs <= 0 {
+		maxConfigs = 1 << 20
+	}
+	index := map[Config]int{}
+	var order []Config
+	add := func(c Config) (int, error) {
+		if id, ok := index[c]; ok {
+			return id, nil
+		}
+		if len(order) >= maxConfigs {
+			return 0, fmt.Errorf("transducer: configuration graph exceeds %d configurations", maxConfigs)
+		}
+		id := len(order)
+		index[c] = id
+		order = append(order, c)
+		return id, nil
+	}
+	if _, err := add(m.Start()); err != nil {
+		return nil, err
+	}
+	type edge struct {
+		from, to int
+		sym      automata.Symbol // -1 for ε
+	}
+	var edges []edge
+	for head := 0; head < len(order); head++ {
+		cfg := order[head]
+		from := head
+		for _, st := range m.Steps(cfg) {
+			to, err := add(st.Next)
+			if err != nil {
+				return nil, err
+			}
+			if st.Emit >= m.Alphabet().Size() {
+				return nil, fmt.Errorf("transducer: emitted symbol %d outside alphabet", st.Emit)
+			}
+			edges = append(edges, edge{from: from, to: to, sym: st.Emit})
+		}
+	}
+	nfa := automata.New(m.Alphabet(), len(order))
+	nfa.SetStart(0)
+	for id, cfg := range order {
+		if m.Accepting(cfg) {
+			nfa.SetFinal(id, true)
+		}
+	}
+	for _, e := range edges {
+		if e.sym < 0 {
+			nfa.AddEpsilon(e.from, e.to)
+		} else {
+			nfa.AddTransition(e.from, e.sym, e.to)
+		}
+	}
+	out := automata.RemoveEpsilon(nfa)
+	return automata.Trim(out), nil
+}
+
+// IsUnambiguousOn reports whether the compiled automaton for this machine
+// is unambiguous — the effective test for UL-transducer behaviour on a
+// concrete input (Definition 4 asks for one accepting run per output).
+func IsUnambiguousOn(m Machine, maxConfigs int) (bool, error) {
+	n, err := Compile(m, maxConfigs)
+	if err != nil {
+		return false, err
+	}
+	return automata.IsUnambiguous(n), nil
+}

@@ -1,0 +1,153 @@
+package transducer
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/exact"
+)
+
+// parityMachine outputs all strings of {0,1}^n with even parity, one
+// deterministic run each — a UL-transducer.
+type parityMachine struct {
+	n     int
+	alpha *automata.Alphabet
+}
+
+func (m *parityMachine) Alphabet() *automata.Alphabet { return m.alpha }
+func (m *parityMachine) Start() Config                { return Config("0:0") }
+func (m *parityMachine) Accepting(c Config) bool {
+	return c == Config(fmt.Sprintf("%d:0", m.n))
+}
+func (m *parityMachine) Steps(c Config) []Step {
+	var i, p int
+	fmt.Sscanf(string(c), "%d:%d", &i, &p)
+	if i >= m.n {
+		return nil
+	}
+	return []Step{
+		{Emit: 0, Next: Config(fmt.Sprintf("%d:%d", i+1, p))},
+		{Emit: 1, Next: Config(fmt.Sprintf("%d:%d", i+1, 1-p))},
+	}
+}
+
+// doublingMachine outputs every string of {0,1}^n twice (two parallel
+// branches) — an NL-transducer that is not UL.
+type doublingMachine struct {
+	n     int
+	alpha *automata.Alphabet
+}
+
+func (m *doublingMachine) Alphabet() *automata.Alphabet { return m.alpha }
+func (m *doublingMachine) Start() Config                { return Config("s") }
+func (m *doublingMachine) Accepting(c Config) bool {
+	return c == Config(fmt.Sprintf("A%d", m.n)) || c == Config(fmt.Sprintf("B%d", m.n))
+}
+func (m *doublingMachine) Steps(c Config) []Step {
+	if c == "s" {
+		// ε-branch into two identical copies.
+		return []Step{
+			{Emit: -1, Next: Config("A0")},
+			{Emit: -1, Next: Config("B0")},
+		}
+	}
+	var branch byte
+	var i int
+	fmt.Sscanf(string(c), "%c%d", &branch, &i)
+	if i >= m.n {
+		return nil
+	}
+	next := func(b int) Config { return Config(fmt.Sprintf("%c%d", branch, i+1)) }
+	return []Step{
+		{Emit: 0, Next: next(0)},
+		{Emit: 1, Next: next(1)},
+	}
+}
+
+func TestCompileParityMachine(t *testing.T) {
+	m := &parityMachine{n: 6, alpha: automata.Binary()}
+	nfa, err := Compile(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !automata.IsUnambiguous(nfa) {
+		t.Fatal("parity machine should compile to a UFA")
+	}
+	got, err := exact.CountNFA(nfa, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(32)) != 0 {
+		t.Fatalf("even-parity count = %v, want 32", got)
+	}
+	// Strings of the wrong length are not outputs.
+	zero, err := exact.CountNFA(nfa, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Sign() != 0 {
+		t.Fatalf("length-5 outputs = %v, want 0", zero)
+	}
+}
+
+func TestCompileDoublingMachineAmbiguous(t *testing.T) {
+	m := &doublingMachine{n: 4, alpha: automata.Binary()}
+	nfa, err := Compile(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if automata.IsUnambiguous(nfa) {
+		t.Fatal("doubling machine must compile to an ambiguous NFA")
+	}
+	// Distinct outputs: all of {0,1}^4.
+	got, err := exact.CountNFA(nfa, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("distinct outputs = %v, want 16", got)
+	}
+	// But paths double-count.
+	if automata.CountPaths(nfa, 4).Cmp(big.NewInt(32)) != 0 {
+		t.Fatalf("paths = %v, want 32", automata.CountPaths(nfa, 4))
+	}
+}
+
+func TestIsUnambiguousOn(t *testing.T) {
+	ok, err := IsUnambiguousOn(&parityMachine{n: 4, alpha: automata.Binary()}, 0)
+	if err != nil || !ok {
+		t.Fatalf("parity: %v %v", ok, err)
+	}
+	ok, err = IsUnambiguousOn(&doublingMachine{n: 4, alpha: automata.Binary()}, 0)
+	if err != nil || ok {
+		t.Fatalf("doubling: %v %v", ok, err)
+	}
+}
+
+func TestCompileConfigBound(t *testing.T) {
+	m := &parityMachine{n: 100, alpha: automata.Binary()}
+	if _, err := Compile(m, 10); err == nil {
+		t.Fatal("config bound should trigger")
+	}
+}
+
+// badEmitMachine emits a symbol outside its alphabet.
+type badEmitMachine struct{ alpha *automata.Alphabet }
+
+func (m *badEmitMachine) Alphabet() *automata.Alphabet { return m.alpha }
+func (m *badEmitMachine) Start() Config                { return "s" }
+func (m *badEmitMachine) Accepting(c Config) bool      { return c == "f" }
+func (m *badEmitMachine) Steps(c Config) []Step {
+	if c == "s" {
+		return []Step{{Emit: 7, Next: "f"}}
+	}
+	return nil
+}
+
+func TestCompileRejectsBadEmit(t *testing.T) {
+	if _, err := Compile(&badEmitMachine{alpha: automata.Binary()}, 0); err == nil {
+		t.Fatal("out-of-alphabet emission must be rejected")
+	}
+}
