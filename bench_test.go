@@ -6,6 +6,7 @@ package repro
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/automata"
@@ -90,25 +91,59 @@ func BenchmarkE3_SampleUFA(b *testing.B) {
 }
 
 // BenchmarkE4_FPRASAccuracy: one full FPRAS build on the evaluation-shape
-// workload (layered NFA), the operation whose error E4 tabulates.
+// workload (layered NFA), the operation whose error E4 tabulates. Pinned
+// to Workers: 1 so the number is a serial baseline on any machine; E14 and
+// BenchmarkE5_FPRASScalingParallel own the parallel measurements.
 func BenchmarkE4_FPRASAccuracy(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	nfa := automata.RandomLayered(rng, automata.Binary(), 10, 4, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fpras.New(nfa, 10, fpras.Params{K: 32, Seed: int64(i + 1)}); err != nil {
+		if _, err := fpras.New(nfa, 10, fpras.Params{K: 32, Seed: int64(i + 1), Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkE5_FPRASScaling: the larger point of the E5 sweep.
+// BenchmarkE5_FPRASScaling: the larger point of the E5 sweep, built
+// serially (Workers: 1) as the parallel engine's baseline.
 func BenchmarkE5_FPRASScaling(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	nfa := automata.RandomLayered(rng, automata.Binary(), 20, 6, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fpras.New(nfa, 20, fpras.Params{K: 32, Seed: int64(i + 1)}); err != nil {
+		if _, err := fpras.New(nfa, 20, fpras.Params{K: 32, Seed: int64(i + 1), Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_FPRASScalingParallel: the same build fanned across all
+// cores — the estimate is bitwise identical to the serial run; only the
+// wall-clock changes (experiment E14 tabulates the sweep).
+func BenchmarkE5_FPRASScalingParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	nfa := automata.RandomLayered(rng, automata.Binary(), 20, 6, 2)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpras.New(nfa, 20, fpras.Params{K: 32, Seed: int64(i + 1), Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_PLVUGBatch: batched Las Vegas sampling through SampleN —
+// per-witness cost including retries, across all cores.
+func BenchmarkE8_PLVUGBatch(b *testing.B) {
+	nfa := automata.AmbiguityGap(8)
+	est, err := fpras.New(nfa, 8, fpras.Params{K: 24, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SampleN(8, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

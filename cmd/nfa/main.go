@@ -7,14 +7,19 @@
 // Usage:
 //
 //	nfa info   -f automaton.txt
-//	nfa count  -f automaton.txt -n 12 [-exact] [-delta 0.1] [-k 96] [-seed 1]
+//	nfa count  -f automaton.txt -n 12 [-exact] [-delta 0.1] [-k 96] [-seed 1] [-workers 8]
 //	nfa enum   -f automaton.txt -n 12 [-limit 20]
-//	nfa sample -f automaton.txt -n 12 [-count 5] [-seed 1]
+//	nfa sample -f automaton.txt -n 12 [-count 5] [-seed 1] [-workers 8]
+//
+// -workers bounds the parallelism of the FPRAS build and of batched
+// sampling (0 = all cores, 1 = serial); it changes wall-clock only, never
+// the output for a fixed seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/automata"
@@ -23,139 +28,157 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes one
+// subcommand, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	switch cmd {
+	case "info", "count", "enum", "sample":
+	default:
+		usage(stderr)
+		return 2
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		file   = fs.String("f", "", "automaton file (see internal/automata text format)")
-		n      = fs.Int("n", 0, "witness length")
-		limit  = fs.Int("limit", 20, "max witnesses to enumerate (enum)")
-		count  = fs.Int("count", 1, "number of samples (sample)")
-		exactF = fs.Bool("exact", false, "force exact counting (count; may be exponential)")
-		delta  = fs.Float64("delta", 0.1, "FPRAS target relative error (count)")
-		k      = fs.Int("k", 0, "FPRAS sketch size override")
-		seed   = fs.Int64("seed", 0, "random seed (0 = fixed default)")
+		file    = fs.String("f", "", "automaton file (see internal/automata text format)")
+		n       = fs.Int("n", 0, "witness length")
+		limit   = fs.Int("limit", 20, "max witnesses to enumerate (enum)")
+		count   = fs.Int("count", 1, "number of samples (sample)")
+		exactF  = fs.Bool("exact", false, "force exact counting (count; may be exponential)")
+		delta   = fs.Float64("delta", 0.1, "FPRAS target relative error (count)")
+		k       = fs.Int("k", 0, "FPRAS sketch size override")
+		seed    = fs.Int64("seed", 0, "random seed (0 = fixed default)")
+		workers = fs.Int("workers", 0, "FPRAS build/sampling parallelism (0 = all cores)")
 	)
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	fail := func(msg string) int {
+		fmt.Fprintln(stderr, "nfa: "+msg)
+		return 1
 	}
 	if *file == "" {
-		fail("missing -f automaton file")
+		return fail("missing -f automaton file")
 	}
 	f, err := os.Open(*file)
 	if err != nil {
-		fail(err.Error())
+		return fail(err.Error())
 	}
 	nfa, err := automata.Unmarshal(f)
 	f.Close()
 	if err != nil {
-		fail(err.Error())
+		return fail(err.Error())
 	}
 
 	switch cmd {
 	case "info":
-		runInfo(nfa, *n)
+		runInfo(stdout, nfa, *n)
+		return 0
 	case "count", "enum", "sample":
-		inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed})
+		inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers})
 		if err != nil {
-			fail(err.Error())
+			return fail(err.Error())
 		}
 		switch cmd {
 		case "count":
-			runCount(inst, *exactF)
+			err = runCount(stdout, inst, *exactF)
 		case "enum":
-			runEnum(inst, *limit)
+			err = runEnum(stdout, stderr, inst, *limit)
 		case "sample":
-			runSample(inst, *count)
+			err = runSample(stdout, inst, *count, *workers)
 		}
-	default:
-		usage()
-		os.Exit(2)
+		if err != nil {
+			return fail(err.Error())
+		}
 	}
+	return 0
 }
 
-func runInfo(n *automata.NFA, length int) {
+func runInfo(w io.Writer, n *automata.NFA, length int) {
 	trimmed := automata.Trim(n)
-	fmt.Printf("states:        %d (trimmed: %d)\n", n.NumStates(), trimmed.NumStates())
-	fmt.Printf("transitions:   %d\n", n.NumTransitions())
-	fmt.Printf("alphabet:      %v\n", n.Alphabet().Names())
-	fmt.Printf("start/final:   %d / %v\n", n.Start(), n.Finals())
-	fmt.Printf("deterministic: %v\n", automata.IsDeterministic(trimmed))
+	fmt.Fprintf(w, "states:        %d (trimmed: %d)\n", n.NumStates(), trimmed.NumStates())
+	fmt.Fprintf(w, "transitions:   %d\n", n.NumTransitions())
+	fmt.Fprintf(w, "alphabet:      %v\n", n.Alphabet().Names())
+	fmt.Fprintf(w, "start/final:   %d / %v\n", n.Start(), n.Finals())
+	fmt.Fprintf(w, "deterministic: %v\n", automata.IsDeterministic(trimmed))
 	unamb := automata.IsUnambiguous(trimmed)
-	fmt.Printf("unambiguous:   %v\n", unamb)
+	fmt.Fprintf(w, "unambiguous:   %v\n", unamb)
 	if unamb {
-		fmt.Println("class:         RelationUL (constant-delay enum, exact count, exact uniform gen)")
+		fmt.Fprintln(w, "class:         RelationUL (constant-delay enum, exact count, exact uniform gen)")
 	} else {
-		fmt.Println("class:         RelationNL (poly-delay enum, FPRAS count, Las Vegas uniform gen)")
+		fmt.Fprintln(w, "class:         RelationNL (poly-delay enum, FPRAS count, Las Vegas uniform gen)")
 	}
 	if length > 0 {
 		if unamb {
-			fmt.Printf("|L_%d|:        %s (exact)\n", length, exact.CountUFA(trimmed, length))
+			fmt.Fprintf(w, "|L_%d|:        %s (exact)\n", length, exact.CountUFA(trimmed, length))
 		} else if c, err := exact.CountNFA(trimmed, length, 1<<18); err == nil {
-			fmt.Printf("|L_%d|:        %s (exact, subset DP)\n", length, c)
+			fmt.Fprintf(w, "|L_%d|:        %s (exact, subset DP)\n", length, c)
 		} else {
-			fmt.Printf("|L_%d|:        exact counting infeasible (%v); use `nfa count`\n", length, err)
+			fmt.Fprintf(w, "|L_%d|:        exact counting infeasible (%v); use `nfa count`\n", length, err)
 		}
 	}
 }
 
-func runCount(inst *core.Instance, forceExact bool) {
+func runCount(w io.Writer, inst *core.Instance, forceExact bool) error {
 	if forceExact {
 		c, err := inst.CountExact(0)
 		if err != nil {
-			fail(err.Error())
+			return err
 		}
-		fmt.Printf("%s (exact, %s)\n", c, inst.Class())
-		return
+		fmt.Fprintf(w, "%s (exact, %s)\n", c, inst.Class())
+		return nil
 	}
 	v, isExact, err := inst.Count()
 	if err != nil {
-		fail(err.Error())
+		return err
 	}
 	kind := "FPRAS estimate"
 	if isExact {
 		kind = "exact"
 	}
-	fmt.Printf("%s (%s, %s)\n", v.Text('f', 0), kind, inst.Class())
+	fmt.Fprintf(w, "%s (%s, %s)\n", v.Text('f', 0), kind, inst.Class())
+	return nil
 }
 
-func runEnum(inst *core.Instance, limit int) {
+func runEnum(w, errw io.Writer, inst *core.Instance, limit int) error {
 	ws, err := inst.Witnesses(limit)
 	if err != nil {
-		fail(err.Error())
+		return err
 	}
-	for _, w := range ws {
-		fmt.Println(w)
+	for _, witness := range ws {
+		fmt.Fprintln(w, witness)
 	}
-	fmt.Fprintf(os.Stderr, "# %d witnesses (%s, limit %d)\n", len(ws), inst.Class(), limit)
+	fmt.Fprintf(errw, "# %d witnesses (%s, limit %d)\n", len(ws), inst.Class(), limit)
+	return nil
 }
 
-func runSample(inst *core.Instance, count int) {
-	for i := 0; i < count; i++ {
-		w, err := inst.Sample()
-		if err == core.ErrEmpty {
-			fmt.Println("⊥ (witness set empty)")
-			return
-		}
-		if err != nil {
-			fail(err.Error())
-		}
-		fmt.Println(inst.FormatWord(w))
+func runSample(w io.Writer, inst *core.Instance, count, workers int) error {
+	ws, err := inst.SampleManyParallel(count, workers)
+	if err == core.ErrEmpty {
+		fmt.Fprintln(w, "⊥ (witness set empty)")
+		return nil
 	}
+	if err != nil {
+		return err
+	}
+	for _, witness := range ws {
+		fmt.Fprintln(w, inst.FormatWord(witness))
+	}
+	return nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: nfa <info|count|enum|sample> -f FILE -n LENGTH [flags]
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: nfa <info|count|enum|sample> -f FILE -n LENGTH [flags]
   info    automaton facts, class detection, exact count when feasible
   count   |L_n| — exact for unambiguous automata, FPRAS otherwise
   enum    enumerate witnesses (constant or polynomial delay per class)
   sample  uniform witnesses (exact or Las Vegas per class)`)
-}
-
-func fail(msg string) {
-	fmt.Fprintln(os.Stderr, "nfa: "+msg)
-	os.Exit(1)
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// unambFixture accepts exactly {aba} at length 3 (a chain DFA): the
+// RelationUL dispatch path.
+const unambFixture = `# chain: a b a
+alphabet: a b
+states: 4
+start: 0
+final: 3
+0 a 1
+1 b 2
+2 a 3
+`
+
+// ambFixture accepts every binary word of every length, with two runs per
+// word (states 0 and 1 both loop on both symbols): the RelationNL / FPRAS
+// dispatch path. |L_4| = 16.
+const ambFixture = `alphabet: 0 1
+states: 2
+start: 0
+final: 1
+0 0 0
+0 1 0
+0 0 1
+0 1 1
+1 0 1
+1 1 1
+`
+
+// emptyFixture accepts only the word 01, so |L_6| = 0.
+const emptyFixture = `alphabet: 0 1
+states: 3
+start: 0
+final: 2
+0 0 1
+1 1 2
+`
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runNFA invokes the CLI entry point and returns (stdout, stderr, code).
+func runNFA(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestInfoUnambiguous(t *testing.T) {
+	f := writeFixture(t, "chain.txt", unambFixture)
+	out, _, code := runNFA(t, "info", "-f", f, "-n", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"unambiguous:   true",
+		"RelationUL",
+		"|L_3|:        1 (exact)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfoAmbiguous(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	out, _, code := runNFA(t, "info", "-f", f, "-n", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"unambiguous:   false",
+		"RelationNL",
+		"|L_4|:        16 (exact, subset DP)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountBothClasses(t *testing.T) {
+	ul := writeFixture(t, "chain.txt", unambFixture)
+	out, _, code := runNFA(t, "count", "-f", ul, "-n", "3")
+	if code != 0 || !strings.Contains(out, "1 (exact, RelationUL)") {
+		t.Fatalf("UL count: exit %d, output %q", code, out)
+	}
+	nl := writeFixture(t, "amb.txt", ambFixture)
+	// Default K (96) exceeds |L_4| = 16, so the FPRAS is exactly handled.
+	out, _, code = runNFA(t, "count", "-f", nl, "-n", "4")
+	if code != 0 || !strings.Contains(out, "16 (exact, RelationNL)") {
+		t.Fatalf("NL count: exit %d, output %q", code, out)
+	}
+	out, _, code = runNFA(t, "count", "-f", nl, "-n", "4", "-exact")
+	if code != 0 || !strings.Contains(out, "16 (exact, RelationNL)") {
+		t.Fatalf("NL -exact count: exit %d, output %q", code, out)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	out, errOut, code := runNFA(t, "enum", "-f", f, "-n", "4", "-limit", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Fields(strings.TrimSpace(out))
+	if len(lines) != 5 {
+		t.Fatalf("enum printed %d witnesses, want 5:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if len(l) != 4 || strings.Trim(l, "01") != "" {
+			t.Fatalf("bad witness %q", l)
+		}
+	}
+	if !strings.Contains(errOut, "# 5 witnesses") {
+		t.Fatalf("missing enum summary on stderr: %q", errOut)
+	}
+}
+
+func TestSampleParallelDeterministicPerSeed(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	sample := func(workers string) string {
+		out, _, code := runNFA(t, "sample", "-f", f, "-n", "4",
+			"-count", "6", "-seed", "11", "-k", "8", "-workers", workers)
+		if code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+		return out
+	}
+	first := sample("1")
+	lines := strings.Fields(strings.TrimSpace(first))
+	if len(lines) != 6 {
+		t.Fatalf("sample printed %d witnesses, want 6:\n%s", len(lines), first)
+	}
+	for _, l := range lines {
+		if len(l) != 4 || strings.Trim(l, "01") != "" {
+			t.Fatalf("bad sampled witness %q", l)
+		}
+	}
+	if again := sample("4"); again != first {
+		t.Fatalf("sample output depends on -workers:\n%q\nvs\n%q", first, again)
+	}
+}
+
+func TestSampleEmptyLanguage(t *testing.T) {
+	f := writeFixture(t, "empty.txt", emptyFixture)
+	out, _, code := runNFA(t, "sample", "-f", f, "-n", "6")
+	if code != 0 || !strings.Contains(out, "⊥") {
+		t.Fatalf("empty sample: exit %d, output %q", code, out)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	if _, _, code := runNFA(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if _, _, code := runNFA(t, "frobnicate", "-f", "x"); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if _, errOut, code := runNFA(t, "count", "-n", "3"); code != 1 || !strings.Contains(errOut, "missing -f") {
+		t.Errorf("missing file: exit %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runNFA(t, "count", "-f", filepath.Join(t.TempDir(), "nope.txt")); code != 1 {
+		t.Errorf("nonexistent file: exit %d, want 1", code)
+	}
+	bad := writeFixture(t, "bad.txt", "alphabet: a\nstates: oops\n")
+	if _, _, code := runNFA(t, "info", "-f", bad); code != 1 {
+		t.Errorf("malformed automaton: exit %d, want 1", code)
+	}
+}

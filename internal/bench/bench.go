@@ -1,6 +1,6 @@
 // Package bench is the experiment harness behind cmd/benchtab and the
 // repository-level benchmarks: it regenerates every table of the
-// experiment index in DESIGN.md (F1, E1–E12), printing one table per
+// experiment index in DESIGN.md (F1, E1–E14), printing one table per
 // experiment with the measured quantities that EXPERIMENTS.md records.
 //
 // The paper itself is a theory paper with no measured tables, so these
@@ -96,6 +96,7 @@ func All(quick bool) []*Table {
 		E11BDD(quick),
 		E12DNF(quick),
 		E13AblationRejection(quick),
+		E14ParallelFPRAS(quick),
 	}
 }
 
@@ -130,13 +131,15 @@ func ByID(id string, quick bool) *Table {
 		return E12DNF(quick)
 	case "E13":
 		return E13AblationRejection(quick)
+	case "E14":
+		return E14ParallelFPRAS(quick)
 	}
 	return nil
 }
 
 // IDs lists all experiment identifiers.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 }
 
 func ms(d time.Duration) string {

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/fpras"
+)
+
+// E14ParallelFPRAS measures the concurrent estimation engine: one FPRAS
+// build per worker count on the E5-shaped workload, verifying on the way
+// that every parallelism level produces the bitwise-identical estimate
+// (the engine's reproducibility contract).
+func E14ParallelFPRAS(quick bool) *Table {
+	t := &Table{
+		ID:     "E14",
+		Title:  "Concurrent FPRAS build: workers vs wall-clock (identical estimates)",
+		Header: []string{"m", "n", "K", "workers", "time", "speedup", "estimate"},
+	}
+	layers, width, k := 20, 6, 32
+	if quick {
+		layers, width, k = 12, 4, 24
+	}
+	rng := rand.New(rand.NewSource(14))
+	nfa := automata.RandomLayered(rng, automata.Binary(), layers, width, 2)
+	workerCounts := []int{1, 2, 4, 8}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 && g != 8 {
+		workerCounts = append(workerCounts, g)
+	}
+	if quick {
+		workerCounts = []int{1, 4}
+	}
+	var serial time.Duration
+	var baseline string
+	for _, w := range workerCounts {
+		start := time.Now()
+		est, err := fpras.New(nfa, layers, fpras.Params{K: k, Seed: 14, Workers: w})
+		d := time.Since(start)
+		if err != nil {
+			t.AddRow(fmt.Sprint(nfa.NumStates()), fmt.Sprint(layers), fmt.Sprint(k),
+				fmt.Sprint(w), "err:"+err.Error(), "-", "-")
+			continue
+		}
+		// Compare in full-precision hex so the check is truly bitwise (the
+		// decimal rendering shown to readers could mask ulp drift).
+		exact := est.Count().Text('p', 0)
+		display := est.Count().Text('f', 0)
+		speedup := "1.00x"
+		if baseline == "" {
+			// First successful build anchors the comparison (normally the
+			// workers=1 row, unless it errored above).
+			serial, baseline = d, exact
+		} else {
+			speedup = fmt.Sprintf("%.2fx", float64(serial)/float64(d))
+			if exact != baseline {
+				display += " (MISMATCH vs baseline!)"
+			}
+		}
+		t.AddRow(fmt.Sprint(nfa.NumStates()), fmt.Sprint(layers), fmt.Sprint(k),
+			fmt.Sprint(w), ms(d), speedup, display)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d; speedup tracks core count — estimates are bitwise identical by construction", runtime.GOMAXPROCS(0)))
+	return t
+}

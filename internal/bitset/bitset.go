@@ -14,6 +14,8 @@ const wordBits = 64
 
 // Set is a fixed-capacity dense bit set over the universe {0, ..., n-1}.
 // The zero value is an empty set of capacity zero; use New for a sized set.
+// Sets are not synchronized: concurrent readers are safe only while no
+// goroutine mutates the set (the FPRAS shares frozen reach sets this way).
 type Set struct {
 	words []uint64
 	n     int

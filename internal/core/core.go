@@ -13,7 +13,13 @@
 // general alphabets are bridged to the binary FPRAS core through the
 // witness-preserving encoding of internal/automata.
 //
-// Instances are not safe for concurrent use.
+// # Concurrency
+//
+// Instance methods are safe for concurrent use: the lazily built engines
+// and the internal RNG are guarded by a mutex, and the FPRAS engine
+// underneath is itself concurrent (see internal/fpras). Sample serializes
+// on the internal RNG; SampleManyParallel is the parallel-throughput path
+// and is deterministic per Options.Seed regardless of the worker count.
 package core
 
 import (
@@ -21,13 +27,21 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/automata"
 	"repro/internal/enumerate"
 	"repro/internal/exact"
 	"repro/internal/fpras"
+	"repro/internal/par"
 	"repro/internal/sample"
 )
+
+// streamULBatch namespaces SampleManyParallel's per-draw RNG streams on the
+// exact-uniform (ClassUL) path; the FPRAS path derives its own inside
+// internal/fpras.
+const streamULBatch = 0xC0DE1
 
 // Class labels which complexity class's algorithms an instance gets.
 type Class int
@@ -60,6 +74,10 @@ type Options struct {
 	MaxTries int
 	// Seed makes runs reproducible (default fixed).
 	Seed int64
+	// Workers bounds the FPRAS build parallelism and the default
+	// parallelism of SampleManyParallel (0 = GOMAXPROCS, 1 = serial).
+	// Results never depend on it — only wall-clock does.
+	Workers int
 	// ForceClass, when non-nil, skips detection and forces a class
 	// (ClassNL is always sound; forcing ClassUL on an ambiguous automaton
 	// yields wrong counts, so it is rejected unless the automaton really
@@ -73,9 +91,12 @@ type Instance struct {
 	length int
 	class  Class
 	opts   Options
-	rng    *rand.Rand
+	seed   int64
 
-	// Lazily built engines.
+	// mu guards the internal RNG and the lazily built engines below; the
+	// engines themselves are safe for concurrent use once built.
+	mu         sync.Mutex
+	rng        *rand.Rand
 	est        *fpras.Estimator
 	enc        *automata.BinaryEncoding
 	ufaSampler *sample.UFASampler
@@ -111,6 +132,7 @@ func New(n *automata.NFA, length int, opts Options) (*Instance, error) {
 		length: length,
 		class:  class,
 		opts:   opts,
+		seed:   seed,
 		rng:    rand.New(rand.NewSource(seed)),
 	}, nil
 }
@@ -151,28 +173,48 @@ func (in *Instance) Count() (value *big.Float, isExact bool, err error) {
 }
 
 // estimator lazily builds the FPRAS state, binary-encoding the alphabet if
-// needed.
+// needed. Safe for concurrent use: the first caller builds under the lock,
+// later callers reuse the frozen engine.
 func (in *Instance) estimator() (*fpras.Estimator, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.est != nil {
 		return in.est, nil
 	}
 	n, length := in.n, in.length
+	var enc *automata.BinaryEncoding
 	if n.Alphabet().Size() != 2 {
-		in.enc = automata.BinaryEncode(n)
-		n = in.enc.Encoded
-		length = in.enc.EncodedLength(in.length)
+		enc = automata.BinaryEncode(n)
+		n = enc.Encoded
+		length = enc.EncodedLength(in.length)
 	}
 	est, err := fpras.New(n, length, fpras.Params{
 		K:        in.opts.K,
 		MaxTries: in.opts.MaxTries,
 		Delta:    in.opts.Delta,
 		Seed:     in.opts.Seed,
+		Workers:  in.opts.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
+	in.enc = enc
 	in.est = est
 	return est, nil
+}
+
+// ufa lazily builds the exact uniform sampler for the ClassUL path.
+func (in *Instance) ufa() (*sample.UFASampler, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.ufaSampler == nil {
+		s, err := sample.NewUFASampler(in.n, in.length)
+		if err != nil {
+			return nil, err
+		}
+		in.ufaSampler = s
+	}
+	return in.ufaSampler, nil
 }
 
 // Enumerate returns the class-appropriate enumerator: Algorithm 1
@@ -198,17 +240,17 @@ func (in *Instance) Witnesses(limit int) ([]string, error) {
 
 // Sample draws one uniform witness: exact uniform for ClassUL, the Las
 // Vegas generator (with retries) for ClassNL. ErrEmpty signals an empty
-// witness set.
+// witness set. Safe for concurrent use; draws serialize on the internal
+// RNG, so batch callers should prefer SampleManyParallel.
 func (in *Instance) Sample() (automata.Word, error) {
 	if in.class == ClassUL {
-		if in.ufaSampler == nil {
-			s, err := sample.NewUFASampler(in.n, in.length)
-			if err != nil {
-				return nil, err
-			}
-			in.ufaSampler = s
+		s, err := in.ufa()
+		if err != nil {
+			return nil, err
 		}
-		w, err := in.ufaSampler.Sample(in.rng)
+		in.mu.Lock()
+		w, err := s.Sample(in.rng)
+		in.mu.Unlock()
 		if err == sample.ErrEmpty {
 			return nil, ErrEmpty
 		}
@@ -231,7 +273,8 @@ func (in *Instance) Sample() (automata.Word, error) {
 	return w, nil
 }
 
-// SampleMany draws k independent uniform witnesses.
+// SampleMany draws k independent uniform witnesses sequentially from the
+// instance's internal RNG stream.
 func (in *Instance) SampleMany(k int) ([]automata.Word, error) {
 	out := make([]automata.Word, 0, k)
 	for i := 0; i < k; i++ {
@@ -240,6 +283,71 @@ func (in *Instance) SampleMany(k int) ([]automata.Word, error) {
 			return nil, err
 		}
 		out = append(out, w)
+	}
+	return out, nil
+}
+
+// SampleManyParallel draws k independent uniform witnesses across up to
+// `workers` goroutines (0 selects Options.Workers, which itself defaults to
+// GOMAXPROCS). Draw i comes from its own seed-derived RNG stream, so the
+// batch is a function of (Options, k) alone — identical for every worker
+// count — and differs from the stream SampleMany consumes.
+func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = in.opts.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	if in.class != ClassUL {
+		est, err := in.estimator()
+		if err != nil {
+			return nil, err
+		}
+		ws, err := est.SampleN(k, workers)
+		if err == fpras.ErrEmpty {
+			return nil, ErrEmpty
+		}
+		if err != nil {
+			return nil, err
+		}
+		if in.enc == nil {
+			return ws, nil
+		}
+		out := make([]automata.Word, k)
+		for i, w := range ws {
+			dec, err := in.enc.DecodeWord(w)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = dec
+		}
+		return out, nil
+	}
+	s, err := in.ufa()
+	if err != nil {
+		return nil, err
+	}
+	// UFASampler.Sample only reads the frozen completion table, so distinct
+	// goroutines may share it as long as each brings its own RNG.
+	out := make([]automata.Word, k)
+	errs := make([]error, k)
+	par.ForEachIndexed(k, workers, func(i int) {
+		out[i], errs[i] = s.Sample(par.StreamRNG(in.seed, streamULBatch, i, 0))
+	})
+	for _, err := range errs {
+		if err == sample.ErrEmpty {
+			return nil, ErrEmpty
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

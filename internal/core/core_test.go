@@ -244,3 +244,137 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("Automaton accessor wrong")
 	}
 }
+
+func TestSampleManyParallelNL(t *testing.T) {
+	// Ambiguous instance: the FPRAS batched sampler underneath. The batch
+	// must be witness-only, length-correct, and identical across worker
+	// counts for a fixed seed.
+	in, err := New(automata.AmbiguityGap(8), 8, Options{K: 24, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Class() != ClassNL {
+		t.Fatal("AmbiguityGap should be NL")
+	}
+	var want []automata.Word
+	for _, workers := range []int{1, 4} {
+		in2, err := New(automata.AmbiguityGap(8), 8, Options{K: 24, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := in2.SampleManyParallel(16, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws) != 16 {
+			t.Fatalf("got %d samples", len(ws))
+		}
+		for i, w := range ws {
+			if len(w) != 8 || !in2.Automaton().Accepts(w) {
+				t.Fatalf("sample %d not a witness: %v", i, w)
+			}
+		}
+		if want == nil {
+			want = ws
+			continue
+		}
+		for i := range ws {
+			if in2.FormatWord(ws[i]) != in2.FormatWord(want[i]) {
+				t.Fatalf("workers=%d: sample %d = %v, want %v", workers, i, ws[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSampleManyParallelNLEncoded(t *testing.T) {
+	// Ternary ambiguous instance: exercises the binary-encoding bridge on
+	// the parallel path (decode back to the source alphabet).
+	tern := automata.NewAlphabet("a", "b", "c")
+	n := automata.New(tern, 2)
+	for a := 0; a < 3; a++ {
+		n.AddTransition(0, a, 0)
+		n.AddTransition(0, a, 1)
+		n.AddTransition(1, a, 1)
+	}
+	n.SetFinal(1, true)
+	in, err := New(n, 5, Options{K: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Class() != ClassNL {
+		t.Fatalf("class = %v, want NL", in.Class())
+	}
+	ws, err := in.SampleManyParallel(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		if len(w) != 5 || !n.Accepts(w) {
+			t.Fatalf("decoded sample %d not a witness: %v", i, w)
+		}
+	}
+}
+
+func TestSampleManyParallelUL(t *testing.T) {
+	paper, length := automata.PaperExample()
+	in, err := New(paper, length, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := in.SampleManyParallel(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 64 {
+		t.Fatalf("got %d samples", len(ws))
+	}
+	for i, w := range ws {
+		if !paper.Accepts(w) {
+			t.Fatalf("sample %d not a witness: %v", i, w)
+		}
+	}
+	// Deterministic per seed regardless of workers.
+	in2, err := New(paper, length, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws2, err := in2.SampleManyParallel(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		if in.FormatWord(ws[i]) != in2.FormatWord(ws2[i]) {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestInstanceConcurrentUse(t *testing.T) {
+	// Mixed concurrent Count/Sample/SampleManyParallel on one shared
+	// instance must be race-free (meaningful under `go test -race`).
+	in, err := New(automata.AmbiguityGap(7), 7, Options{K: 24, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 12)
+	for g := 0; g < 12; g++ {
+		go func(g int) {
+			switch g % 3 {
+			case 0:
+				_, _, err := in.Count()
+				done <- err
+			case 1:
+				_, err := in.Sample()
+				done <- err
+			default:
+				_, err := in.SampleManyParallel(4, 2)
+				done <- err
+			}
+		}(g)
+	}
+	for g := 0; g < 12; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,22 @@
 // The count returned is R(s_final) and the PLVUG samples U(s_final)
 // (stripping the trailing marker bit of Remark 1).
 //
+// # Concurrency
+//
+// The sketch construction is parallel: within one unrolling layer every
+// buildVertex call depends only on the (frozen) previous layer, so New fans
+// the per-vertex work of each layer across Params.Workers goroutines — the
+// polynomial-many independent subproblems view of Capelli–Strozecki. Every
+// vertex draws from its own PRNG stream derived from (Seed, layer, state),
+// so the result is bitwise identical for any worker count, including 1.
+//
+// After New returns the Estimator is immutable apart from an internal memo
+// table (guarded by sharded locks) and the convenience RNG used by Sample
+// (guarded by a mutex): Count, Sample, SampleWitness, SampleWith and
+// SampleN are all safe for concurrent use. SampleWith with distinct RNGs,
+// or SampleN with workers > 1, is the way to sample with real parallelism;
+// Sample serializes on the internal RNG.
+//
 // Parameterization. The paper fixes k = ⌈(nm/δ)^64⌉ samples per sketch and
 // ⌈(nm/δ)^4⌉ retries purely to make the union bounds in the proof sum to
 // the advertised 3/4 success probability; those constants are astronomically
@@ -43,9 +59,14 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
+	"repro/internal/par"
 	"repro/internal/unroll"
 )
 
@@ -69,9 +90,14 @@ type Params struct {
 	MaxTries int
 	// Delta is the target relative error used only to pick K's default.
 	Delta float64
-	// Seed seeds the internal PRNG; 0 uses a fixed default (runs are then
-	// deterministic, which the tests rely on).
+	// Seed seeds the per-vertex PRNG streams; 0 uses a fixed default (runs
+	// are then deterministic, which the tests rely on). The estimate depends
+	// on Seed and K only — never on Workers or goroutine scheduling.
 	Seed int64
+	// Workers bounds the goroutines used by the layer-parallel sketch
+	// construction (and is the default parallelism of SampleN). 0 selects
+	// GOMAXPROCS; 1 builds serially.
+	Workers int
 	// SkipRejection disables the Jerrum–Valiant–Vazirani rejection
 	// correction (Algorithm 4 step 1/2): descents are accepted
 	// unconditionally, so samples follow the raw product of estimated
@@ -103,13 +129,27 @@ func (p Params) withDefaults(n int) Params {
 	if p.Seed == 0 {
 		p.Seed = 0x5eed
 	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
 	return p
 }
+
+// PRNG stream derivation: every independent consumer of randomness gets its
+// own rand.Rand from par.StreamRNG(Seed, stream, a, b), so estimates and
+// SampleN outputs are functions of Params alone, never of scheduling.
+const (
+	streamBuild    = 0xB11D // sketch construction: (layer, state)
+	streamSampleN  = 0x5A9E // SampleN: (index, 0)
+	streamInternal = 0x1D1E // the Estimator's own Sample RNG: (0, 0)
+)
 
 // sampleEntry is one sketch element: the sampled string and the set of
 // layer-|bits| states whose U-set contains it. All of Algorithm 4/5's
 // membership queries "x ∈ U(s')" concern vertices in the same layer as
-// |x|, so one bit set per sample answers them all in O(1).
+// |x|, so one bit set per sample answers them all in O(1). Entries are
+// frozen once their vertex is built; the reach sets are never mutated
+// afterwards, so concurrent readers need no synchronization.
 type sampleEntry struct {
 	bits  string // '0'/'1' bytes, length = layer of the owning vertex
 	reach *bitset.Set
@@ -123,34 +163,106 @@ type vertexData struct {
 }
 
 // Estimator is the built FPRAS state for one (N, 0^n) instance: after New
-// returns, Count is O(1) and Sample is one Las Vegas attempt.
+// returns, Count is O(1) and Sample is one Las Vegas attempt. See the
+// package comment for which methods are safe for concurrent use.
 type Estimator struct {
 	dag    *unroll.DAG
 	params Params
-	rng    *rand.Rand
 	prec   uint
 
-	// data[t][q] for layers 1..n; finalData is s_final.
+	// data[t][q] for layers 1..n; finalData is s_final. Frozen after build.
 	data      [][]*vertexData
 	finalData *vertexData
 
+	// finalReach is the shared placeholder reach set for strings owned by
+	// s_final (layer N+1): no membership query ever inspects it, and it is
+	// never mutated, so one instance serves every entry.
+	finalReach *bitset.Set
+
 	// memo caches W̃ computations keyed by (layer, T): Sample revisits the
 	// same suffix sets constantly and the sketches are frozen per layer
-	// once built, so memoization is exact, not an approximation.
-	memo map[string]*stepChoice
+	// once built, so memoization is exact, not an approximation. Sharded
+	// locks keep contention off the parallel build path.
+	memo memoTable
+
+	// samplers recycles per-goroutine scratch state across Sample calls.
+	samplers sync.Pool
+
+	// rng backs the convenience methods Sample/SampleWitness; mu serializes
+	// it. Parallel callers should prefer SampleWith or SampleN.
+	mu  sync.Mutex
+	rng *rand.Rand
 
 	empty bool
 }
 
 // stepChoice is a memoized Sample step: the predecessor sets and their
-// estimated weights.
+// estimated weights. Immutable once published in the memo table.
 type stepChoice struct {
 	t0, t1 []int // sorted predecessor states (layer r-1); -1 encodes s_start
 	w0, w1 *big.Float
 }
 
+// memoTable is a sharded hash map from (layer, vertex set) to *stepChoice.
+// Keys are hashed to a uint64; buckets keep the full key for equality, so
+// hash collisions cost a comparison, never a wrong answer. Values are
+// deterministic functions of the frozen sketches, so two goroutines racing
+// to insert the same key compute identical entries and either may win.
+type memoTable struct {
+	shards [memoShards]memoShard
+}
+
+const memoShards = 64
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]*memoEntry
+}
+
+type memoEntry struct {
+	layer int
+	cur   []int
+	ch    *stepChoice
+}
+
+func memoHash(layer int, cur []int) uint64 {
+	h := par.Mix64(uint64(int64(layer)) ^ 0x243f6a8885a308d3)
+	for _, v := range cur {
+		h = par.Mix64(h ^ uint64(int64(v)+0x13198a2e03707344))
+	}
+	return h
+}
+
+func (m *memoTable) get(h uint64, layer int, cur []int) *stepChoice {
+	sh := &m.shards[h%memoShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, e := range sh.m[h] {
+		if e.layer == layer && slices.Equal(e.cur, cur) {
+			return e.ch
+		}
+	}
+	return nil
+}
+
+func (m *memoTable) put(h uint64, layer int, cur []int, ch *stepChoice) {
+	sh := &m.shards[h%memoShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*memoEntry)
+	}
+	for _, e := range sh.m[h] {
+		if e.layer == layer && slices.Equal(e.cur, cur) {
+			return // lost a benign race; the entries are identical
+		}
+	}
+	sh.m[h] = append(sh.m[h], &memoEntry{layer: layer, cur: cur, ch: ch})
+}
+
 // New builds the full FPRAS state: DAG construction plus the layer-by-layer
-// sketch computation of Algorithm 5. The automaton must be ε-free over a
+// sketch computation of Algorithm 5, parallelized across Params.Workers
+// goroutines within each layer. The automaton must be ε-free over a
 // two-symbol alphabet (use automata.BinaryEncode for larger alphabets).
 func New(n *automata.NFA, length int, params Params) (*Estimator, error) {
 	if n.Alphabet().Size() != 2 {
@@ -168,12 +280,13 @@ func New(n *automata.NFA, length int, params Params) (*Estimator, error) {
 		return nil, err
 	}
 	e := &Estimator{
-		dag:    dag,
-		params: params,
-		rng:    rand.New(rand.NewSource(params.Seed)),
-		prec:   uint(64 + length),
-		memo:   map[string]*stepChoice{},
+		dag:        dag,
+		params:     params,
+		rng:        par.StreamRNG(params.Seed, streamInternal, 0, 0),
+		prec:       uint(64 + length),
+		finalReach: bitset.New(1),
 	}
+	e.samplers.New = func() any { return e.newSampler() }
 	if dag.Empty() {
 		e.empty = true
 		return e, nil
@@ -214,27 +327,22 @@ func (e *Estimator) Exact() bool {
 // K returns the effective sketch size in use.
 func (e *Estimator) K() int { return e.params.K }
 
+// Workers returns the effective build/sampling parallelism in use.
+func (e *Estimator) Workers() int { return e.params.Workers }
+
 // build runs steps 4–5 of Algorithm 5 over all layers and then s_final.
+// Layers are sequential (layer t reads the frozen sketches of layer t−1);
+// the vertices within a layer are independent and built in parallel.
 func (e *Estimator) build() error {
 	n := e.dag.N
 	for t := 1; t <= n; t++ {
-		var failed error
-		e.dag.AliveSet(t).ForEach(func(q int) {
-			if failed != nil {
-				return
-			}
-			vd, err := e.buildVertex(t, q, e.dag.Preds(t, q))
-			if err != nil {
-				failed = err
-				return
-			}
-			e.data[t][q] = vd
-		})
-		if failed != nil {
-			return failed
+		if err := e.buildLayer(t, e.dag.AliveSet(t).Elems()); err != nil {
+			return err
 		}
 	}
-	vd, err := e.buildVertex(n+1, -1, e.dag.FinalPreds())
+	s := e.getSampler(par.StreamRNG(e.params.Seed, streamBuild, n+1, -1))
+	vd, err := s.buildVertex(n+1, -1, e.dag.FinalPreds())
+	e.putSampler(s)
 	if err != nil {
 		return err
 	}
@@ -242,8 +350,88 @@ func (e *Estimator) build() error {
 	return nil
 }
 
+// buildLayer fans the buildVertex calls of one layer across the worker
+// budget. Each vertex uses its own (Seed, layer, state)-derived RNG stream
+// and writes a distinct slot of e.data[t], so scheduling never changes the
+// result; the ForEachIndexed barrier publishes the layer to its successors.
+func (e *Estimator) buildLayer(t int, states []int) error {
+	errs := make([]error, len(states))
+	var failed atomic.Bool
+	par.ForEachIndexed(len(states), e.params.Workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		q := states[i]
+		s := e.getSampler(par.StreamRNG(e.params.Seed, streamBuild, t, q))
+		defer e.putSampler(s)
+		vd, err := s.buildVertex(t, q, e.dag.Preds(t, q))
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		e.data[t][q] = vd
+	})
+	// Surface the lowest-indexed *recorded* error. Every recorded error is
+	// real, but which vertices were still attempted after the abort flag
+	// tripped is scheduling-dependent, so the reported error (not the
+	// failure itself) may vary between runs.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampler bundles the per-goroutine mutable state of the build and sampling
+// inner loops: the RNG stream, big.Float scratch registers, and reusable
+// bit sets. One sampler must never be shared between goroutines; Estimator
+// keeps a pool of them.
+type sampler struct {
+	e   *Estimator
+	rng *rand.Rand
+
+	// big.Float scratch, preallocated at the estimator's precision.
+	fSum, fA, fB *big.Float
+
+	// before is estimateUnion's running predecessor union.
+	before *bitset.Set
+	// trace[0], trace[1] are traceReach's ping-pong intermediates.
+	trace [2]*bitset.Set
+	// bits is sampleAttempt's descent buffer.
+	bits []byte
+}
+
+func (e *Estimator) newSampler() *sampler {
+	m := 1
+	if e.dag != nil {
+		m = e.dag.M
+	}
+	return &sampler{
+		e:      e,
+		fSum:   new(big.Float).SetPrec(e.prec),
+		fA:     new(big.Float).SetPrec(e.prec),
+		fB:     new(big.Float).SetPrec(e.prec),
+		before: bitset.New(m),
+		trace:  [2]*bitset.Set{bitset.New(m), bitset.New(m)},
+	}
+}
+
+func (e *Estimator) getSampler(rng *rand.Rand) *sampler {
+	s := e.samplers.Get().(*sampler)
+	s.rng = rng
+	return s
+}
+
+func (e *Estimator) putSampler(s *sampler) {
+	s.rng = nil
+	e.samplers.Put(s)
+}
+
 // buildVertex computes (R, X) for one vertex with the given incoming edges.
-func (e *Estimator) buildVertex(layer, state int, preds []unroll.Edge) (*vertexData, error) {
+func (s *sampler) buildVertex(layer, state int, preds []unroll.Edge) (*vertexData, error) {
+	e := s.e
 	// Partition predecessors by symbol, keeping ≺ (state-index) order; the
 	// unroll package emits them ordered already, but we do not rely on it.
 	t0, t1 := splitPreds(preds)
@@ -251,7 +439,7 @@ func (e *Estimator) buildVertex(layer, state int, preds []unroll.Edge) (*vertexD
 	// Exactly-handled path (Algorithm 5 step 4): requires every predecessor
 	// exactly handled.
 	if e.predsExact(layer, t0) && e.predsExact(layer, t1) {
-		entries, within := e.exactUnion(layer, t0, t1)
+		entries, within := s.exactUnion(layer, t0, t1)
 		if within {
 			r := new(big.Float).SetPrec(e.prec).SetInt64(int64(len(entries)))
 			return &vertexData{exact: true, r: r, entries: entries}, nil
@@ -259,8 +447,8 @@ func (e *Estimator) buildVertex(layer, state int, preds []unroll.Edge) (*vertexD
 	}
 
 	// Estimated path (step 5).
-	w0 := e.estimateUnion(layer, t0)
-	w1 := e.estimateUnion(layer, t1)
+	w0 := s.estimateUnion(layer, t0)
+	w1 := s.estimateUnion(layer, t1)
 	r := new(big.Float).SetPrec(e.prec).Add(w0, w1)
 	if r.Sign() <= 0 {
 		return nil, fmt.Errorf("fpras: estimate collapsed to 0 at layer %d state %d (increase K)", layer, state)
@@ -268,11 +456,8 @@ func (e *Estimator) buildVertex(layer, state int, preds []unroll.Edge) (*vertexD
 	vd := &vertexData{r: r}
 	vd.entries = make([]sampleEntry, 0, e.params.K)
 	target := []int{state}
-	if state == -1 {
-		target = []int{-1}
-	}
 	for len(vd.entries) < e.params.K {
-		entry, err := e.sampleOnce(layer, target, vd.r)
+		entry, err := s.sampleOnce(layer, target, vd.r)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +495,8 @@ func (e *Estimator) predsExact(layer int, list []int) bool {
 // exactUnion materializes U(s) = ⋃_b ⋃_{s'∈T_b} { x∘b : x ∈ U(s') },
 // deduplicated, as long as it stays within k elements. The reach set of
 // x∘b is one DAG step from the reach set of x.
-func (e *Estimator) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
+func (s *sampler) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
+	e := s.e
 	seen := map[string]bool{}
 	var out []sampleEntry
 	add := func(bits string, reach *bitset.Set) bool {
@@ -332,7 +518,7 @@ func (e *Estimator) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
 				// bit itself.
 				bits := string([]byte{bit})
 				if !seen[bits] {
-					reach := e.stepReach(nil, automata.Symbol(b), layer)
+					reach := s.stepReach(nil, automata.Symbol(b), layer)
 					if !add(bits, reach) {
 						return nil, false
 					}
@@ -344,7 +530,7 @@ func (e *Estimator) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
 				if seen[bits] {
 					continue
 				}
-				reach := e.stepReach(entry.reach, automata.Symbol(b), layer)
+				reach := s.stepReach(entry.reach, automata.Symbol(b), layer)
 				if !add(bits, reach) {
 					return nil, false
 				}
@@ -354,22 +540,18 @@ func (e *Estimator) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
 	return out, true
 }
 
-// stepReach advances a reach set one layer on symbol b. A nil src means
-// the singleton {s_start}. For the final layer (layer == N+1) the reach set
-// is the singleton {s_final}, which no later query ever inspects, so an
-// empty set of capacity 1 is returned.
-func (e *Estimator) stepReach(src *bitset.Set, b automata.Symbol, layer int) *bitset.Set {
-	if layer == e.dag.N+1 {
-		return bitset.New(1)
-	}
-	dst := bitset.New(e.dag.M)
+// stepReachInto advances a reach set one layer on symbol b, writing into
+// dst (which is cleared first). A nil src means the singleton {s_start}.
+func (s *sampler) stepReachInto(dst, src *bitset.Set, b automata.Symbol, layer int) {
+	e := s.e
+	dst.Clear()
 	if src == nil {
 		for _, p := range e.dag.Src.Successors(e.dag.Src.Start(), b) {
 			if e.dag.Alive(layer, p) {
 				dst.Add(p)
 			}
 		}
-		return dst
+		return
 	}
 	src.ForEach(func(q int) {
 		for _, p := range e.dag.Src.Successors(q, b) {
@@ -378,6 +560,18 @@ func (e *Estimator) stepReach(src *bitset.Set, b automata.Symbol, layer int) *bi
 			}
 		}
 	})
+}
+
+// stepReach is stepReachInto with a freshly allocated (retained) result.
+// For the final layer (layer == N+1) the reach set is the singleton
+// {s_final}, which no later query ever inspects, so the shared empty
+// placeholder is returned.
+func (s *sampler) stepReach(src *bitset.Set, b automata.Symbol, layer int) *bitset.Set {
+	if layer == s.e.dag.N+1 {
+		return s.e.finalReach
+	}
+	dst := bitset.New(s.e.dag.M)
+	s.stepReachInto(dst, src, b, layer)
 	return dst
 }
 
@@ -387,16 +581,19 @@ func (e *Estimator) stepReach(src *bitset.Set, b automata.Symbol, layer int) *bi
 //
 // where membership is answered by the per-sample reach sets. The -1
 // (s_start) pseudo-predecessor contributes exactly 1 (its witness set is
-// {ε}).
-func (e *Estimator) estimateUnion(layer int, list []int) *big.Float {
+// {ε}). The returned value is freshly allocated (it is retained by memo
+// entries and vertex data); all intermediates live in the sampler scratch.
+func (s *sampler) estimateUnion(layer int, list []int) *big.Float {
+	e := s.e
 	total := new(big.Float).SetPrec(e.prec)
 	if len(list) == 0 {
 		return total
 	}
-	before := bitset.New(e.dag.M)
+	before := s.before
+	before.Clear()
 	for _, q := range list {
 		if q == -1 {
-			total.Add(total, big.NewFloat(1))
+			total.Add(total, s.fA.SetInt64(1))
 			continue
 		}
 		vd := e.data[layer-1][q]
@@ -407,12 +604,12 @@ func (e *Estimator) estimateUnion(layer int, list []int) *big.Float {
 			}
 		}
 		if fresh > 0 && len(vd.entries) > 0 {
-			contrib := new(big.Float).SetPrec(e.prec).Set(vd.r)
-			ratio := new(big.Float).SetPrec(e.prec).Quo(
-				new(big.Float).SetInt64(int64(fresh)),
-				new(big.Float).SetInt64(int64(len(vd.entries))))
-			contrib.Mul(contrib, ratio)
-			total.Add(total, contrib)
+			// total += R(s') · fresh/|X(s')| without allocating.
+			s.fA.SetInt64(int64(fresh))
+			s.fB.SetInt64(int64(len(vd.entries)))
+			s.fA.Quo(s.fA, s.fB)
+			s.fA.Mul(s.fA, vd.r)
+			total.Add(total, s.fA)
 		}
 		before.Add(q)
 	}
@@ -423,9 +620,9 @@ func (e *Estimator) estimateUnion(layer int, list []int) *big.Float {
 // given layer, retrying the rejection sampler up to MaxTries times
 // (Algorithm 5 step 5(c)). For exactly handled vertices callers should
 // sample the materialized set directly instead.
-func (e *Estimator) sampleOnce(layer int, target []int, r *big.Float) (sampleEntry, error) {
-	for try := 0; try < e.params.MaxTries; try++ {
-		entry, ok, err := e.sampleAttempt(layer, target, r)
+func (s *sampler) sampleOnce(layer int, target []int, r *big.Float) (sampleEntry, error) {
+	for try := 0; try < s.e.params.MaxTries; try++ {
+		entry, ok, err := s.sampleAttempt(layer, target, r)
 		if err != nil {
 			return sampleEntry{}, err
 		}
@@ -433,27 +630,31 @@ func (e *Estimator) sampleOnce(layer int, target []int, r *big.Float) (sampleEnt
 			return entry, nil
 		}
 	}
-	return sampleEntry{}, fmt.Errorf("fpras: no sample after %d attempts at layer %d (increase MaxTries/K)", e.params.MaxTries, layer)
+	return sampleEntry{}, fmt.Errorf("fpras: no sample after %d attempts at layer %d (increase MaxTries/K)", s.e.params.MaxTries, layer)
 }
 
 // sampleAttempt is Algorithm 4: one recursive descent with rejection.
-func (e *Estimator) sampleAttempt(layer int, target []int, r *big.Float) (sampleEntry, bool, error) {
+func (s *sampler) sampleAttempt(layer int, target []int, r *big.Float) (sampleEntry, bool, error) {
+	e := s.e
 	// ϕ is tracked in log space: log ϕ₀ = −4 − log R(s).
 	logPhi := -4 - logBigFloat(r)
-	bits := make([]byte, layer)
+	if cap(s.bits) < layer {
+		s.bits = make([]byte, layer)
+	}
+	bits := s.bits[:layer]
 	cur := target
 	for t := layer; t > 0; t-- {
-		ch, err := e.choiceFor(t, cur)
+		ch, err := s.choiceFor(t, cur)
 		if err != nil {
 			return sampleEntry{}, false, err
 		}
-		sum := new(big.Float).SetPrec(e.prec).Add(ch.w0, ch.w1)
+		sum := s.fSum.Add(ch.w0, ch.w1)
 		if sum.Sign() <= 0 {
 			return sampleEntry{}, false, fmt.Errorf("fpras: dead end during sampling at layer %d", t)
 		}
-		p1, _ := new(big.Float).Quo(ch.w1, sum).Float64()
+		p1, _ := s.fA.Quo(ch.w1, sum).Float64()
 		var b int
-		if e.rng.Float64() < p1 {
+		if s.rng.Float64() < p1 {
 			b = 1
 			logPhi -= math.Log(p1)
 			cur = ch.t1
@@ -470,20 +671,22 @@ func (e *Estimator) sampleAttempt(layer int, target []int, r *big.Float) (sample
 		if !(logPhi < 0) { // ϕ ∉ (0,1): reject, as Algorithm 4 step 1
 			return sampleEntry{}, false, nil
 		}
-		if e.rng.Float64() >= math.Exp(logPhi) {
+		if s.rng.Float64() >= math.Exp(logPhi) {
 			return sampleEntry{}, false, nil
 		}
 	}
-	s := string(bits)
-	entry := sampleEntry{bits: s, reach: e.traceReach(s, layer)}
+	str := string(bits)
+	entry := sampleEntry{bits: str, reach: s.traceReach(str, layer)}
 	return entry, true, nil
 }
 
 // choiceFor returns (memoized) the predecessor sets and W̃ weights for the
-// current vertex set at layer t.
-func (e *Estimator) choiceFor(t int, cur []int) (*stepChoice, error) {
-	key := memoKey(t, cur)
-	if ch, ok := e.memo[key]; ok {
+// current vertex set at layer t. cur must be sorted (targets are
+// singletons; descents follow the sorted t0/t1 of earlier choices).
+func (s *sampler) choiceFor(t int, cur []int) (*stepChoice, error) {
+	e := s.e
+	h := memoHash(t, cur)
+	if ch := e.memo.get(h, t, cur); ch != nil {
 		return ch, nil
 	}
 	var t0, t1 []int
@@ -515,23 +718,33 @@ func (e *Estimator) choiceFor(t int, cur []int) (*stepChoice, error) {
 	}
 	ch := &stepChoice{
 		t0: t0, t1: t1,
-		w0: e.estimateUnion(t, t0),
-		w1: e.estimateUnion(t, t1),
+		w0: s.estimateUnion(t, t0),
+		w1: s.estimateUnion(t, t1),
 	}
-	e.memo[key] = ch
+	// cur may alias a caller-owned slice; the memo keeps its own copy.
+	e.memo.put(h, t, append([]int(nil), cur...), ch)
 	return ch, nil
 }
 
 // traceReach computes the reach set of a freshly sampled string at its own
-// layer. For strings owned by s_final (layer N+1) the set is the unused
-// singleton placeholder.
-func (e *Estimator) traceReach(bits string, layer int) *bitset.Set {
+// layer. Intermediate layers ping-pong through the sampler scratch; only
+// the final (retained) set is allocated. For strings owned by s_final
+// (layer N+1) the set is the shared unused placeholder.
+func (s *sampler) traceReach(bits string, layer int) *bitset.Set {
+	e := s.e
 	if layer == e.dag.N+1 {
-		return bitset.New(1)
+		return e.finalReach
 	}
 	var cur *bitset.Set
 	for i := 0; i < layer; i++ {
-		cur = e.stepReach(cur, automata.Symbol(bits[i]-'0'), i+1)
+		var dst *bitset.Set
+		if i == layer-1 {
+			dst = bitset.New(e.dag.M)
+		} else {
+			dst = s.trace[i%2]
+		}
+		s.stepReachInto(dst, cur, automata.Symbol(bits[i]-'0'), i+1)
+		cur = dst
 	}
 	return cur
 }
@@ -547,16 +760,6 @@ func insertSorted(xs []int, v int) []int {
 	return xs
 }
 
-func memoKey(t int, cur []int) string {
-	buf := make([]byte, 0, 4+len(cur)*4)
-	buf = append(buf, byte(t), byte(t>>8))
-	for _, v := range cur {
-		u := uint32(int32(v))
-		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-	}
-	return string(buf)
-}
-
 // logBigFloat returns the natural log of a positive big.Float.
 func logBigFloat(x *big.Float) float64 {
 	mant := new(big.Float)
@@ -565,10 +768,24 @@ func logBigFloat(x *big.Float) float64 {
 	return math.Log(m) + float64(exp)*math.Ln2
 }
 
-// Sample makes one Las Vegas attempt to draw a uniform witness of L_n(N).
-// It returns ErrEmpty when the language slice is empty, ErrFail when the
-// rejection sampler rejected (retry), a word of length n on success.
+// finalTarget is the descent start for s_final. Shared and never mutated.
+var finalTarget = []int{-1}
+
+// Sample makes one Las Vegas attempt to draw a uniform witness of L_n(N)
+// using the estimator's internal RNG. It returns ErrEmpty when the language
+// slice is empty, ErrFail when the rejection sampler rejected (retry), a
+// word of length n on success. Safe for concurrent use, but attempts
+// serialize on the internal RNG — use SampleWith or SampleN for parallel
+// throughput.
 func (e *Estimator) Sample() (automata.Word, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.SampleWith(e.rng)
+}
+
+// SampleWith is Sample with a caller-supplied RNG. Distinct goroutines may
+// call it concurrently as long as each uses its own *rand.Rand.
+func (e *Estimator) SampleWith(rng *rand.Rand) (automata.Word, error) {
 	if e.empty {
 		return nil, ErrEmpty
 	}
@@ -579,10 +796,12 @@ func (e *Estimator) Sample() (automata.Word, error) {
 		if len(fd.entries) == 0 {
 			return nil, ErrEmpty
 		}
-		pick := fd.entries[e.rng.Intn(len(fd.entries))]
+		pick := fd.entries[rng.Intn(len(fd.entries))]
 		return bitsToWord(pick.bits[:n]), nil
 	}
-	entry, ok, err := e.sampleAttempt(n+1, []int{-1}, fd.r)
+	s := e.getSampler(rng)
+	defer e.putSampler(s)
+	entry, ok, err := s.sampleAttempt(n+1, finalTarget, fd.r)
 	if err != nil {
 		return nil, err
 	}
@@ -594,19 +813,62 @@ func (e *Estimator) Sample() (automata.Word, error) {
 
 // SampleWitness retries Sample up to maxAttempts times (0 means 2000;
 // acceptance per attempt is ≈ e⁻⁴ ≈ 1.8%, so 2000 attempts fail with
-// probability ≈ 10⁻¹⁶ — Corollary 23's amplification argument).
+// probability ≈ 10⁻¹⁶ — Corollary 23's amplification argument). Safe for
+// concurrent use with the same serialization caveat as Sample.
 func (e *Estimator) SampleWitness(maxAttempts int) (automata.Word, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sampleWitnessWith(e.rng, maxAttempts)
+}
+
+// SampleWitnessWith is SampleWitness with a caller-supplied RNG, under the
+// same contract as SampleWith.
+func (e *Estimator) SampleWitnessWith(rng *rand.Rand, maxAttempts int) (automata.Word, error) {
+	return e.sampleWitnessWith(rng, maxAttempts)
+}
+
+func (e *Estimator) sampleWitnessWith(rng *rand.Rand, maxAttempts int) (automata.Word, error) {
 	if maxAttempts <= 0 {
 		maxAttempts = 2000
 	}
 	for i := 0; i < maxAttempts; i++ {
-		w, err := e.Sample()
+		w, err := e.SampleWith(rng)
 		if err == ErrFail {
 			continue
 		}
 		return w, err
 	}
 	return nil, ErrFail
+}
+
+// SampleN draws k independent uniform witnesses across up to `workers`
+// goroutines (0 selects Params.Workers). Sample i is drawn from its own
+// (Seed, i)-derived RNG stream with the default retry budget, so the output
+// is identical for every worker count; only the wall-clock changes. The
+// first (lowest-index) failure is returned: ErrEmpty when the language
+// slice is empty, ErrFail when some stream exhausted its retries.
+func (e *Estimator) SampleN(k, workers int) ([]automata.Word, error) {
+	if e.empty {
+		return nil, ErrEmpty
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = e.params.Workers
+	}
+	out := make([]automata.Word, k)
+	errs := make([]error, k)
+	par.ForEachIndexed(k, workers, func(i int) {
+		rng := par.StreamRNG(e.params.Seed, streamSampleN, i, 0)
+		out[i], errs[i] = e.sampleWitnessWith(rng, 0)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func bitsToWord(bits string) automata.Word {

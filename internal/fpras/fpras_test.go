@@ -204,7 +204,10 @@ func TestSampleUniformEstimatedPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	if est.Exact() {
-		t.Skip("estimator unexpectedly exact; K too large for this test")
+		// |U(s_final)| = |L_6| = 64 > K = 24, so the exactly-handled path
+		// cannot materialize s_final within K entries: exactness here would
+		// be a correctness bug, not a parameterization accident.
+		t.Fatal("estimator must take the estimated path: |L_6| = 64 exceeds K = 24")
 	}
 	counts := map[string]int{}
 	fails := 0

@@ -1,0 +1,73 @@
+// Package par holds the two primitives every deterministic-parallel path
+// in this library is built from: a bounded indexed fan-out and a seed
+// derivation for independent PRNG streams. Keeping them in one place means
+// the FPRAS build, batched FPRAS sampling, and the UFA batch sampler all
+// share one scheme — and a fix to either primitive reaches all of them.
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndexed runs f(i) for every i in [0, n) across at most `workers`
+// goroutines (workers ≤ 1 runs inline). It returns after every call
+// completes. Determinism is the caller's contract: f must derive anything
+// random from i (see StreamRNG) and write only to its own index, so the
+// result never depends on which goroutine claimed which index.
+func ForEachIndexed(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// StreamRNG derives an independent *rand.Rand from (seed, stream, a, b)
+// via splitmix64-style mixing, so structurally related inputs (adjacent
+// indices, adjacent user seeds) still land on decorrelated streams.
+// `stream` namespaces consumers: the seed is mixed before the tag is
+// folded in, so no seed/tag XOR aliasing can map two different call sites
+// onto the same derived source.
+func StreamRNG(seed int64, stream uint64, a, b int) *rand.Rand {
+	h := Mix64(Mix64(uint64(seed)) ^ stream)
+	h = Mix64(h ^ uint64(int64(a)+0x9e3779b9))
+	h = Mix64(h ^ uint64(int64(b)+0x7f4a7c15))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -91,6 +91,10 @@ func (s *UFASampler) Count() *big.Int { return new(big.Int).Set(s.total) }
 // Sample returns a uniformly random word of L_n(N), or ErrEmpty when the
 // slice is empty. It never fails otherwise (Theorem 5's generator is
 // errorless, unlike the Las Vegas generator of the NL class).
+//
+// Sample only reads the frozen completion-count table, so a single sampler
+// may be shared by concurrent goroutines as long as each call uses its own
+// rng (a *rand.Rand is not concurrency-safe).
 func (s *UFASampler) Sample(rng *rand.Rand) (automata.Word, error) {
 	if s.total.Sign() == 0 {
 		return nil, ErrEmpty

@@ -10,6 +10,17 @@
 // Every path from s_start to s_final spells w∘1 for a distinct w ∈ L_n(N),
 // so |U(s_final)| = |L_n(N)| where U(v) is the set of edge-label strings of
 // paths from s_start to v.
+//
+// # Concurrency
+//
+// A DAG is immutable once Build returns: Alive, AliveSet, Preds,
+// FinalPreds, NumAlive, Empty and Member only read frozen state and are
+// safe for concurrent use (the parallel FPRAS build in internal/fpras
+// relies on this). ReachTrace also reads only frozen state but writes into
+// the caller-provided scratch sets, so concurrent callers must each bring
+// their own scratch. Callers must not mutate the returned sets/slices
+// (AliveSet, Preds, FinalPreds), nor the source automaton, while any
+// concurrent reader exists.
 package unroll
 
 import (
