@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/automata"
 	"repro/internal/baseline"
@@ -182,6 +183,107 @@ func BenchmarkE7_PolyDelay(b *testing.B) {
 			b.StartTimer()
 		}
 	}
+}
+
+// BenchmarkEnumDelayNFA: one full drain of the flashlight enumerator on
+// the E7 workload, reporting the maximum inter-output gap (worst-case
+// delay, the quantity Theorem 16 bounds) as max-delay-ns alongside the
+// usual per-drain time and allocs. The steady-state loop reuses the word
+// and bitset scratch, so allocs/op stays flat in the output count.
+func BenchmarkEnumDelayNFA(b *testing.B) {
+	nfa := automata.SubsetBlowup(10)
+	b.ReportAllocs()
+	var maxGap time.Duration
+	outputs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := enumerate.NewNFA(nfa, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := time.Now()
+		for {
+			if _, ok := e.Next(); !ok {
+				break
+			}
+			now := time.Now()
+			if gap := now.Sub(last); gap > maxGap {
+				maxGap = gap
+			}
+			last = now
+			outputs++
+		}
+	}
+	b.ReportMetric(float64(maxGap.Nanoseconds()), "max-delay-ns")
+	b.ReportMetric(float64(outputs)/float64(b.N), "words/op")
+}
+
+// BenchmarkEnumDelayUFA: the same drain-and-track-gap shape for the
+// constant-delay enumerator (Algorithm 1) on the E1 workload.
+func BenchmarkEnumDelayUFA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dfa := automata.RandomDFA(rng, automata.Binary(), 64, 0.5)
+	b.ReportAllocs()
+	var maxGap time.Duration
+	outputs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := enumerate.NewUFA(dfa, 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := time.Now()
+		for {
+			if _, ok := e.Next(); !ok {
+				break
+			}
+			now := time.Now()
+			if gap := now.Sub(last); gap > maxGap {
+				maxGap = gap
+			}
+			last = now
+			outputs++
+		}
+	}
+	b.ReportMetric(float64(maxGap.Nanoseconds()), "max-delay-ns")
+	b.ReportMetric(float64(outputs)/float64(b.N), "words/op")
+}
+
+// BenchmarkEnumDelayParallel: the same flashlight drain through the
+// prefix-sharded stream with the ordered merge across all cores — the
+// serving-layer configuration (identical output order, parallel
+// producers).
+func BenchmarkEnumDelayParallel(b *testing.B) {
+	nfa := automata.SubsetBlowup(10)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	var maxGap time.Duration
+	outputs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := enumerate.NewNFAStream(nfa, 16, enumerate.StreamOptions{Workers: workers, Ordered: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := time.Now()
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+			now := time.Now()
+			if gap := now.Sub(last); gap > maxGap {
+				maxGap = gap
+			}
+			last = now
+			outputs++
+		}
+		if err := st.Err(); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+	b.ReportMetric(float64(maxGap.Nanoseconds()), "max-delay-ns")
+	b.ReportMetric(float64(outputs)/float64(b.N), "words/op")
 }
 
 // BenchmarkE8_PLVUG: one Las Vegas sampling attempt (most reject, as the

@@ -1,29 +1,48 @@
 // Command benchtab regenerates the experiment tables of DESIGN.md /
-// EXPERIMENTS.md (F1 and E1–E14): the empirical validation of every
+// EXPERIMENTS.md (F1 and E1–E15): the empirical validation of every
 // theorem of the paper on this implementation.
 //
 // Usage:
 //
-//	benchtab            # run everything (a few minutes)
-//	benchtab -quick     # smaller workloads (tens of seconds)
-//	benchtab -only E4   # a single experiment
-//	benchtab -list      # list experiment ids
+//	benchtab                      # run everything (a few minutes)
+//	benchtab -quick               # smaller workloads (tens of seconds)
+//	benchtab -only E4             # a single experiment
+//	benchtab -only E1,E7,E15      # a comma-separated subset
+//	benchtab -json out.json       # additionally dump the tables as JSON
+//	benchtab -list                # list experiment ids
+//
+// The JSON dump is the machine-readable artifact CI archives per commit,
+// so the performance trajectory accumulates alongside the human tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// report is the JSON artifact shape: enough metadata to compare runs
+// across commits and machines.
+type report struct {
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Quick      bool           `json:"quick"`
+	Elapsed    string         `json:"elapsed"`
+	Tables     []*bench.Table `json:"tables"`
+}
+
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		only  = flag.String("only", "", "run a single experiment id (e.g. E4)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		only     = flag.String("only", "", "run a subset of experiment ids, comma-separated (e.g. E4 or E1,E15)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath = flag.String("json", "", "write the tables as JSON to this file")
 	)
 	flag.Parse()
 	if *list {
@@ -33,17 +52,45 @@ func main() {
 		return
 	}
 	start := time.Now()
+	var tables []*bench.Table
 	if *only != "" {
-		tab := bench.ByID(*only, *quick)
-		if tab == nil {
-			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", *only)
-			os.Exit(2)
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			tab := bench.ByID(id, *quick)
+			if tab == nil {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			tables = append(tables, tab)
 		}
-		tab.Fprint(os.Stdout)
 	} else {
-		for _, tab := range bench.All(*quick) {
-			tab.Fprint(os.Stdout)
+		tables = bench.All(*quick)
+	}
+	for _, tab := range tables {
+		tab.Fprint(os.Stdout)
+	}
+	elapsed := time.Since(start)
+	if *jsonPath != "" {
+		rep := report{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+			Elapsed:    elapsed.Round(time.Millisecond).String(),
+			Tables:     tables,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
 		}
 	}
-	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("total: %s\n", elapsed.Round(time.Millisecond))
 }

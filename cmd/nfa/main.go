@@ -8,12 +8,18 @@
 //
 //	nfa info   -f automaton.txt
 //	nfa count  -f automaton.txt -n 12 [-exact] [-delta 0.1] [-k 96] [-seed 1] [-workers 8]
-//	nfa enum   -f automaton.txt -n 12 [-limit 20]
+//	nfa enum   -f automaton.txt -n 12 [-limit 20] [-cursor TOKEN] [-workers 8]
 //	nfa sample -f automaton.txt -n 12 [-count 5] [-seed 1] [-workers 8]
 //
-// -workers bounds the parallelism of the FPRAS build and of batched
-// sampling (0 = all cores, 1 = serial); it changes wall-clock only, never
-// the output for a fixed seed.
+// -workers bounds the parallelism of the FPRAS build, of batched sampling,
+// and of sharded enumeration (0 = all cores, 1 = serial); it changes
+// wall-clock only, never the output for a fixed seed (enum merges shards
+// back into canonical order).
+//
+// Enumeration is paginated: enum prints a resume token on stderr, and
+// -cursor continues a previous listing exactly where it stopped (serial
+// sessions only; the token embeds a fingerprint of the automaton, so it
+// must be replayed against the same file and length).
 package main
 
 import (
@@ -56,7 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		delta   = fs.Float64("delta", 0.1, "FPRAS target relative error (count)")
 		k       = fs.Int("k", 0, "FPRAS sketch size override")
 		seed    = fs.Int64("seed", 0, "random seed (0 = fixed default)")
-		workers = fs.Int("workers", 0, "FPRAS build/sampling parallelism (0 = all cores)")
+		workers = fs.Int("workers", 0, "FPRAS build/sampling/enum parallelism (0 = all cores)")
+		cursor  = fs.String("cursor", "", "resume a previous enum from its token (enum)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
@@ -91,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case "count":
 			err = runCount(stdout, inst, *exactF)
 		case "enum":
-			err = runEnum(stdout, stderr, inst, *limit)
+			err = runEnum(stdout, stderr, inst, *limit, *workers, *cursor)
 		case "sample":
 			err = runSample(stdout, inst, *count, *workers)
 		}
@@ -148,15 +155,36 @@ func runCount(w io.Writer, inst *core.Instance, forceExact bool) error {
 	return nil
 }
 
-func runEnum(w, errw io.Writer, inst *core.Instance, limit int) error {
-	ws, err := inst.Witnesses(limit)
+func runEnum(w, errw io.Writer, inst *core.Instance, limit, workers int, cursor string) error {
+	s, err := inst.Enumerate(core.CursorOptions{
+		Cursor:  cursor,
+		Limit:   limit,
+		Workers: workers,
+		Ordered: true, // parallel shards merge back into canonical order
+	})
 	if err != nil {
 		return err
 	}
-	for _, witness := range ws {
-		fmt.Fprintln(w, witness)
+	defer s.Close()
+	count := 0
+	for {
+		word, ok := s.Next()
+		if !ok {
+			break
+		}
+		fmt.Fprintln(w, inst.FormatWord(word))
+		count++
 	}
-	fmt.Fprintf(errw, "# %d witnesses (%s, limit %d)\n", len(ws), inst.Class(), limit)
+	if err := s.Err(); err != nil {
+		return err
+	}
+	if tok, ok := s.Token(); ok {
+		fmt.Fprintf(errw, "# %d witnesses (%s, limit %d); resume with -cursor %s\n",
+			count, inst.Class(), limit, tok)
+	} else {
+		fmt.Fprintf(errw, "# %d witnesses (%s, limit %d; parallel, not resumable)\n",
+			count, inst.Class(), limit)
+	}
 	return nil
 }
 

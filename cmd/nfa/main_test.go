@@ -157,6 +157,95 @@ func TestSampleParallelDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestEnumCursorRoundTrip: enumerate a page, scrape the resume token off
+// stderr, continue with -cursor, and compare the concatenation against one
+// unbounded run — end to end through the CLI, for both classes.
+func TestEnumCursorRoundTrip(t *testing.T) {
+	for name, fixture := range map[string]string{"amb": ambFixture, "unamb": unambFixture} {
+		f := writeFixture(t, name+".txt", fixture)
+		n := "4"
+		if name == "unamb" {
+			n = "3"
+		}
+		fullOut, _, code := runNFA(t, "enum", "-f", f, "-n", n, "-limit", "0")
+		if code != 0 {
+			t.Fatalf("%s: full enum exit %d", name, code)
+		}
+		want := strings.Fields(fullOut)
+
+		var got []string
+		cursor := ""
+		for page := 0; ; page++ {
+			if page > len(want)+2 {
+				t.Fatalf("%s: pagination does not terminate", name)
+			}
+			args := []string{"enum", "-f", f, "-n", n, "-limit", "3"}
+			if cursor != "" {
+				args = append(args, "-cursor", cursor)
+			}
+			out, errOut, code := runNFA(t, args...)
+			if code != 0 {
+				t.Fatalf("%s page %d: exit %d, stderr %q", name, page, code, errOut)
+			}
+			words := strings.Fields(out)
+			got = append(got, words...)
+			const marker = "-cursor "
+			i := strings.Index(errOut, marker)
+			if i < 0 {
+				t.Fatalf("%s page %d: no resume token on stderr: %q", name, page, errOut)
+			}
+			cursor = strings.TrimSpace(errOut[i+len(marker):])
+			if len(words) == 0 {
+				break
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: paginated %d witnesses, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: witness %d = %q, want %q", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEnumParallelMatchesSerial: -workers with the ordered merge produces
+// the exact serial output.
+func TestEnumParallelMatchesSerial(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	serial, _, code := runNFA(t, "enum", "-f", f, "-n", "6", "-limit", "0", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	parallel, errOut, code := runNFA(t, "enum", "-f", f, "-n", "6", "-limit", "0", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("parallel exit %d", code)
+	}
+	if parallel != serial {
+		t.Fatalf("parallel enum differs:\n%q\nvs\n%q", parallel, serial)
+	}
+	if !strings.Contains(errOut, "not resumable") {
+		t.Fatalf("parallel run should report non-resumability: %q", errOut)
+	}
+}
+
+// TestEnumRejectsForeignCursor: a token minted on one automaton must not
+// resume on another.
+func TestEnumRejectsForeignCursor(t *testing.T) {
+	amb := writeFixture(t, "amb.txt", ambFixture)
+	_, errOut, code := runNFA(t, "enum", "-f", amb, "-n", "4", "-limit", "2")
+	if code != 0 {
+		t.Fatal("seed run failed")
+	}
+	i := strings.Index(errOut, "-cursor ")
+	tok := strings.TrimSpace(errOut[i+len("-cursor "):])
+	empty := writeFixture(t, "empty.txt", emptyFixture)
+	if _, _, code := runNFA(t, "enum", "-f", empty, "-n", "4", "-cursor", tok); code == 0 {
+		t.Fatal("foreign cursor accepted")
+	}
+}
+
 func TestSampleEmptyLanguage(t *testing.T) {
 	f := writeFixture(t, "empty.txt", emptyFixture)
 	out, _, code := runNFA(t, "sample", "-f", f, "-n", "6")

@@ -5,9 +5,14 @@
 //
 // Rules are regexes with capture variables, e.g.
 //
-//	spanner -rule ".*(user: a+)=(val: [0-9]+).*" -alphabet "a=0123456789" -doc "aaa=42" -enum 10
+//	spanner -rule ".*(user: a+)=(val: [0-9]+).*" -alphabet "a=0123456789" -doc "aaa=42" -enum -limit 10
 //	spanner -rule ".*(x: err).*" -alphabet aber -doc abberraerr -count
 //	spanner -rule ".*(x: e(r)+).*" -alphabet aber -doc abberraerr -sample 3
+//
+// Enumeration is paginated: with -limit the command prints a resume token
+// on stderr, and -cursor continues a previous listing exactly where it
+// stopped. -workers N (N > 1) enumerates prefix shards in parallel,
+// merged back into canonical order.
 package main
 
 import (
@@ -26,14 +31,17 @@ func main() {
 		doc      = flag.String("doc", "", "document text")
 		docFile  = flag.String("docfile", "", "read the document from a file instead")
 		count    = flag.Bool("count", false, "print the number of mappings")
-		enum     = flag.Int("enum", 0, "enumerate up to N mappings")
+		enum     = flag.Bool("enum", false, "enumerate mappings")
+		limit    = flag.Int("limit", 0, "max mappings to enumerate (0 = all; prints a resume token)")
+		cursor   = flag.String("cursor", "", "resume a previous enumeration from its token")
+		workers  = flag.Int("workers", 0, "parallel enumeration shard workers (≤ 1 = serial, resumable)")
 		sampleN  = flag.Int("sample", 0, "sample N uniform mappings")
 		seed     = flag.Int64("seed", 0, "random seed")
 		k        = flag.Int("k", 0, "FPRAS sketch size override")
 	)
 	flag.Parse()
 	if *rule == "" || *alphabet == "" {
-		fmt.Fprintln(os.Stderr, "usage: spanner -rule RULE -alphabet CHARS (-doc TEXT | -docfile FILE) [-count|-enum N|-sample N]")
+		fmt.Fprintln(os.Stderr, "usage: spanner -rule RULE -alphabet CHARS (-doc TEXT | -docfile FILE) [-count|-enum [-limit N] [-cursor TOK] [-workers W]|-sample N]")
 		os.Exit(2)
 	}
 	if *docFile != "" {
@@ -58,7 +66,10 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
-	if !*count && *enum == 0 && *sampleN == 0 {
+	if *cursor != "" || *limit > 0 {
+		*enum = true
+	}
+	if !*count && !*enum && *sampleN == 0 {
 		*count = true
 	}
 	if *count {
@@ -72,22 +83,34 @@ func main() {
 		}
 		fmt.Printf("mappings: %s (%s, %s)\n", v.Text('f', 0), kind, ci.Class())
 	}
-	if *enum > 0 {
-		e, err := ci.Enumerate()
+	if *enum {
+		ms, err := inst.Enumerate(ci, core.CursorOptions{
+			Cursor:  *cursor,
+			Limit:   *limit,
+			Workers: *workers,
+			Ordered: true,
+		})
 		if err != nil {
 			fail(err.Error())
 		}
-		for i := 0; i < *enum; i++ {
-			w, ok := e.Next()
+		printed := 0
+		for {
+			mp, ok := ms.Next()
 			if !ok {
 				break
 			}
-			mp, err := inst.DecodeMapping(w)
-			if err != nil {
-				fail(err.Error())
-			}
 			printMapping(r, mp, *doc)
+			printed++
 		}
+		if err := ms.Err(); err != nil {
+			fail(err.Error())
+		}
+		if tok, ok := ms.Token(); ok {
+			fmt.Fprintf(os.Stderr, "# %d mappings; resume with -cursor %s\n", printed, tok)
+		} else {
+			fmt.Fprintf(os.Stderr, "# %d mappings (parallel, not resumable)\n", printed)
+		}
+		ms.Close()
 	}
 	for i := 0; i < *sampleN; i++ {
 		w, err := ci.Sample()

@@ -57,17 +57,38 @@ func main() {
 	fmt.Printf("matching paths: %s (exact=%v)\n\n", count.Text('f', 0), isExact)
 
 	fmt.Println("first paths by polynomial-delay enumeration:")
-	e, err := ci.Enumerate()
+	paths, err := prod.Enumerate(ci, core.CursorOptions{Limit: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < 5; i++ {
-		w, ok := e.Next()
+	for {
+		p, ok := paths.Next()
 		if !ok {
 			break
 		}
-		fmt.Printf("  %s\n", g.FormatPath(prod.WordToPath(w)))
+		fmt.Printf("  %s\n", g.FormatPath(p))
 	}
+	if err := paths.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// The session's cursor resumes the listing exactly where it stopped —
+	// the pagination handle a path-serving API would return to its client.
+	if tok, ok := paths.Token(); ok {
+		resumed, err := prod.Enumerate(ci, core.CursorOptions{Cursor: tok, Limit: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("next page, via resume token:")
+		for {
+			p, ok := resumed.Next()
+			if !ok {
+				break
+			}
+			fmt.Printf("  %s\n", g.FormatPath(p))
+		}
+		resumed.Close()
+	}
+	paths.Close()
 
 	fmt.Println("\nuniform path samples:")
 	for i := 0; i < 3; i++ {

@@ -54,24 +54,25 @@ func main() {
 	}
 	fmt.Printf("mappings: %s (exact=%v)\n\n", count.Text('f', 0), isExact)
 
-	// Enumerate all mappings, decoding each witness back to spans.
-	e, err := ci.Enumerate()
+	// Enumerate all mappings; the session decodes each witness back to
+	// spans on the fly.
+	ms, err := inst.Enumerate(ci, core.CursorOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("all extracted spans:")
 	for {
-		w, ok := e.Next()
+		mp, ok := ms.Next()
 		if !ok {
 			break
-		}
-		mp, err := inst.DecodeMapping(w)
-		if err != nil {
-			log.Fatal(err)
 		}
 		span := mp[0]
 		fmt.Printf("  %s  -> %q\n", mp.Format(eva.Vars), span.Content(doc))
 	}
+	if err := ms.Err(); err != nil {
+		log.Fatal(err)
+	}
+	ms.Close()
 
 	// Draw a uniform mapping.
 	w, err := ci.Sample()

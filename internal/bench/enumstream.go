@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/enumerate"
+)
+
+// E15ShardedEnum measures the prefix-sharded streaming enumerator: one
+// full ordered drain of the flashlight workload per worker count,
+// verifying on the way that every parallelism level emits the exact serial
+// sequence (the engine's ordered-merge contract), plus one unordered
+// (throughput-mode) drain checked as a set by word count.
+func E15ShardedEnum(quick bool) *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Sharded enumeration: workers vs wall-clock (ordered merge = serial order)",
+		Header: []string{"m", "n", "shards", "workers", "mode", "time", "speedup", "words"},
+	}
+	size, length := 10, 16
+	if quick {
+		size, length = 6, 12
+	}
+	nfa := automata.SubsetBlowup(size)
+
+	serialStart := time.Now()
+	se, err := enumerate.NewNFA(nfa, length)
+	if err != nil {
+		t.Notes = append(t.Notes, "setup failed: "+err.Error())
+		return t
+	}
+	var serialWords []string
+	for {
+		w, ok := se.Next()
+		if !ok {
+			break
+		}
+		serialWords = append(serialWords, nfa.Alphabet().FormatWord(w))
+	}
+	serialTime := time.Since(serialStart)
+	t.AddRow(fmt.Sprint(nfa.NumStates()), fmt.Sprint(length), "1", "1", "serial",
+		ms(serialTime), "1.00x", fmt.Sprint(len(serialWords)))
+
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	if quick {
+		workerCounts = []int{1, 4}
+	}
+	for _, w := range workerCounts {
+		start := time.Now()
+		st, err := enumerate.NewNFAStream(nfa, length, enumerate.StreamOptions{
+			Workers: w, Shards: 4 * w, Ordered: true,
+		})
+		if err != nil {
+			t.AddRow(fmt.Sprint(nfa.NumStates()), fmt.Sprint(length), "-", fmt.Sprint(w),
+				"ordered", "err:"+err.Error(), "-", "-")
+			continue
+		}
+		count, mismatch := 0, false
+		for {
+			word, ok := st.Next()
+			if !ok {
+				break
+			}
+			if count < len(serialWords) && nfa.Alphabet().FormatWord(word) != serialWords[count] {
+				mismatch = true
+			}
+			count++
+		}
+		st.Close()
+		d := time.Since(start)
+		words := fmt.Sprint(count)
+		if mismatch || count != len(serialWords) {
+			words += " (MISMATCH vs serial!)"
+		}
+		t.AddRow(fmt.Sprint(nfa.NumStates()), fmt.Sprint(length), fmt.Sprint(len(st.Shards())),
+			fmt.Sprint(w), "ordered", ms(d), fmt.Sprintf("%.2fx", float64(serialTime)/float64(d)), words)
+	}
+
+	// Throughput mode: arrival order, completeness checked by count.
+	w := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	st, err := enumerate.NewNFAStream(nfa, length, enumerate.StreamOptions{Workers: w, Shards: 4 * w})
+	if err == nil {
+		count := 0
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+			count++
+		}
+		st.Close()
+		d := time.Since(start)
+		words := fmt.Sprint(count)
+		if count != len(serialWords) {
+			words += " (INCOMPLETE!)"
+		}
+		t.AddRow(fmt.Sprint(nfa.NumStates()), fmt.Sprint(length), fmt.Sprint(len(st.Shards())),
+			fmt.Sprint(w), "unordered", ms(d), fmt.Sprintf("%.2fx", float64(serialTime)/float64(d)), words)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d; ordered rows must match the serial sequence bitwise — speedup needs real cores", runtime.GOMAXPROCS(0)))
+	return t
+}

@@ -20,6 +20,9 @@
 // underneath is itself concurrent (see internal/fpras). Sample serializes
 // on the internal RNG; SampleManyParallel is the parallel-throughput path
 // and is deterministic per Options.Seed regardless of the worker count.
+// Enumerate opens independent sessions, so concurrent enumerations never
+// interfere; a single session is for one goroutine (see
+// internal/enumerate for the cursor and sharding contracts).
 package core
 
 import (
@@ -217,25 +220,113 @@ func (in *Instance) ufa() (*sample.UFASampler, error) {
 	return in.ufaSampler, nil
 }
 
-// Enumerate returns the class-appropriate enumerator: Algorithm 1
+// CursorOptions configure an enumeration session.
+type CursorOptions struct {
+	// Cursor resumes from a token minted by a previous session's Token
+	// ("" starts from the first witness). Mutually exclusive with
+	// Workers > 1: a parallel stream has no single resume point.
+	Cursor string
+	// Limit stops the session after this many outputs (≤ 0 = unbounded).
+	// The resume token of a limited serial session points just past the
+	// last emitted witness, so paginated calls chain cleanly.
+	Limit int
+	// Workers > 1 enables prefix-sharded parallel enumeration across that
+	// many goroutines (0 or 1 = serial; serial sessions are resumable).
+	Workers int
+	// Shards is the target prefix-cell count for parallel sessions
+	// (0 = 4×Workers).
+	Shards int
+	// Ordered makes a parallel session emit in the canonical serial order
+	// (bitwise identical to Workers ≤ 1); unordered parallel sessions
+	// emit in per-shard arrival order for maximum throughput.
+	Ordered bool
+}
+
+// Enumerate opens a class-appropriate enumeration session: Algorithm 1
 // (constant delay) for ClassUL, the flashlight (polynomial delay) for
-// ClassNL. Each call returns a fresh enumerator starting from the first
-// witness.
-func (in *Instance) Enumerate() (enumerate.Enumerator, error) {
+// ClassNL. Serial sessions (Workers ≤ 1) are resumable via Token; parallel
+// sessions fan prefix cells across goroutines. Close the session when done
+// (a no-op for serial sessions).
+func (in *Instance) Enumerate(opts CursorOptions) (enumerate.Session, error) {
+	s, err := in.openSession(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Limit > 0 {
+		s = &limitedSession{Session: s, left: opts.Limit}
+	}
+	return s, nil
+}
+
+func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
+	if opts.Workers > 1 {
+		if opts.Cursor != "" {
+			return nil, fmt.Errorf("core: parallel enumeration cannot resume from a cursor (use Workers ≤ 1)")
+		}
+		sopts := enumerate.StreamOptions{Workers: opts.Workers, Shards: opts.Shards, Ordered: opts.Ordered}
+		if in.class == ClassUL {
+			return enumerate.NewUFAStream(in.n, in.length, sopts)
+		}
+		return enumerate.NewNFAStream(in.n, in.length, sopts)
+	}
+	if opts.Cursor != "" {
+		c, err := enumerate.ParseToken(opts.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		if c.Length != in.length {
+			return nil, fmt.Errorf("core: cursor length %d does not match instance length %d", c.Length, in.length)
+		}
+		if in.class == ClassUL {
+			if c.Kind != enumerate.KindUFA {
+				return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", c.Kind, in.class)
+			}
+			return enumerate.NewUFAFrom(in.n, c)
+		}
+		if c.Kind != enumerate.KindNFA {
+			return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", c.Kind, in.class)
+		}
+		return enumerate.NewNFAFrom(in.n, c)
+	}
 	if in.class == ClassUL {
 		return enumerate.NewUFA(in.n, in.length)
 	}
 	return enumerate.NewNFA(in.n, in.length)
 }
 
-// Witnesses drains the enumerator into formatted strings (limit ≤ 0 means
+// EnumerateFrom is Enumerate resuming from a serialized token — the
+// pagination entry point: enumerate a page, keep the token, reopen later.
+func (in *Instance) EnumerateFrom(token string) (enumerate.Session, error) {
+	return in.Enumerate(CursorOptions{Cursor: token})
+}
+
+// limitedSession caps a session's output count, forwarding everything else.
+type limitedSession struct {
+	enumerate.Session
+	left int
+}
+
+func (l *limitedSession) Next() (automata.Word, bool) {
+	if l.left <= 0 {
+		return nil, false
+	}
+	w, ok := l.Session.Next()
+	if ok {
+		l.left--
+	}
+	return w, ok
+}
+
+// Witnesses drains a fresh session into formatted strings (limit ≤ 0 means
 // all) — a convenience for examples and CLIs.
 func (in *Instance) Witnesses(limit int) ([]string, error) {
-	e, err := in.Enumerate()
+	s, err := in.Enumerate(CursorOptions{Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	return enumerate.Collect(in.n.Alphabet(), e, limit), nil
+	defer s.Close()
+	out := enumerate.Collect(in.n.Alphabet(), s, limit)
+	return out, s.Err()
 }
 
 // Sample draws one uniform witness: exact uniform for ClassUL, the Las

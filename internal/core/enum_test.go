@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/enumerate"
+)
+
+// drainSession collects a session's remaining outputs as strings.
+func drainSession(in *Instance, s enumerate.Session) []string {
+	defer s.Close()
+	var out []string
+	for {
+		w, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in.FormatWord(w))
+	}
+}
+
+// TestEnumeratePagination: page through both classes with Limit + Cursor
+// and compare the concatenated pages against one unbounded drain.
+func TestEnumeratePagination(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	autos := []*automata.NFA{
+		automata.RandomDFA(rng, automata.Binary(), 6, 0.5),    // ClassUL
+		automata.Random(rng, automata.Binary(), 5, 0.35, 0.4), // likely ClassNL
+		automata.AmbiguityGap(6),                              // ClassNL
+	}
+	for ai, a := range autos {
+		in, err := New(a, 6, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := in.Witnesses(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, page := range []int{1, 2, 3, 7} {
+			var got []string
+			token := ""
+			for steps := 0; ; steps++ {
+				if steps > len(want)+2 {
+					t.Fatalf("automaton %d page %d: pagination does not terminate", ai, page)
+				}
+				s, err := in.Enumerate(CursorOptions{Cursor: token, Limit: page})
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := len(got)
+				got = append(got, drainSession(in, s)...)
+				tok, ok := s.Token()
+				if !ok {
+					t.Fatal("serial session must be resumable")
+				}
+				token = tok
+				if len(got) == before {
+					break
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("automaton %d page %d: %d outputs, want %d", ai, page, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("automaton %d page %d: output %d = %q, want %q", ai, page, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateFrom: the one-argument resume entry point equals
+// Enumerate(CursorOptions{Cursor: token}).
+func TestEnumerateFrom(t *testing.T) {
+	paper, length := automata.PaperExample()
+	in, err := New(paper, length, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := in.Enumerate(CursorOptions{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drainSession(in, s)
+	tok, _ := s.Token()
+	resumed, err := in.EnumerateFrom(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := drainSession(in, resumed)
+	got := append(first, rest...)
+	want := []string{"aaa", "aab", "bba", "bbb"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEnumerateParallelOrdered: a parallel ordered session is bitwise
+// identical to the serial one, for both classes. Run with -race in CI.
+func TestEnumerateParallelOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 4; trial++ {
+		for _, a := range []*automata.NFA{
+			automata.RandomDFA(rng, automata.Binary(), 5, 0.5),
+			automata.Random(rng, automata.Binary(), 5, 0.3, 0.4),
+		} {
+			in, err := New(a, 7, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := in.Witnesses(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := in.Enumerate(CursorOptions{Workers: 4, Shards: 10, Ordered: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainSession(in, s)
+			if err := s.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (%s): %d outputs, want %d", trial, in.Class(), len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d (%s): output %d = %q, want %q", trial, in.Class(), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateParallelWithLimit: Limit applies to parallel sessions too
+// (the session is closed early; workers shut down cleanly).
+func TestEnumerateParallelWithLimit(t *testing.T) {
+	in, err := New(automata.All(automata.Binary()), 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := in.Enumerate(CursorOptions{Workers: 4, Shards: 16, Ordered: true, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainSession(in, s)
+	if len(got) != 10 {
+		t.Fatalf("limit ignored: %d outputs", len(got))
+	}
+	if got[0] != "0000000000000000" {
+		t.Fatalf("first word %q", got[0])
+	}
+}
+
+// TestEnumerateRejectsBadCursors: cursor misuse fails loudly at open time.
+func TestEnumerateRejectsBadCursors(t *testing.T) {
+	paper, length := automata.PaperExample()
+	in, err := New(paper, length, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.EnumerateFrom("not-a-token"); err == nil {
+		t.Fatal("garbage token accepted")
+	}
+	// A cursor of the wrong length.
+	other, err := New(paper, length+1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := other.Enumerate(CursorOptions{Limit: 1})
+	drainSession(other, s)
+	tok, _ := s.Token()
+	if _, err := in.EnumerateFrom(tok); err == nil {
+		t.Fatal("cursor with wrong length accepted")
+	}
+	// A cursor of the wrong class kind.
+	amb, err := New(automata.AmbiguityGap(3), length, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := amb.Enumerate(CursorOptions{Limit: 1})
+	drainSession(amb, s2)
+	tok2, _ := s2.Token()
+	if _, err := in.EnumerateFrom(tok2); err == nil {
+		t.Fatal("cursor with wrong kind accepted")
+	}
+	// Parallel + cursor is contradictory.
+	if _, err := in.Enumerate(CursorOptions{Cursor: tok, Workers: 4}); err == nil {
+		t.Fatal("parallel resume accepted")
+	}
+}

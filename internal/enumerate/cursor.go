@@ -1,0 +1,143 @@
+package enumerate
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// Cursor kinds: which algorithm's position the cursor encodes.
+const (
+	// KindUFA marks an Algorithm 1 cursor (position = decision indices).
+	KindUFA byte = 'u'
+	// KindNFA marks a flashlight cursor (position = last emitted word).
+	KindNFA byte = 'n'
+)
+
+// CursorState distinguishes the three positions a cursor can denote.
+type CursorState byte
+
+const (
+	// CursorFresh: nothing emitted yet; resuming starts from the top.
+	CursorFresh CursorState = 'f'
+	// CursorMid: Pos records the position after the last emitted word.
+	CursorMid CursorState = 'm'
+	// CursorDone: the range is exhausted; resuming yields nothing.
+	CursorDone CursorState = 'd'
+)
+
+// Cursor is a decoded enumeration position: the logspace-sized resume point
+// the self-reducible structure of §5.2 guarantees. See the package comment
+// for the token format.
+type Cursor struct {
+	Kind   byte
+	Length int
+	State  CursorState
+	// Pos is the position payload for CursorMid: per-layer decision
+	// indices (KindUFA) or the symbols of the last emitted word (KindNFA),
+	// always exactly Length ints.
+	Pos []int
+	// FP is the Fingerprint of the automaton the cursor was minted on.
+	FP uint32
+}
+
+// tokenPrefix versions the wire format; bump it on incompatible changes.
+const tokenPrefix = "el1"
+
+// Token serializes the cursor to a compact printable resume token.
+func (c Cursor) Token() string {
+	buf := make([]byte, 0, 8+2*len(c.Pos))
+	buf = binary.AppendUvarint(buf, uint64(c.FP))
+	buf = binary.AppendUvarint(buf, uint64(c.Length))
+	buf = append(buf, byte(c.State))
+	if c.State == CursorMid {
+		for _, v := range c.Pos {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	return tokenPrefix + ":" + string(c.Kind) + ":" + base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// ParseToken decodes a resume token. It validates everything that can be
+// checked without the automaton (format, kind, state, payload arity);
+// automaton-dependent validation (fingerprint, decision ranges, prefix
+// viability) happens in NewUFAFrom/NewNFAFrom.
+func ParseToken(token string) (Cursor, error) {
+	var c Cursor
+	parts := strings.Split(token, ":")
+	if len(parts) != 3 || parts[0] != tokenPrefix {
+		return c, fmt.Errorf("enumerate: malformed resume token (want %s:<kind>:<payload>)", tokenPrefix)
+	}
+	if len(parts[1]) != 1 || (parts[1][0] != KindUFA && parts[1][0] != KindNFA) {
+		return c, fmt.Errorf("enumerate: unknown cursor kind %q", parts[1])
+	}
+	c.Kind = parts[1][0]
+	raw, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil {
+		return c, fmt.Errorf("enumerate: bad token payload: %v", err)
+	}
+	fp, k := binary.Uvarint(raw)
+	if k <= 0 || fp > math.MaxUint32 {
+		return c, fmt.Errorf("enumerate: bad token fingerprint")
+	}
+	raw = raw[k:]
+	c.FP = uint32(fp)
+	length, k := binary.Uvarint(raw)
+	if k <= 0 || length > math.MaxInt32 {
+		return c, fmt.Errorf("enumerate: bad token length")
+	}
+	raw = raw[k:]
+	c.Length = int(length)
+	if len(raw) == 0 {
+		return c, fmt.Errorf("enumerate: truncated token (missing state)")
+	}
+	c.State = CursorState(raw[0])
+	raw = raw[1:]
+	switch c.State {
+	case CursorFresh, CursorDone:
+		if len(raw) != 0 {
+			return c, fmt.Errorf("enumerate: trailing bytes after %c-state token", c.State)
+		}
+		return c, nil
+	case CursorMid:
+		// Each encoded position int costs at least one payload byte, so an
+		// honest mid token can never claim more ints than bytes remain —
+		// reject before sizing the allocation off untrusted input.
+		if c.Length > len(raw) {
+			return c, fmt.Errorf("enumerate: token claims %d positions but carries %d bytes", c.Length, len(raw))
+		}
+		c.Pos = make([]int, c.Length)
+		for i := range c.Pos {
+			v, k := binary.Uvarint(raw)
+			if k <= 0 || v > math.MaxInt32 {
+				return c, fmt.Errorf("enumerate: truncated token position (%d of %d ints)", i, c.Length)
+			}
+			raw = raw[k:]
+			c.Pos[i] = int(v)
+		}
+		if len(raw) != 0 {
+			return c, fmt.Errorf("enumerate: trailing bytes after token position")
+		}
+		return c, nil
+	}
+	return c, fmt.Errorf("enumerate: unknown cursor state %q", byte(c.State))
+}
+
+// Resume reopens an enumeration from a serialized token, dispatching on the
+// cursor kind: a 'u' token yields a UFAEnumerator, an 'n' token an
+// NFAEnumerator. The automaton must be the one the token was minted on
+// (enforced via the embedded fingerprint).
+func Resume(n *automata.NFA, token string) (Session, error) {
+	c, err := ParseToken(token)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind == KindUFA {
+		return NewUFAFrom(n, c)
+	}
+	return NewNFAFrom(n, c)
+}

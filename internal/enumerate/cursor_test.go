@@ -1,0 +1,286 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+)
+
+// drain collects every remaining output as formatted strings.
+func drain(alpha *automata.Alphabet, e Enumerator) []string {
+	return Collect(alpha, e, 0)
+}
+
+// TestUFAResumeEquivalence: for random UFAs and every split point k,
+// "enumerate k, serialize the cursor, reopen, drain" must equal the
+// uninterrupted enumeration — bitwise, order included.
+func TestUFAResumeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := automata.RandomDFA(rng, automata.Binary(), 2+rng.Intn(5), 0.4)
+		for length := 0; length <= 5; length++ {
+			ref, err := NewUFA(n, length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drain(n.Alphabet(), ref)
+			for k := 0; k <= len(want)+1; k++ {
+				e, err := NewUFA(n, length)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := Collect(n.Alphabet(), e, k)
+				tok, ok := e.Token()
+				if !ok {
+					t.Fatal("serial enumerator must be resumable")
+				}
+				resumed, err := Resume(n, tok)
+				if err != nil {
+					t.Fatalf("resume after %d outputs: %v", k, err)
+				}
+				got = append(got, drain(n.Alphabet(), resumed)...)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d length %d split %d: %d outputs, want %d", trial, length, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d length %d split %d: output %d = %q, want %q", trial, length, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNFAResumeEquivalence: the same property for the flashlight on random
+// (ambiguous) NFAs.
+func TestNFAResumeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		n := automata.Random(rng, automata.Binary(), 2+rng.Intn(5), 0.3, 0.4)
+		for length := 0; length <= 5; length++ {
+			ref, err := NewNFA(n, length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drain(n.Alphabet(), ref)
+			for k := 0; k <= len(want)+1; k++ {
+				e, err := NewNFA(n, length)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := Collect(n.Alphabet(), e, k)
+				tok, _ := e.Token()
+				resumed, err := Resume(n, tok)
+				if err != nil {
+					t.Fatalf("resume after %d outputs: %v", k, err)
+				}
+				got = append(got, drain(n.Alphabet(), resumed)...)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d length %d split %d: %d outputs, want %d", trial, length, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d length %d split %d: output %d = %q, want %q", trial, length, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNFAResumeEquivalenceTernary: resume must not assume a binary
+// alphabet.
+func TestNFAResumeEquivalenceTernary(t *testing.T) {
+	alpha := automata.NewAlphabet("x", "y", "z")
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		n := automata.Random(rng, alpha, 2+rng.Intn(4), 0.3, 0.4)
+		ref, err := NewNFA(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drain(alpha, ref)
+		mid := len(want) / 2
+		e, _ := NewNFA(n, 4)
+		got := Collect(alpha, e, mid)
+		tok, _ := e.Token()
+		resumed, err := Resume(n, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, drain(alpha, resumed)...)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d outputs, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: output %d = %q, want %q", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTokenRoundTrip: ParseToken inverts Cursor.Token for every state.
+func TestTokenRoundTrip(t *testing.T) {
+	cursors := []Cursor{
+		{Kind: KindUFA, Length: 0, State: CursorFresh, FP: 0xdeadbeef},
+		{Kind: KindUFA, Length: 3, State: CursorMid, Pos: []int{0, 2, 1}, FP: 1},
+		{Kind: KindNFA, Length: 4, State: CursorMid, Pos: []int{1, 0, 1, 1}, FP: 0xffffffff},
+		{Kind: KindNFA, Length: 7, State: CursorDone, FP: 42},
+	}
+	for _, c := range cursors {
+		got, err := ParseToken(c.Token())
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got.Kind != c.Kind || got.Length != c.Length || got.State != c.State || got.FP != c.FP {
+			t.Fatalf("round trip %+v -> %+v", c, got)
+		}
+		if len(got.Pos) != len(c.Pos) {
+			t.Fatalf("round trip lost position: %+v -> %+v", c, got)
+		}
+		for i := range c.Pos {
+			if got.Pos[i] != c.Pos[i] {
+				t.Fatalf("round trip position %d: %+v -> %+v", i, c, got)
+			}
+		}
+	}
+}
+
+// TestTokenRejectsGarbage: malformed tokens fail cleanly, never panic.
+func TestTokenRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"", "el1", "el1:u", "el1:u:!!!", "el0:u:AAAA", "el1:x:AAAA",
+		"el1:u:" /* empty payload */, "el1:n:AA",
+	}
+	for _, tok := range bad {
+		if _, err := ParseToken(tok); err == nil {
+			t.Errorf("ParseToken(%q) accepted garbage", tok)
+		}
+	}
+	// A mid token claiming a huge length with no payload must be rejected
+	// before the position slice is sized off the untrusted count.
+	huge := Cursor{Kind: KindNFA, Length: 1 << 30, State: CursorMid}.Token()
+	if _, err := ParseToken(huge); err == nil {
+		t.Error("ParseToken accepted a mid token with a 2^30 claimed length")
+	}
+}
+
+// TestResumeRejectsWrongAutomaton: the fingerprint stops a cursor from one
+// automaton being replayed against another.
+func TestResumeRejectsWrongAutomaton(t *testing.T) {
+	a, length := automata.PaperExample()
+	e, err := NewUFA(a, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Next()
+	tok, _ := e.Token()
+	other := automata.Chain(a.Alphabet(), automata.Word{0, 1, 0})
+	if _, err := Resume(other, tok); err == nil {
+		t.Fatal("resume against a different automaton must fail")
+	}
+	// Same automaton still works.
+	if _, err := Resume(a, tok); err != nil {
+		t.Fatalf("resume against the minting automaton: %v", err)
+	}
+}
+
+// TestResumeRejectsKindMismatch: a 'u' cursor cannot open a flashlight and
+// vice versa.
+func TestResumeRejectsKindMismatch(t *testing.T) {
+	a, length := automata.PaperExample()
+	e, _ := NewUFA(a, length)
+	e.Next()
+	c := e.Cursor()
+	if _, err := NewNFAFrom(a, c); err == nil {
+		t.Fatal("NewNFAFrom must reject a UFA cursor")
+	}
+	f, _ := NewNFA(a, length)
+	f.Next()
+	if _, err := NewUFAFrom(a, f.Cursor()); err == nil {
+		t.Fatal("NewUFAFrom must reject an NFA cursor")
+	}
+}
+
+// TestDoneCursorRoundTrip: an exhausted enumeration resumes to an
+// immediately exhausted one.
+func TestDoneCursorRoundTrip(t *testing.T) {
+	a, length := automata.PaperExample()
+	for _, mk := range []func() Session{
+		func() Session { e, _ := NewUFA(a, length); return e },
+		func() Session { e, _ := NewNFA(a, length); return e },
+	} {
+		e := mk()
+		for {
+			if _, ok := e.Next(); !ok {
+				break
+			}
+		}
+		tok, _ := e.Token()
+		resumed, err := Resume(a, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := resumed.Next(); ok {
+			t.Fatalf("resumed done cursor emitted %v", w)
+		}
+	}
+}
+
+// TestFreshCursorRoundTrip: a cursor taken before any output resumes to the
+// full enumeration.
+func TestFreshCursorRoundTrip(t *testing.T) {
+	a, length := automata.PaperExample()
+	e, _ := NewUFA(a, length)
+	tok, _ := e.Token()
+	resumed, err := Resume(a, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(a.Alphabet(), resumed)
+	if len(got) != 4 || got[0] != "aaa" {
+		t.Fatalf("fresh resume = %v", got)
+	}
+}
+
+// TestResumeEmptyAndEpsilonSlices: the degenerate length-0 and empty-slice
+// positions survive the round trip.
+func TestResumeEmptyAndEpsilonSlices(t *testing.T) {
+	alpha := automata.Binary()
+	acc := automata.New(alpha, 1)
+	acc.SetFinal(0, true)
+	for _, mk := range []func() Session{
+		func() Session { e, _ := NewUFA(acc, 0); return e },
+		func() Session { e, _ := NewNFA(acc, 0); return e },
+	} {
+		e := mk()
+		if _, ok := e.Next(); !ok {
+			t.Fatal("ε expected")
+		}
+		tok, _ := e.Token()
+		resumed, err := Resume(acc, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := resumed.Next(); ok {
+			t.Fatalf("slice already drained, got %v", w)
+		}
+	}
+	// Empty language slice: chain accepting only 01, at the wrong length.
+	empty := automata.Chain(alpha, automata.Word{0, 1})
+	e, err := NewNFA(empty, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := e.Token()
+	resumed, err := Resume(empty, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := resumed.Next(); ok {
+		t.Fatalf("empty slice emitted %v", w)
+	}
+}

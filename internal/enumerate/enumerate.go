@@ -1,4 +1,5 @@
-// Package enumerate implements the two enumeration algorithms of the paper:
+// Package enumerate implements the two enumeration algorithms of the paper
+// as a resumable, shardable streaming engine:
 //
 //   - UFAEnumerator is Algorithm 1 (§5.3.1): after a polynomial
 //     precomputation that builds the pruned unrolled DAG of Lemma 15, it
@@ -15,8 +16,45 @@
 //     the test O(m²/64) per step). Delay is O(n·|Σ|·m²/w) between
 //     consecutive outputs, with no duplicates for any NFA.
 //
-// Both types implement the same iterator interface: Next returns the next
-// word and true, or nil and false when the language slice is exhausted.
+// Both types implement Enumerator (Next) and Session (Next + Token +
+// Close): the self-reducible structure of §5.2 means an enumerator's whole
+// position is a small cursor, so any enumeration can be paused, serialized
+// and resumed elsewhere, and the language can be split into independent
+// prefix cells enumerated in parallel (Stream).
+//
+// # Cursors and resume tokens
+//
+// A Cursor captures an enumerator's position between two Next calls; its
+// Token is a compact printable string. The format is
+//
+//	el1:<kind>:<base64url payload>
+//
+// where kind is 'u' (Algorithm 1) or 'n' (flashlight) and the payload is
+// uvarint(fingerprint) ∘ uvarint(length) ∘ state byte ∘ position ints
+// (uvarint each). The position is the per-layer decision-index vector for a
+// UFA and the last emitted word for an NFA — both of size O(n log), the
+// logspace cursor the paper's self-reduction promises. The fingerprint is a
+// 32-bit hash of the automaton's transition structure, so a token cannot be
+// resumed against a different automaton undetected. Resuming with
+// NewUFAFrom/NewNFAFrom (or Resume, which dispatches on the kind) replays
+// the position in O(n·m) and continues: for every k, "enumerate k words,
+// serialize, reopen, drain" emits exactly the words an uninterrupted
+// enumeration would, in the same order. Cursors of shard-restricted
+// enumerators record the global position and resume the full enumeration.
+//
+// # Sharded parallel enumeration
+//
+// Shards splits L_n(N) into disjoint prefix cells: flashlight branches (or
+// Algorithm 1 decision subtrees) never overlap, so the cells partition the
+// language and the concatenation of the cells in shard order is exactly the
+// serial enumeration order. Stream enumerates cells across Workers
+// goroutines (via internal/par) and merges either in canonical order
+// (Ordered, bitwise identical to serial) or in per-shard arrival order
+// (throughput mode). The concurrency contract: a single enumerator must not
+// be shared between goroutines, but the precomputed tables (DAG adjacency,
+// co-reachability sets) are frozen after construction and are shared by
+// every shard enumerator forked from the same template; Stream.Next is for
+// one consumer goroutine.
 package enumerate
 
 import (
@@ -24,14 +62,32 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
+	"repro/internal/par"
 	"repro/internal/unroll"
 )
 
 // Enumerator is the common iterator interface of both algorithms.
 type Enumerator interface {
 	// Next returns the next witness, or ok=false when exhausted. The
-	// returned slice is only valid until the following call to Next.
+	// returned slice is only valid until the following call to Next; use
+	// CollectWords (or copy) before retaining outputs.
 	Next() (w automata.Word, ok bool)
+}
+
+// Session is an enumeration handle that can be paused and resumed: both
+// serial enumerators and parallel Streams implement it.
+type Session interface {
+	Enumerator
+	// Token returns a resume token for the position after the last output,
+	// or ok=false when the session cannot be resumed (parallel shards
+	// interleave, so a Stream has no single cursor).
+	Token() (token string, ok bool)
+	// Err reports a failure that ended the session early (always nil for
+	// the serial enumerators).
+	Err() error
+	// Close releases the session's resources; for a Stream it stops the
+	// worker goroutines. Safe to call more than once.
+	Close()
 }
 
 // Collect drains an enumerator into a slice of formatted strings, stopping
@@ -51,30 +107,65 @@ func Collect(alpha *automata.Alphabet, e Enumerator, limit int) []string {
 	}
 }
 
+// CollectWords drains an enumerator into deep-copied words, stopping after
+// limit outputs (limit ≤ 0 means no bound). Next's slice is only valid
+// until the following call, so any caller retaining raw outputs across
+// iterations must copy — this helper is that copy.
+func CollectWords(e Enumerator, limit int) []automata.Word {
+	var out []automata.Word
+	for {
+		w, ok := e.Next()
+		if !ok {
+			return out
+		}
+		cp := make(automata.Word, len(w))
+		copy(cp, w)
+		out = append(out, cp)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}
+
+// Fingerprint hashes the transition structure of an automaton (states,
+// alphabet, start, finals, transitions) to 32 bits. Resume tokens embed it
+// so that a cursor minted on one automaton fails loudly when replayed
+// against another.
+func Fingerprint(n *automata.NFA) uint32 {
+	m := n.NumStates()
+	sigma := n.Alphabet().Size()
+	h := par.Mix64(uint64(m)<<32 ^ uint64(sigma)<<8 ^ uint64(n.Start()))
+	for q := 0; q < m; q++ {
+		if n.IsFinal(q) {
+			h = par.Mix64(h ^ 0xF1A1<<32 ^ uint64(q))
+		}
+		for a := 0; a < sigma; a++ {
+			for _, p := range n.Successors(q, a) {
+				h = par.Mix64(h ^ uint64(q)<<40 ^ uint64(a)<<20 ^ uint64(p))
+			}
+		}
+	}
+	return uint32(h ^ h>>32)
+}
+
 // UFAEnumerator enumerates L_n(N) for an unambiguous N with constant delay
-// (Algorithm 1 of the paper).
+// (Algorithm 1 of the paper). It implements Session; it must not be shared
+// between goroutines.
 type UFAEnumerator struct {
 	dag *unroll.DAG
-	// succs[t][q] are the outgoing edges of vertex (t, q): t in 0..N where
-	// t=0 is s_start (indexed by q=0). Each edge carries the symbol and the
-	// successor state; edges of layer N lead to s_final and carry no
-	// successor.
-	succs  [][][]outEdge
-	finals []int // layer-N states wired to s_final (sorted)
+	fp  uint32
 
 	// Iterator state: the current path as (vertex per layer, edge index per
 	// layer). path[t] is the state at layer t (t ≥ 1); choice[t] is the
-	// index of the edge taken out of layer t-1's vertex.
+	// index of the edge taken out of layer t-1's vertex. floor is the
+	// shard lock depth: choices below it are pinned and backtracking stops
+	// there (0 for a full-range enumerator).
 	started bool
 	done    bool
+	floor   int
 	choice  []int
 	path    []int
 	word    automata.Word
-}
-
-type outEdge struct {
-	sym automata.Symbol
-	to  int
 }
 
 // NewUFA runs the precomputation phase for N and n: the Lemma 15 DAG with
@@ -87,43 +178,46 @@ func NewUFA(n *automata.NFA, length int) (*UFAEnumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &UFAEnumerator{dag: dag}
-	e.succs = make([][][]outEdge, length)
-	// Layer 0: the start vertex has one slot.
-	if length == 0 {
-		e.done = dag.Empty()
-		e.started = dag.Empty()
-		// The single possible output is ε, handled in Next.
-		return e, nil
-	}
-	e.succs[0] = make([][]outEdge, 1)
-	for t := 1; t <= length; t++ {
-		if t < length {
-			e.succs[t] = make([][]outEdge, dag.M)
-		}
-		dag.AliveSet(t).ForEach(func(q int) {
-			for _, edge := range dag.Preds(t, q) {
-				if edge.FromState == -1 {
-					e.succs[0][0] = append(e.succs[0][0], outEdge{sym: edge.Symbol, to: q})
-				} else {
-					e.succs[t-1][edge.FromState] = append(e.succs[t-1][edge.FromState], outEdge{sym: edge.Symbol, to: q})
-				}
-			}
-		})
-	}
-	for _, edge := range dag.FinalPreds() {
-		e.finals = append(e.finals, edge.FromState)
-	}
-	e.done = dag.Empty()
-	e.choice = make([]int, length)
-	e.path = make([]int, length+1)
-	e.word = make(automata.Word, length)
+	e := &UFAEnumerator{dag: dag, fp: Fingerprint(n)}
+	e.reset()
 	return e, nil
+}
+
+// reset puts e at the start of its range with fresh iterator state.
+func (e *UFAEnumerator) reset() {
+	n := e.dag.N
+	e.started = false
+	e.done = e.dag.Empty()
+	if n == 0 {
+		// The single possible output is ε, handled in Next.
+		e.started = e.done
+		return
+	}
+	e.choice = make([]int, n)
+	e.path = make([]int, n+1)
+	e.word = make(automata.Word, n)
+}
+
+// fork clones the frozen precomputation (DAG and adjacency are shared) with
+// fresh iterator state.
+func (e *UFAEnumerator) fork() *UFAEnumerator {
+	c := &UFAEnumerator{dag: e.dag, fp: e.fp}
+	c.reset()
+	return c
 }
 
 // Count of distinct outputs is |L_n| for a UFA; exposed via the dag for
 // diagnostics.
 func (e *UFAEnumerator) DAG() *unroll.DAG { return e.dag }
+
+// edgesAt returns the out-edges layer t's choice indexes: those of the
+// start vertex for t=0, else of the state stored on the current path.
+func (e *UFAEnumerator) edgesAt(t int) []unroll.OutEdge {
+	if t == 0 {
+		return e.dag.StartSuccs()
+	}
+	return e.dag.Succs(t, e.path[t])
+}
 
 // Next implements Enumerator. The first call descends the minimal path;
 // subsequent calls backtrack to the deepest vertex with an untried edge and
@@ -138,69 +232,233 @@ func (e *UFAEnumerator) Next() (automata.Word, bool) {
 		// Only ε can be output, once.
 		e.done = true
 		if !e.started {
+			e.started = true
 			return automata.Word{}, true
 		}
 		return nil, false
 	}
-	start := 0
+	var start int
 	if e.started {
-		// Backtrack: find deepest layer whose edge choice can advance.
+		// Backtrack: find deepest layer (at or above the shard floor)
+		// whose edge choice can advance.
 		t := n - 1
-		for t >= 0 {
-			src := e.sourceAt(t)
-			if e.choice[t]+1 < len(e.succs[t][src]) {
+		for t >= e.floor {
+			if e.choice[t]+1 < len(e.edgesAt(t)) {
 				e.choice[t]++
 				break
 			}
 			t--
 		}
-		if t < 0 {
+		if t < e.floor {
 			e.done = true
 			return nil, false
 		}
 		start = t
 	} else {
 		e.started = true
-		e.choice[0] = 0
+		start = e.floor
+		if start == n {
+			// Full-path shard: the single word was built when the shard
+			// was opened.
+			return e.word, true
+		}
+		e.choice[start] = 0
 	}
 	// Descend minimally from layer `start` (its choice is already set).
 	for t := start; t < n; t++ {
 		if t > start {
 			e.choice[t] = 0
 		}
-		src := e.sourceAt(t)
-		edge := e.succs[t][src][e.choice[t]]
-		e.word[t] = edge.sym
-		e.path[t+1] = edge.to
+		edge := e.edgesAt(t)[e.choice[t]]
+		e.word[t] = edge.Symbol
+		e.path[t+1] = edge.To
 	}
 	return e.word, true
 }
 
-// sourceAt returns the vertex whose out-edges layer t's choice indexes:
-// the start vertex for t=0, else the state stored on the current path.
-func (e *UFAEnumerator) sourceAt(t int) int {
-	if t == 0 {
-		return 0
+// Cursor returns the enumerator's position after the last emitted word.
+// For a shard-restricted enumerator the cursor still denotes the global
+// position: resuming it continues the full enumeration, not the shard.
+func (e *UFAEnumerator) Cursor() Cursor {
+	c := Cursor{Kind: KindUFA, Length: e.dag.N, FP: e.fp}
+	switch {
+	case e.done:
+		c.State = CursorDone
+	case !e.started:
+		c.State = CursorFresh
+	default:
+		c.State = CursorMid
+		c.Pos = append([]int(nil), e.choice...)
 	}
-	return e.path[t]
+	return c
+}
+
+// Token implements Session: the serialized Cursor.
+func (e *UFAEnumerator) Token() (string, bool) { return e.Cursor().Token(), true }
+
+// Err implements Session; serial enumerators never fail after construction.
+func (e *UFAEnumerator) Err() error { return nil }
+
+// Close implements Session; a serial enumerator holds no resources.
+func (e *UFAEnumerator) Close() {}
+
+// NewUFAFrom reopens an Algorithm 1 enumeration at the position recorded in
+// the cursor (as produced by (*UFAEnumerator).Cursor or ParseToken). The
+// automaton must be the one the cursor was minted on: the fingerprint, the
+// length and every decision index are validated during the replay, and any
+// mismatch is an error. The continued enumeration is bitwise identical to
+// the uninterrupted one.
+func NewUFAFrom(n *automata.NFA, c Cursor) (*UFAEnumerator, error) {
+	if c.Kind != KindUFA {
+		return nil, fmt.Errorf("enumerate: cursor kind %q, want %q", c.Kind, KindUFA)
+	}
+	e, err := NewUFA(n, c.Length)
+	if err != nil {
+		return nil, err
+	}
+	if c.FP != e.fp {
+		return nil, fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton (%08x)", c.FP, e.fp)
+	}
+	switch c.State {
+	case CursorFresh:
+		return e, nil
+	case CursorDone:
+		e.started, e.done = true, true
+		return e, nil
+	case CursorMid:
+		if c.Length == 0 {
+			// ε was emitted; one more Next returns false.
+			e.started = true
+			e.done = true
+			return e, nil
+		}
+		if e.done {
+			return nil, fmt.Errorf("enumerate: mid cursor for an empty language slice")
+		}
+		if len(c.Pos) != c.Length {
+			return nil, fmt.Errorf("enumerate: cursor has %d decisions, want %d", len(c.Pos), c.Length)
+		}
+		for t := 0; t < c.Length; t++ {
+			edges := e.edgesAt(t)
+			if c.Pos[t] < 0 || c.Pos[t] >= len(edges) {
+				return nil, fmt.Errorf("enumerate: cursor decision %d at layer %d out of range (%d edges)", c.Pos[t], t, len(edges))
+			}
+			e.choice[t] = c.Pos[t]
+			edge := edges[c.Pos[t]]
+			e.word[t] = edge.Symbol
+			e.path[t+1] = edge.To
+		}
+		e.started = true
+		return e, nil
+	}
+	return nil, fmt.Errorf("enumerate: unknown cursor state %d", c.State)
+}
+
+// Shards splits the enumeration range into at least min(target, |cells|)
+// disjoint decision-prefix cells whose concatenation in shard order is the
+// serial enumeration order. The shallowest cells are expanded first, so the
+// cells are balanced in depth. target < 1 is treated as 1.
+func (e *UFAEnumerator) Shards(target int) []Shard {
+	if target < 1 {
+		target = 1
+	}
+	n := e.dag.N
+	if e.dag.Empty() || n == 0 || target == 1 {
+		return []Shard{{kind: KindUFA}}
+	}
+	type cell struct {
+		prefix []int
+		src    int // state at layer len(prefix); unused at depth 0
+	}
+	cells := []cell{{}}
+	for len(cells) < target {
+		best := -1
+		for i, c := range cells {
+			if len(c.prefix) < n && (best < 0 || len(c.prefix) < len(cells[best].prefix)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cells[best]
+		d := len(c.prefix)
+		var edges []unroll.OutEdge
+		if d == 0 {
+			edges = e.dag.StartSuccs()
+		} else {
+			edges = e.dag.Succs(d, c.src)
+		}
+		children := make([]cell, len(edges))
+		for i, ed := range edges {
+			p := make([]int, d+1)
+			copy(p, c.prefix)
+			p[d] = i
+			children[i] = cell{prefix: p, src: ed.To}
+		}
+		next := make([]cell, 0, len(cells)+len(children)-1)
+		next = append(next, cells[:best]...)
+		next = append(next, children...)
+		next = append(next, cells[best+1:]...)
+		cells = next
+	}
+	out := make([]Shard, len(cells))
+	for i, c := range cells {
+		out[i] = Shard{kind: KindUFA, prefix: c.prefix}
+	}
+	return out
+}
+
+// OpenShard returns a fresh enumerator restricted to one cell produced by
+// Shards, sharing this enumerator's precomputation. The shard enumerator
+// emits exactly the cell's words, in serial order.
+func (e *UFAEnumerator) OpenShard(s Shard) (*UFAEnumerator, error) {
+	if s.kind != KindUFA {
+		return nil, fmt.Errorf("enumerate: shard kind %q, want %q", s.kind, KindUFA)
+	}
+	c := e.fork()
+	n := c.dag.N
+	if len(s.prefix) > n {
+		return nil, fmt.Errorf("enumerate: shard prefix length %d exceeds %d", len(s.prefix), n)
+	}
+	if c.done || len(s.prefix) == 0 {
+		return c, nil
+	}
+	for t, i := range s.prefix {
+		edges := c.edgesAt(t)
+		if i < 0 || i >= len(edges) {
+			return nil, fmt.Errorf("enumerate: shard decision %d at layer %d out of range (%d edges)", i, t, len(edges))
+		}
+		c.choice[t] = i
+		edge := edges[i]
+		c.word[t] = edge.Symbol
+		c.path[t+1] = edge.To
+	}
+	c.floor = len(s.prefix)
+	return c, nil
 }
 
 // NFAEnumerator enumerates L_n(N) for an arbitrary ε-free NFA with
-// polynomial delay and no duplicates (Theorem 16).
+// polynomial delay and no duplicates (Theorem 16). It implements Session;
+// it must not be shared between goroutines.
 type NFAEnumerator struct {
 	n      *automata.NFA
 	length int
 	sigma  int
+	fp     uint32
 	// coReach[t] = states at depth t having an accepting completion of
-	// length exactly length−t.
+	// length exactly length−t. Frozen after construction and shared by
+	// forked shard enumerators.
 	coReach []*bitset.Set
 
 	// Iterator state: the prefix, the reachable-set stack, and the next
-	// symbol to try at each depth.
+	// symbol to try at each depth. floor is the shard lock depth: the
+	// prefix below it is pinned and backtracking stops there.
 	word    automata.Word
 	sets    []*bitset.Set
 	nextSym []int
 	depth   int
+	floor   int
 	done    bool
 	started bool
 	scratch *bitset.Set
@@ -215,7 +473,7 @@ func NewNFA(n *automata.NFA, length int) (*NFAEnumerator, error) {
 		return nil, fmt.Errorf("enumerate: negative length %d", length)
 	}
 	m := n.NumStates()
-	e := &NFAEnumerator{n: n, length: length, sigma: n.Alphabet().Size()}
+	e := &NFAEnumerator{n: n, length: length, sigma: n.Alphabet().Size(), fp: Fingerprint(n)}
 	e.coReach = make([]*bitset.Set, length+1)
 	e.coReach[length] = n.FinalSet()
 	for t := length - 1; t >= 0; t-- {
@@ -231,17 +489,34 @@ func NewNFA(n *automata.NFA, length int) (*NFAEnumerator, error) {
 		}
 		e.coReach[t] = s
 	}
-	e.word = make(automata.Word, length)
-	e.sets = make([]*bitset.Set, length+1)
+	e.reset()
+	return e, nil
+}
+
+// reset puts e at the start of its range with fresh iterator state.
+func (e *NFAEnumerator) reset() {
+	m := e.n.NumStates()
+	e.word = make(automata.Word, e.length)
+	e.sets = make([]*bitset.Set, e.length+1)
 	for i := range e.sets {
 		e.sets[i] = bitset.New(m)
 	}
-	e.sets[0].Add(n.Start())
+	e.sets[0].Add(e.n.Start())
 	e.sets[0].IntersectWith(e.coReach[0])
-	e.nextSym = make([]int, length+1)
+	e.nextSym = make([]int, e.length+1)
 	e.scratch = bitset.New(m)
+	e.depth = 0
+	e.floor = 0
+	e.started = false
 	e.done = e.sets[0].Empty()
-	return e, nil
+}
+
+// fork clones the frozen precomputation (automaton and co-reachability are
+// shared) with fresh iterator state.
+func (e *NFAEnumerator) fork() *NFAEnumerator {
+	c := &NFAEnumerator{n: e.n, length: e.length, sigma: e.sigma, fp: e.fp, coReach: e.coReach}
+	c.reset()
+	return c
 }
 
 // Next implements Enumerator with the flashlight invariant: e.sets[t] is
@@ -254,7 +529,7 @@ func (e *NFAEnumerator) Next() (automata.Word, bool) {
 	if e.started && e.depth == e.length {
 		// Leave the previous leaf before searching on.
 		e.depth--
-		if e.depth < 0 {
+		if e.depth < e.floor {
 			e.done = true
 			return nil, false
 		}
@@ -267,10 +542,10 @@ func (e *NFAEnumerator) Next() (automata.Word, bool) {
 		}
 		a := e.nextSym[e.depth]
 		if a >= e.sigma {
-			// Exhausted this depth; backtrack.
+			// Exhausted this depth; backtrack (not past the shard floor).
 			e.nextSym[e.depth] = 0
 			e.depth--
-			if e.depth < 0 {
+			if e.depth < e.floor {
 				e.done = true
 				return nil, false
 			}
@@ -287,4 +562,173 @@ func (e *NFAEnumerator) Next() (automata.Word, bool) {
 		e.nextSym[e.depth+1] = 0
 		e.depth++
 	}
+}
+
+// Cursor returns the enumerator's position after the last emitted word
+// (which is the position: the flashlight resumes from the last output).
+// As with the UFA cursor, shard-restricted enumerators yield the global
+// position.
+func (e *NFAEnumerator) Cursor() Cursor {
+	c := Cursor{Kind: KindNFA, Length: e.length, FP: e.fp}
+	switch {
+	case e.done:
+		c.State = CursorDone
+	case !e.started:
+		c.State = CursorFresh
+	default:
+		c.State = CursorMid
+		c.Pos = make([]int, e.length)
+		for i, s := range e.word {
+			c.Pos[i] = int(s)
+		}
+	}
+	return c
+}
+
+// Token implements Session: the serialized Cursor.
+func (e *NFAEnumerator) Token() (string, bool) { return e.Cursor().Token(), true }
+
+// Err implements Session; serial enumerators never fail after construction.
+func (e *NFAEnumerator) Err() error { return nil }
+
+// Close implements Session; a serial enumerator holds no resources.
+func (e *NFAEnumerator) Close() {}
+
+// NewNFAFrom reopens a flashlight enumeration just after the word recorded
+// in the cursor. The fingerprint and the viability of every prefix step are
+// validated during the replay; the continued enumeration is bitwise
+// identical to the uninterrupted one.
+func NewNFAFrom(n *automata.NFA, c Cursor) (*NFAEnumerator, error) {
+	if c.Kind != KindNFA {
+		return nil, fmt.Errorf("enumerate: cursor kind %q, want %q", c.Kind, KindNFA)
+	}
+	e, err := NewNFA(n, c.Length)
+	if err != nil {
+		return nil, err
+	}
+	if c.FP != e.fp {
+		return nil, fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton (%08x)", c.FP, e.fp)
+	}
+	switch c.State {
+	case CursorFresh:
+		return e, nil
+	case CursorDone:
+		e.started, e.done = true, true
+		return e, nil
+	case CursorMid:
+		if e.done {
+			return nil, fmt.Errorf("enumerate: mid cursor for an empty language slice")
+		}
+		if len(c.Pos) != c.Length {
+			return nil, fmt.Errorf("enumerate: cursor word has %d symbols, want %d", len(c.Pos), c.Length)
+		}
+		for t := 0; t < c.Length; t++ {
+			a := c.Pos[t]
+			if a < 0 || a >= e.sigma {
+				return nil, fmt.Errorf("enumerate: cursor symbol %d at position %d out of range", a, t)
+			}
+			e.n.StepSet(e.scratch, e.sets[t], a)
+			e.scratch.IntersectWith(e.coReach[t+1])
+			if e.scratch.Empty() {
+				return nil, fmt.Errorf("enumerate: cursor word is not a viable prefix at position %d", t)
+			}
+			e.word[t] = automata.Symbol(a)
+			e.sets[t+1].CopyFrom(e.scratch)
+			e.nextSym[t] = a + 1
+		}
+		e.nextSym[c.Length] = 0
+		e.depth = c.Length
+		e.started = true
+		return e, nil
+	}
+	return nil, fmt.Errorf("enumerate: unknown cursor state %d", c.State)
+}
+
+// Shards splits the enumeration range into at least min(target, |cells|)
+// disjoint viable-prefix cells; in shard order the cells concatenate to the
+// serial (lexicographic) enumeration order. target < 1 is treated as 1.
+func (e *NFAEnumerator) Shards(target int) []Shard {
+	if target < 1 {
+		target = 1
+	}
+	if e.done || e.length == 0 || target == 1 {
+		return []Shard{{kind: KindNFA}}
+	}
+	m := e.n.NumStates()
+	type cell struct {
+		prefix []int
+		reach  *bitset.Set
+	}
+	scratch := bitset.New(m)
+	cells := []cell{{reach: e.sets[0]}}
+	for len(cells) < target {
+		best := -1
+		for i, c := range cells {
+			if len(c.prefix) < e.length && (best < 0 || len(c.prefix) < len(cells[best].prefix)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cells[best]
+		d := len(c.prefix)
+		var children []cell
+		for a := 0; a < e.sigma; a++ {
+			e.n.StepSet(scratch, c.reach, a)
+			scratch.IntersectWith(e.coReach[d+1])
+			if scratch.Empty() {
+				continue
+			}
+			p := make([]int, d+1)
+			copy(p, c.prefix)
+			p[d] = a
+			reach := bitset.New(m)
+			reach.CopyFrom(scratch)
+			children = append(children, cell{prefix: p, reach: reach})
+		}
+		next := make([]cell, 0, len(cells)+len(children)-1)
+		next = append(next, cells[:best]...)
+		next = append(next, children...)
+		next = append(next, cells[best+1:]...)
+		cells = next
+	}
+	out := make([]Shard, len(cells))
+	for i, c := range cells {
+		out[i] = Shard{kind: KindNFA, prefix: c.prefix}
+	}
+	return out
+}
+
+// OpenShard returns a fresh enumerator restricted to one cell produced by
+// Shards, sharing this enumerator's precomputation. The shard enumerator
+// emits exactly the cell's words, in lexicographic order.
+func (e *NFAEnumerator) OpenShard(s Shard) (*NFAEnumerator, error) {
+	if s.kind != KindNFA {
+		return nil, fmt.Errorf("enumerate: shard kind %q, want %q", s.kind, KindNFA)
+	}
+	c := e.fork()
+	if len(s.prefix) > c.length {
+		return nil, fmt.Errorf("enumerate: shard prefix length %d exceeds %d", len(s.prefix), c.length)
+	}
+	if c.done || len(s.prefix) == 0 {
+		return c, nil
+	}
+	for t, a := range s.prefix {
+		if a < 0 || a >= c.sigma {
+			return nil, fmt.Errorf("enumerate: shard symbol %d at position %d out of range", a, t)
+		}
+		c.n.StepSet(c.scratch, c.sets[t], a)
+		c.scratch.IntersectWith(c.coReach[t+1])
+		if c.scratch.Empty() {
+			return nil, fmt.Errorf("enumerate: shard prefix is not viable at position %d", t)
+		}
+		c.word[t] = automata.Symbol(a)
+		c.sets[t+1].CopyFrom(c.scratch)
+		c.nextSym[t] = a + 1
+	}
+	c.floor = len(s.prefix)
+	c.depth = c.floor
+	c.nextSym[c.floor] = 0
+	return c, nil
 }

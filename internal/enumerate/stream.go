@@ -1,0 +1,268 @@
+package enumerate
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/automata"
+	"repro/internal/par"
+)
+
+// Shard identifies one prefix cell of a sharded enumeration: a decision
+// prefix (KindUFA) or a word prefix (KindNFA). Cells produced by Shards
+// partition the language slice; an empty prefix is the whole range.
+type Shard struct {
+	kind   byte
+	prefix []int
+}
+
+// Prefix returns the cell's prefix (decision indices or symbols, per kind).
+// The caller must not mutate it.
+func (s Shard) Prefix() []int { return s.prefix }
+
+// Kind returns the shard's cursor kind (KindUFA or KindNFA).
+func (s Shard) Kind() byte { return s.kind }
+
+// StreamOptions configure sharded parallel enumeration.
+type StreamOptions struct {
+	// Workers is the number of goroutines enumerating cells
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the target prefix-cell count (0 = 4×Workers: more cells
+	// than workers keeps the claim queue warm when cells are uneven).
+	Shards int
+	// Ordered emits outputs in the canonical serial order (cells are
+	// merged in shard order); unordered mode emits in per-shard arrival
+	// order for maximum throughput.
+	Ordered bool
+}
+
+// streamBuffer is the per-shard (ordered) or global (unordered) channel
+// capacity: enough to decouple producers from a bursty consumer, small
+// enough to bound memory at words × shards.
+const streamBuffer = 256
+
+// wordBuf wraps a word buffer so pool round-trips and channel sends move
+// one pointer instead of boxing a slice header (which would cost an
+// allocation per output).
+type wordBuf struct{ w automata.Word }
+
+// Stream is a parallel enumeration session over prefix cells. It
+// implements Session; Next is for a single consumer goroutine. Words
+// returned by Next are valid until the following call (buffers are
+// recycled through a pool).
+type Stream struct {
+	shards []Shard
+	open   func(Shard) (Enumerator, error)
+	opts   StreamOptions
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	finished chan struct{} // closed when every worker has returned
+
+	chans  []chan *wordBuf // ordered mode: one per shard
+	closes []sync.Once     // guards double-close of chans[i]
+	ch     chan *wordBuf   // unordered mode
+
+	cur  int // ordered mode: shard currently being drained
+	prev *wordBuf
+	pool sync.Pool
+
+	errMu sync.Mutex
+	err   error
+}
+
+// newStream launches the workers and returns the consumable stream.
+func newStream(shards []Shard, open func(Shard) (Enumerator, error), wordLen int, opts StreamOptions) *Stream {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	st := &Stream{
+		shards:   shards,
+		open:     open,
+		opts:     opts,
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	st.pool.New = func() any { return &wordBuf{w: make(automata.Word, wordLen)} }
+	if opts.Ordered {
+		st.chans = make([]chan *wordBuf, len(shards))
+		st.closes = make([]sync.Once, len(shards))
+		for i := range st.chans {
+			st.chans[i] = make(chan *wordBuf, streamBuffer)
+		}
+	} else {
+		st.ch = make(chan *wordBuf, streamBuffer)
+	}
+	go st.run()
+	return st
+}
+
+// run fans the cells across the worker budget. Indices are claimed in
+// increasing order (a ForEachIndexedUntil guarantee), so in ordered mode
+// the cell the consumer is draining is always claimed and can always make
+// progress — no deadlock regardless of buffer sizes.
+func (st *Stream) run() {
+	par.ForEachIndexedUntil(len(st.shards), st.opts.Workers, st.stop, st.runShard)
+	if st.opts.Ordered {
+		// Close every cell channel that its worker did not get to (never
+		// claimed, or abandoned on stop) so the consumer never blocks on a
+		// channel nobody owns.
+		for i := range st.chans {
+			st.closeShard(i)
+		}
+	} else {
+		close(st.ch)
+	}
+	close(st.finished)
+}
+
+func (st *Stream) closeShard(i int) {
+	st.closes[i].Do(func() { close(st.chans[i]) })
+}
+
+// runShard enumerates one cell, copying each output into a pooled buffer
+// and handing it to the merge channel.
+func (st *Stream) runShard(i int) {
+	out := st.ch
+	if st.opts.Ordered {
+		out = st.chans[i]
+		defer st.closeShard(i)
+	}
+	e, err := st.open(st.shards[i])
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	for {
+		w, ok := e.Next()
+		if !ok {
+			return
+		}
+		buf := st.pool.Get().(*wordBuf)
+		copy(buf.w, w)
+		select {
+		case out <- buf:
+		case <-st.stop:
+			return
+		}
+	}
+}
+
+// fail records the first error and stops the stream.
+func (st *Stream) fail(err error) {
+	st.errMu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.errMu.Unlock()
+	st.stopOnce.Do(func() { close(st.stop) })
+}
+
+// Next implements Enumerator for the single consumer goroutine. In ordered
+// mode outputs arrive in the canonical serial order; otherwise in
+// per-shard arrival order. The returned word is valid until the following
+// call to Next.
+func (st *Stream) Next() (automata.Word, bool) {
+	select {
+	case <-st.stop:
+		return nil, false
+	default:
+	}
+	if st.opts.Ordered {
+		for st.cur < len(st.chans) {
+			b, ok := <-st.chans[st.cur]
+			if !ok {
+				st.cur++
+				continue
+			}
+			return st.deliver(b), true
+		}
+		return nil, false
+	}
+	b, ok := <-st.ch
+	if !ok {
+		return nil, false
+	}
+	return st.deliver(b), true
+}
+
+// deliver recycles the previously returned buffer and hands out the next.
+func (st *Stream) deliver(b *wordBuf) automata.Word {
+	if st.prev != nil {
+		st.pool.Put(st.prev)
+	}
+	st.prev = b
+	return b.w
+}
+
+// Token implements Session: a parallel stream interleaves cells, so it has
+// no single resume point.
+func (st *Stream) Token() (string, bool) { return "", false }
+
+// Err reports the first shard-open failure that ended the stream early
+// (nil for a normal drain). Check it when Next returns false.
+func (st *Stream) Err() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.err
+}
+
+// Close stops the workers and waits for them to exit. Outputs already
+// buffered are discarded; Next returns false afterwards. Safe to call more
+// than once and after exhaustion.
+func (st *Stream) Close() {
+	st.stopOnce.Do(func() { close(st.stop) })
+	<-st.finished
+}
+
+// Shards reports the prefix cells the stream enumerates, for diagnostics.
+func (st *Stream) Shards() []Shard { return st.shards }
+
+// shardTarget resolves StreamOptions.Shards.
+func shardTarget(opts StreamOptions) int {
+	if opts.Shards > 0 {
+		return opts.Shards
+	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return 4 * w
+}
+
+// Stream opens a sharded parallel enumeration of this enumerator's range,
+// sharing its precomputation. The receiver must be fresh (not yet
+// iterated) and must not be used while the stream runs.
+func (e *UFAEnumerator) Stream(opts StreamOptions) *Stream {
+	shards := e.Shards(shardTarget(opts))
+	return newStream(shards, func(s Shard) (Enumerator, error) { return e.OpenShard(s) }, e.dag.N, opts)
+}
+
+// Stream opens a sharded parallel enumeration of this enumerator's range,
+// sharing its precomputation. The receiver must be fresh (not yet
+// iterated) and must not be used while the stream runs.
+func (e *NFAEnumerator) Stream(opts StreamOptions) *Stream {
+	shards := e.Shards(shardTarget(opts))
+	return newStream(shards, func(s Shard) (Enumerator, error) { return e.OpenShard(s) }, e.length, opts)
+}
+
+// NewUFAStream is NewUFA followed by Stream: parallel constant-delay
+// enumeration of L_n(N) for an unambiguous N.
+func NewUFAStream(n *automata.NFA, length int, opts StreamOptions) (*Stream, error) {
+	e, err := NewUFA(n, length)
+	if err != nil {
+		return nil, err
+	}
+	return e.Stream(opts), nil
+}
+
+// NewNFAStream is NewNFA followed by Stream: parallel polynomial-delay
+// enumeration of L_n(N) for an arbitrary ε-free NFA.
+func NewNFAStream(n *automata.NFA, length int, opts StreamOptions) (*Stream, error) {
+	e, err := NewNFA(n, length)
+	if err != nil {
+		return nil, err
+	}
+	return e.Stream(opts), nil
+}

@@ -495,47 +495,97 @@ func (e *Estimator) predsExact(layer int, list []int) bool {
 // exactUnion materializes U(s) = ⋃_b ⋃_{s'∈T_b} { x∘b : x ∈ U(s') },
 // deduplicated, as long as it stays within k elements. The reach set of
 // x∘b is one DAG step from the reach set of x.
+//
+// Every candidate is a predecessor string extended by one bit, so it is
+// never built as its own string: dedup compares (parent, bit) pairs
+// against arena bytes, retained strings are appended to one byte arena of
+// exactly k·layer capacity, and a single string(arena) conversion at the
+// end backs all of them. That is one allocation per materialized vertex
+// where the old map[string]bool code paid one string per witness (the
+// ROADMAP "byte-arena" item; see the Performance table for the delta).
 func (s *sampler) exactUnion(layer int, t0, t1 []int) ([]sampleEntry, bool) {
 	e := s.e
-	seen := map[string]bool{}
-	var out []sampleEntry
-	add := func(bits string, reach *bitset.Set) bool {
-		if seen[bits] {
-			return true
+	k := e.params.K
+	// Tight capacity: candidates are one extension per predecessor sketch
+	// element, and at most k entries are retained.
+	bound := 0
+	for _, list := range [][]int{t0, t1} {
+		for _, q := range list {
+			if q == -1 {
+				bound++
+			} else {
+				bound += len(e.data[layer-1][q].entries)
+			}
 		}
-		seen[bits] = true
-		if len(out) >= e.params.K {
-			return false
-		}
-		out = append(out, sampleEntry{bits: bits, reach: reach})
-		return true
 	}
+	if bound > k {
+		bound = k
+	}
+	arena := make([]byte, 0, bound*layer)
+	offs := make([]int32, 0, bound)
+	reaches := make([]*bitset.Set, 0, bound)
+	// Dedup index: head maps a candidate hash to the most recent entry
+	// with that hash, next chains older ones — scalar map values and one
+	// chain array, so inserts never allocate per entry. Collisions cost a
+	// byte comparison, never a wrong answer.
+	head := make(map[uint64]int32, bound)
+	next := make([]int32, 0, bound)
+	const fnvOffset, fnvPrime = uint64(0xcbf29ce484222325), uint64(0x100000001b3)
 	for b, list := range [][]int{t0, t1} {
 		bit := byte('0' + b)
 		for _, q := range list {
-			if q == -1 {
-				// Predecessor is s_start: the extended string is the single
-				// bit itself.
-				bits := string([]byte{bit})
-				if !seen[bits] {
-					reach := s.stepReach(nil, automata.Symbol(b), layer)
-					if !add(bits, reach) {
-						return nil, false
+			var entries []sampleEntry
+			if q != -1 {
+				entries = e.data[layer-1][q].entries
+			} else {
+				// Predecessor is s_start: one candidate, the single bit
+				// itself (parent is ε), handled as a one-element list below.
+				entries = []sampleEntry{{}}
+			}
+			for _, entry := range entries {
+				parent := entry.bits
+				h := fnvOffset
+				for i := 0; i < len(parent); i++ {
+					h = (h ^ uint64(parent[i])) * fnvPrime
+				}
+				h = (h ^ uint64(bit)) * fnvPrime
+				dup := false
+				chainHead, ok := head[h]
+				if !ok {
+					chainHead = -1
+				}
+				for idx := chainHead; idx >= 0; idx = next[idx] {
+					got := arena[offs[idx] : int(offs[idx])+layer]
+					if got[layer-1] == bit && string(got[:layer-1]) == parent {
+						dup = true
+						break
 					}
 				}
-				continue
-			}
-			for _, entry := range e.data[layer-1][q].entries {
-				bits := entry.bits + string([]byte{bit})
-				if seen[bits] {
+				if dup {
 					continue
 				}
-				reach := s.stepReach(entry.reach, automata.Symbol(b), layer)
-				if !add(bits, reach) {
+				if len(offs) >= k {
 					return nil, false
 				}
+				head[h] = int32(len(offs))
+				next = append(next, chainHead)
+				offs = append(offs, int32(len(arena)))
+				arena = append(arena, parent...)
+				arena = append(arena, bit)
+				var src *bitset.Set
+				if q != -1 {
+					src = entry.reach
+				}
+				reaches = append(reaches, s.stepReach(src, automata.Symbol(b), layer))
 			}
 		}
+	}
+	// One conversion backs every retained string: substrings of a Go
+	// string share its bytes.
+	str := string(arena)
+	out := make([]sampleEntry, len(offs))
+	for i, off := range offs {
+		out[i] = sampleEntry{bits: str[off : int(off)+layer], reach: reaches[i]}
 	}
 	return out, true
 }

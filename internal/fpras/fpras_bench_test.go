@@ -1,0 +1,25 @@
+package fpras
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+)
+
+// BenchmarkExactPathBuild isolates the exactly-handled build path
+// (Algorithm 5 step 4): Σ* at length 12 with K ≫ |L_12| keeps every vertex
+// exact, so the whole build is exactUnion materialization — the workload
+// the byte-arena keyed table optimizes. Track allocs/op.
+func BenchmarkExactPathBuild(b *testing.B) {
+	nfa := automata.All(automata.Binary())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, err := New(nfa, 12, Params{K: 8192, Seed: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !est.Exact() {
+			b.Fatal("workload escaped the exact path")
+		}
+	}
+}

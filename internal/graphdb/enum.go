@@ -1,0 +1,46 @@
+package graphdb
+
+import (
+	"repro/internal/core"
+	"repro/internal/enumerate"
+)
+
+// PathSession streams the paths of ⟦Q⟧_n(G, u, v) through the core
+// enumeration engine, decoding each product witness into the graph path it
+// encodes. Serial sessions are resumable via Token; parallel sessions
+// (CursorOptions.Workers > 1) shard by edge-sequence prefix.
+type PathSession struct {
+	p *Product
+	s enumerate.Session
+}
+
+// Enumerate opens a path enumeration session on a core instance built from
+// this product (core.New(p.N, n, …)): the EVAL-RPQ side of Corollary 8.
+func (p *Product) Enumerate(ci *core.Instance, opts core.CursorOptions) (*PathSession, error) {
+	s, err := ci.Enumerate(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PathSession{p: p, s: s}, nil
+}
+
+// Next returns the next path, or ok=false when the session is exhausted or
+// failed (check Err). The path is freshly allocated (WordToPath copies),
+// so it stays valid across calls.
+func (ps *PathSession) Next() (Path, bool) {
+	w, ok := ps.s.Next()
+	if !ok {
+		return nil, false
+	}
+	return ps.p.WordToPath(w), true
+}
+
+// Token returns the resume token of the underlying session (ok=false for
+// parallel sessions).
+func (ps *PathSession) Token() (string, bool) { return ps.s.Token() }
+
+// Err reports an underlying session failure.
+func (ps *PathSession) Err() error { return ps.s.Err() }
+
+// Close releases the underlying session.
+func (ps *PathSession) Close() { ps.s.Close() }

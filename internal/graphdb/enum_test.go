@@ -1,0 +1,102 @@
+package graphdb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+)
+
+// TestPathSessionMatchesOracle: the session yields exactly AllPaths (as
+// sets), pagination via the resume token reproduces the serial order, and
+// every yielded path validates against the graph.
+func TestPathSessionMatchesOracle(t *testing.T) {
+	labels := automata.NewAlphabet("a", "b")
+	g := NewGraph(5, labels)
+	a := labels.MustSymbol("a")
+	b := labels.MustSymbol("b")
+	g.AddEdge(0, a, 1)
+	g.AddEdge(0, b, 1)
+	g.AddEdge(1, a, 2)
+	g.AddEdge(1, b, 0)
+	g.AddEdge(2, a, 3)
+	g.AddEdge(2, b, 1)
+	g.AddEdge(3, a, 4)
+	g.AddEdge(3, b, 4)
+	g.AddEdge(4, a, 0)
+	q, err := NewRPQ("(a|b)*a(a|b)*", labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	prod, err := BuildProduct(g, q, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := AllPaths(g, q, 0, 4, n)
+	ci, err := core.New(prod.N, n, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(opts core.CursorOptions) ([]string, string) {
+		ps, err := prod.Enumerate(ci, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ps.Close()
+		var out []string
+		for {
+			p, ok := ps.Next()
+			if !ok {
+				break
+			}
+			if _, valid := g.ValidPath(p, 0, 4); !valid {
+				t.Fatalf("session yielded invalid path %v", p)
+			}
+			out = append(out, fmt.Sprint(p))
+		}
+		if err := ps.Err(); err != nil {
+			t.Fatal(err)
+		}
+		tok, _ := ps.Token()
+		return out, tok
+	}
+
+	full, _ := collect(core.CursorOptions{})
+	if len(full) != len(oracle) {
+		t.Fatalf("session yielded %d paths, oracle %d", len(full), len(oracle))
+	}
+	seen := map[string]bool{}
+	for _, p := range full {
+		if seen[p] {
+			t.Fatalf("duplicate path %s", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range oracle {
+		if !seen[fmt.Sprint(p)] {
+			t.Fatalf("missing path %v", p)
+		}
+	}
+
+	var paged []string
+	token := ""
+	for {
+		page, tok := collect(core.CursorOptions{Cursor: token, Limit: 3})
+		paged = append(paged, page...)
+		token = tok
+		if len(page) == 0 {
+			break
+		}
+	}
+	if len(paged) != len(full) {
+		t.Fatalf("pagination yielded %d paths, want %d", len(paged), len(full))
+	}
+	for i := range full {
+		if paged[i] != full[i] {
+			t.Fatalf("page output %d = %s, want %s", i, paged[i], full[i])
+		}
+	}
+}

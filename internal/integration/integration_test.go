@@ -228,21 +228,21 @@ func TestSpannerEndToEnd(t *testing.T) {
 	if int(cf) != len(oracle) {
 		t.Fatalf("count %f vs oracle %d", cf, len(oracle))
 	}
-	e, err := ci.Enumerate()
+	ms, err := inst.Enumerate(ci, core.CursorOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ms.Close()
 	got := map[string]bool{}
 	for {
-		w, ok := e.Next()
+		mp, ok := ms.Next()
 		if !ok {
 			break
 		}
-		mp, err := inst.DecodeMapping(w)
-		if err != nil {
-			t.Fatal(err)
-		}
 		got[mp.Format(a.Vars)] = true
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
 	}
 	if len(got) != len(oracle) {
 		t.Fatalf("enumerated %d mappings, oracle %d", len(got), len(oracle))

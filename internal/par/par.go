@@ -17,6 +17,27 @@ import (
 // random from i (see StreamRNG) and write only to its own index, so the
 // result never depends on which goroutine claimed which index.
 func ForEachIndexed(n, workers int, f func(i int)) {
+	ForEachIndexedUntil(n, workers, nil, f)
+}
+
+// ForEachIndexedUntil is ForEachIndexed with cooperative cancellation: once
+// `stop` is closed no further index is claimed. Calls already in flight run
+// to completion — f is never interrupted mid-call — so the function still
+// returns only after every started call has finished. A nil stop channel
+// means no cancellation. Indices are claimed in increasing order, a property
+// the ordered merge in internal/enumerate relies on.
+func ForEachIndexedUntil(n, workers int, stop <-chan struct{}, f func(i int)) {
+	stopped := func() bool {
+		if stop == nil {
+			return false
+		}
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
 	if n <= 0 {
 		return
 	}
@@ -25,6 +46,9 @@ func ForEachIndexed(n, workers int, f func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if stopped() {
+				return
+			}
 			f(i)
 		}
 		return
@@ -38,6 +62,9 @@ func ForEachIndexed(n, workers int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if stopped() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

@@ -1,0 +1,26 @@
+package regex
+
+import (
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+)
+
+// Words opens an enumeration session over the length-n words matching the
+// pattern, routed through the core engine's class dispatch: when the
+// Glushkov automaton is unambiguous the session has constant delay
+// (Algorithm 1), otherwise polynomial delay (flashlight). Serial sessions
+// are resumable via Token — compile the same pattern over the same
+// alphabet and pass the token back through opts.Cursor; parallel sessions
+// (opts.Workers > 1) shard the language by prefix.
+func Words(pattern string, alpha *automata.Alphabet, n int, opts core.CursorOptions) (enumerate.Session, error) {
+	nfa, err := Compile(pattern, alpha)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.New(nfa, n, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Enumerate(opts)
+}

@@ -1,0 +1,74 @@
+package regex
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+)
+
+// TestWordsSessionAndResume: Words enumerates exactly the matching words
+// of the requested length, and a token minted by one session resumes in a
+// fresh session over the same pattern.
+func TestWordsSessionAndResume(t *testing.T) {
+	alpha := automata.NewAlphabet("0", "1")
+	const pattern = "0(0|1)*1"
+	const n = 5
+
+	collect := func(opts core.CursorOptions) ([]string, string) {
+		s, err := Words(pattern, alpha, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var out []string
+		for {
+			w, ok := s.Next()
+			if !ok {
+				break
+			}
+			out = append(out, alpha.FormatWord(w))
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		tok, _ := s.Token()
+		return out, tok
+	}
+
+	full, _ := collect(core.CursorOptions{})
+	// 0…1 with 3 free middle bits: 8 words.
+	if len(full) != 8 {
+		t.Fatalf("enumerated %d words: %v", len(full), full)
+	}
+	for _, w := range full {
+		if ok, err := Match(pattern, alpha, w); err != nil || !ok {
+			t.Fatalf("non-matching word %q (err %v)", w, err)
+		}
+	}
+
+	// Resume across two completely separate Words calls: the token only
+	// needs the same pattern + alphabet + length.
+	firstTwo, tok := collect(core.CursorOptions{Limit: 2})
+	rest, _ := collect(core.CursorOptions{Cursor: tok})
+	got := append(firstTwo, rest...)
+	if len(got) != len(full) {
+		t.Fatalf("resumed enumeration yielded %d words, want %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("output %d = %q, want %q", i, got[i], full[i])
+		}
+	}
+
+	// Parallel ordered matches serial.
+	par, _ := collect(core.CursorOptions{Workers: 3, Shards: 6, Ordered: true})
+	if len(par) != len(full) {
+		t.Fatalf("parallel yielded %d words, want %d", len(par), len(full))
+	}
+	for i := range full {
+		if par[i] != full[i] {
+			t.Fatalf("parallel output %d = %q, want %q", i, par[i], full[i])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package spanner
+
+import (
+	"repro/internal/core"
+	"repro/internal/enumerate"
+)
+
+// MappingSession streams the mappings of ⟦A⟧(d) through the core
+// enumeration engine, decoding each witness on the fly. It inherits the
+// engine's contract: serial sessions are resumable via Token, parallel
+// sessions (CursorOptions.Workers > 1) shard by encoding prefix.
+type MappingSession struct {
+	inst *Instance
+	s    enumerate.Session
+	err  error
+}
+
+// Enumerate opens a mapping enumeration session on a core instance built
+// from this spanner instance (core.New(inst.N, inst.Length, …)). The
+// class dispatch is the paper's: constant delay when the encoding
+// automaton is unambiguous (Corollary 7), polynomial delay otherwise.
+func (inst *Instance) Enumerate(ci *core.Instance, opts core.CursorOptions) (*MappingSession, error) {
+	s, err := ci.Enumerate(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &MappingSession{inst: inst, s: s}, nil
+}
+
+// Next returns the next mapping, or ok=false when the session is exhausted
+// or failed (check Err). The mapping is freshly allocated and stays valid.
+func (ms *MappingSession) Next() (Mapping, bool) {
+	if ms.err != nil {
+		return nil, false
+	}
+	w, ok := ms.s.Next()
+	if !ok {
+		ms.err = ms.s.Err()
+		return nil, false
+	}
+	mp, err := ms.inst.DecodeMapping(w)
+	if err != nil {
+		ms.err = err
+		return nil, false
+	}
+	return mp, true
+}
+
+// Token returns the resume token of the underlying session (ok=false for
+// parallel sessions).
+func (ms *MappingSession) Token() (string, bool) { return ms.s.Token() }
+
+// Err reports a decode failure or an underlying session failure.
+func (ms *MappingSession) Err() error { return ms.err }
+
+// Close releases the underlying session.
+func (ms *MappingSession) Close() { ms.s.Close() }

@@ -1,0 +1,110 @@
+package spanner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// evaFixture builds the "capture one a" extractor over {a,b} used by the
+// integration tests.
+func evaFixture(t *testing.T) (*EVA, string) {
+	t.Helper()
+	a := NewEVA([]string{"x"}, 4)
+	for _, ch := range []byte("ab") {
+		a.AddLetter(0, ch, 0)
+		a.AddLetter(3, ch, 3)
+	}
+	a.AddSet(0, Open(0), 1)
+	a.AddLetter(1, 'a', 2)
+	a.AddSet(2, Close(0), 3)
+	a.SetFinal(3, true)
+	if !a.IsFunctional() {
+		t.Fatal("fixture not functional")
+	}
+	return a, "abaabba"
+}
+
+// TestMappingSessionMatchesOracle: the session yields exactly AllMappings,
+// and pagination via the resume token loses and duplicates nothing.
+func TestMappingSessionMatchesOracle(t *testing.T) {
+	a, doc := evaFixture(t)
+	inst, err := BuildInstance(a, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := AllMappings(a, doc)
+	ci, err := core.New(inst.N, inst.Length, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(opts core.CursorOptions) ([]string, string) {
+		ms, err := inst.Enumerate(ci, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ms.Close()
+		var out []string
+		for {
+			mp, ok := ms.Next()
+			if !ok {
+				break
+			}
+			out = append(out, mp.Format(a.Vars))
+		}
+		if err := ms.Err(); err != nil {
+			t.Fatal(err)
+		}
+		tok, _ := ms.Token()
+		return out, tok
+	}
+
+	full, _ := collect(core.CursorOptions{})
+	if len(full) != len(oracle) {
+		t.Fatalf("session yielded %d mappings, oracle %d", len(full), len(oracle))
+	}
+	seen := map[string]bool{}
+	for _, m := range full {
+		if seen[m] {
+			t.Fatalf("duplicate mapping %s", m)
+		}
+		seen[m] = true
+	}
+	for _, mp := range oracle {
+		if !seen[mp.Format(a.Vars)] {
+			t.Fatalf("missing mapping %s", mp.Format(a.Vars))
+		}
+	}
+
+	// Paginate 2 at a time and compare against the full drain.
+	var paged []string
+	token := ""
+	for {
+		page, tok := collect(core.CursorOptions{Cursor: token, Limit: 2})
+		paged = append(paged, page...)
+		token = tok
+		if len(page) == 0 {
+			break
+		}
+	}
+	if len(paged) != len(full) {
+		t.Fatalf("pagination yielded %d mappings, want %d", len(paged), len(full))
+	}
+	for i := range full {
+		if paged[i] != full[i] {
+			t.Fatalf("page output %d = %s, want %s", i, paged[i], full[i])
+		}
+	}
+
+	// Parallel ordered session equals the serial one.
+	par, _ := collect(core.CursorOptions{Workers: 3, Shards: 6, Ordered: true})
+	if len(par) != len(full) {
+		t.Fatalf("parallel session yielded %d mappings, want %d", len(par), len(full))
+	}
+	for i := range full {
+		if par[i] != full[i] {
+			t.Fatalf("parallel output %d = %s, want %s", i, par[i], full[i])
+		}
+	}
+}

@@ -25,6 +25,7 @@ package unroll
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
@@ -65,6 +66,23 @@ type DAG struct {
 	preds [][][]Edge
 	// finalPreds lists the accepting layer-N states wired into s_final.
 	finalPreds []Edge
+
+	// Forward adjacency, derived lazily from preds on first use (the
+	// enumeration stack walks forward; the FPRAS walks backward and never
+	// pays for it). succsOnce makes the derivation safe under concurrent
+	// first use; afterwards the slices are frozen like everything else.
+	succsOnce  sync.Once
+	startSuccs []OutEdge
+	succs      [][][]OutEdge // succs[t][q], t in 1..N-1
+}
+
+// OutEdge is an outgoing edge of a vertex: the symbol read and the
+// successor state in the next layer. Edges into s_final are not
+// represented here (see FinalPreds); every layer-N vertex is accepting
+// after backward pruning.
+type OutEdge struct {
+	Symbol automata.Symbol
+	To     int
 }
 
 // FinalSymbol is the label on the edges into s_final (Remark 1 of the
@@ -196,6 +214,46 @@ func (d *DAG) Preds(layer, state int) []Edge { return d.preds[layer][state] }
 // FinalPreds returns the incoming edges of s_final (each an accepting
 // layer-N state, or s_start itself when N is 0 and ε is accepted).
 func (d *DAG) FinalPreds() []Edge { return d.finalPreds }
+
+// ensureSuccs derives the forward adjacency from the incoming edge lists.
+// Iteration is per layer in state order, matching the preds construction,
+// so the edge order out of every vertex is deterministic: it is exactly the
+// decision-list order Algorithm 1 enumerates in.
+func (d *DAG) ensureSuccs() {
+	d.succsOnce.Do(func() {
+		d.succs = make([][][]OutEdge, d.N)
+		for t := 1; t < d.N; t++ {
+			d.succs[t] = make([][]OutEdge, d.M)
+		}
+		for t := 1; t <= d.N; t++ {
+			d.alive[t].ForEach(func(q int) {
+				for _, edge := range d.preds[t][q] {
+					if edge.FromState == -1 {
+						d.startSuccs = append(d.startSuccs, OutEdge{Symbol: edge.Symbol, To: q})
+					} else {
+						d.succs[t-1][edge.FromState] = append(d.succs[t-1][edge.FromState], OutEdge{Symbol: edge.Symbol, To: q})
+					}
+				}
+			})
+		}
+	})
+}
+
+// StartSuccs returns the out-edges of s_start (into layer 1), computed on
+// first call and cached. Safe for concurrent use; the caller must not
+// mutate the result.
+func (d *DAG) StartSuccs() []OutEdge {
+	d.ensureSuccs()
+	return d.startSuccs
+}
+
+// Succs returns the out-edges of vertex (layer, state) for layer in
+// 1..N-1, under the same contract as StartSuccs. With backward pruning
+// every alive vertex below layer N has at least one out-edge.
+func (d *DAG) Succs(layer, state int) []OutEdge {
+	d.ensureSuccs()
+	return d.succs[layer][state]
+}
 
 // NumAlive returns the total number of live vertices in layers 1..N.
 func (d *DAG) NumAlive() int {
