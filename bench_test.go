@@ -286,6 +286,67 @@ func BenchmarkEnumDelayParallel(b *testing.B) {
 	b.ReportMetric(float64(outputs)/float64(b.N), "words/op")
 }
 
+// BenchmarkEnumDelaySkewed: the work-stealing scheduler against the static
+// fan-out on the SkewedDensity family, whose mass concentrates in the
+// lexicographically last prefix cell (≈78% of the 83k words): under static
+// sharding one worker drains that cell alone while the rest idle, while
+// work-stealing keeps re-splitting it. Both drains run the ordered merge
+// with the same budget and must emit the serial sequence; the sub-bench
+// ratio is the headline number of experiment E16 (on a single-core host
+// the two converge — the scheduler can only win where there are cores).
+func BenchmarkEnumDelaySkewed(b *testing.B) {
+	nfa := automata.SkewedDensity(4)
+	const length = 20
+	for _, mode := range []struct {
+		name  string
+		steal int
+	}{
+		{"static", -1},
+		{"steal", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var maxGap time.Duration
+			outputs, peak, steals := 0, 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := enumerate.NewNFAStream(nfa, length, enumerate.StreamOptions{
+					Workers: 4, Shards: 16, Ordered: true,
+					MergeBudget: 512, StealThreshold: mode.steal,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := time.Now()
+				for {
+					if _, ok := st.Next(); !ok {
+						break
+					}
+					now := time.Now()
+					if gap := now.Sub(last); gap > maxGap {
+						maxGap = gap
+					}
+					last = now
+					outputs++
+				}
+				if err := st.Err(); err != nil {
+					b.Fatal(err)
+				}
+				stats := st.Stats()
+				if stats.PeakBuffered > peak {
+					peak = stats.PeakBuffered
+				}
+				steals += stats.Steals
+				st.Close()
+			}
+			b.ReportMetric(float64(maxGap.Nanoseconds()), "max-delay-ns")
+			b.ReportMetric(float64(outputs)/float64(b.N), "words/op")
+			b.ReportMetric(float64(peak), "peak-buffered-words")
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+		})
+	}
+}
+
 // BenchmarkE8_PLVUG: one Las Vegas sampling attempt (most reject, as the
 // e⁻⁴ analysis predicts; the table reports the acceptance rate).
 func BenchmarkE8_PLVUG(b *testing.B) {

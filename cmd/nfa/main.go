@@ -9,17 +9,25 @@
 //	nfa info   -f automaton.txt
 //	nfa count  -f automaton.txt -n 12 [-exact] [-delta 0.1] [-k 96] [-seed 1] [-workers 8]
 //	nfa enum   -f automaton.txt -n 12 [-limit 20] [-cursor TOKEN] [-workers 8]
+//	           [-unordered] [-budget 1024] [-steal 64] [-v]
 //	nfa sample -f automaton.txt -n 12 [-count 5] [-seed 1] [-workers 8]
 //
 // -workers bounds the parallelism of the FPRAS build, of batched sampling,
 // and of sharded enumeration (0 = all cores, 1 = serial); it changes
 // wall-clock only, never the output for a fixed seed (enum merges shards
-// back into canonical order).
+// back into canonical order unless -unordered asks for throughput mode).
+// Parallel enumeration is scheduled by work-stealing: -steal sets how many
+// words a shard produces before idle workers may re-split it (-1 disables
+// stealing), -budget caps the words buffered ahead of the ordered merge
+// (far-ahead shards spill to their cursors and reopen later), and -v dumps
+// the per-shard completion statistics on stderr after the run.
 //
 // Enumeration is paginated: enum prints a resume token on stderr, and
-// -cursor continues a previous listing exactly where it stopped (serial
-// sessions only; the token embeds a fingerprint of the automaton, so it
-// must be replayed against the same file and length).
+// -cursor continues a previous listing exactly where it stopped — serial
+// runs mint a single-position cursor, parallel runs a multi-cell frontier
+// token, and either kind resumes with any -workers value (the token embeds
+// a fingerprint of the automaton, so it must be replayed against the same
+// file and length).
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/core"
+	"repro/internal/enumerate"
 	"repro/internal/exact"
 )
 
@@ -54,16 +63,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		file    = fs.String("f", "", "automaton file (see internal/automata text format)")
-		n       = fs.Int("n", 0, "witness length")
-		limit   = fs.Int("limit", 20, "max witnesses to enumerate (enum)")
-		count   = fs.Int("count", 1, "number of samples (sample)")
-		exactF  = fs.Bool("exact", false, "force exact counting (count; may be exponential)")
-		delta   = fs.Float64("delta", 0.1, "FPRAS target relative error (count)")
-		k       = fs.Int("k", 0, "FPRAS sketch size override")
-		seed    = fs.Int64("seed", 0, "random seed (0 = fixed default)")
-		workers = fs.Int("workers", 0, "FPRAS build/sampling/enum parallelism (0 = all cores)")
-		cursor  = fs.String("cursor", "", "resume a previous enum from its token (enum)")
+		file      = fs.String("f", "", "automaton file (see internal/automata text format)")
+		n         = fs.Int("n", 0, "witness length")
+		limit     = fs.Int("limit", 20, "max witnesses to enumerate (enum)")
+		count     = fs.Int("count", 1, "number of samples (sample)")
+		exactF    = fs.Bool("exact", false, "force exact counting (count; may be exponential)")
+		delta     = fs.Float64("delta", 0.1, "FPRAS target relative error (count)")
+		k         = fs.Int("k", 0, "FPRAS sketch size override")
+		seed      = fs.Int64("seed", 0, "random seed (0 = fixed default)")
+		workers   = fs.Int("workers", 0, "FPRAS build/sampling/enum parallelism (0 = all cores)")
+		cursor    = fs.String("cursor", "", "resume a previous enum from its token (enum)")
+		unordered = fs.Bool("unordered", false, "parallel enum in arrival order (throughput mode; enum)")
+		budget    = fs.Int("budget", 0, "parallel enum merge budget in words (0 = default; enum)")
+		steal     = fs.Int("steal", 0, "words between shard re-splits (0 = default, -1 = static shards; enum)")
+		verbose   = fs.Bool("v", false, "print per-shard scheduler stats on stderr (enum)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
@@ -98,7 +111,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case "count":
 			err = runCount(stdout, inst, *exactF)
 		case "enum":
-			err = runEnum(stdout, stderr, inst, *limit, *workers, *cursor)
+			err = runEnum(stdout, stderr, inst, enumConfig{
+				limit: *limit, workers: *workers, cursor: *cursor,
+				unordered: *unordered, budget: *budget, steal: *steal, verbose: *verbose,
+			})
 		case "sample":
 			err = runSample(stdout, inst, *count, *workers)
 		}
@@ -155,12 +171,21 @@ func runCount(w io.Writer, inst *core.Instance, forceExact bool) error {
 	return nil
 }
 
-func runEnum(w, errw io.Writer, inst *core.Instance, limit, workers int, cursor string) error {
+// enumConfig carries the enum subcommand's flags.
+type enumConfig struct {
+	limit, workers, budget, steal int
+	cursor                        string
+	unordered, verbose            bool
+}
+
+func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 	s, err := inst.Enumerate(core.CursorOptions{
-		Cursor:  cursor,
-		Limit:   limit,
-		Workers: workers,
-		Ordered: true, // parallel shards merge back into canonical order
+		Cursor:         cfg.cursor,
+		Limit:          cfg.limit,
+		Workers:        cfg.workers,
+		Ordered:        !cfg.unordered, // shards merge back into canonical order by default
+		MergeBudget:    cfg.budget,
+		StealThreshold: cfg.steal,
 	})
 	if err != nil {
 		return err
@@ -178,14 +203,32 @@ func runEnum(w, errw io.Writer, inst *core.Instance, limit, workers int, cursor 
 	if err := s.Err(); err != nil {
 		return err
 	}
+	mode := ""
+	if cfg.unordered {
+		mode = ", unordered"
+	}
 	if tok, ok := s.Token(); ok {
-		fmt.Fprintf(errw, "# %d witnesses (%s, limit %d); resume with -cursor %s\n",
-			count, inst.Class(), limit, tok)
+		fmt.Fprintf(errw, "# %d witnesses (%s, limit %d%s); resume with -cursor %s\n",
+			count, inst.Class(), cfg.limit, mode, tok)
 	} else {
-		fmt.Fprintf(errw, "# %d witnesses (%s, limit %d; parallel, not resumable)\n",
-			count, inst.Class(), limit)
+		fmt.Fprintf(errw, "# %d witnesses (%s, limit %d%s)\n",
+			count, inst.Class(), cfg.limit, mode)
+	}
+	if cfg.verbose {
+		printEnumStats(errw, s)
 	}
 	return nil
+}
+
+// printEnumStats dumps the work-stealing scheduler's per-shard completion
+// statistics (parallel sessions only).
+func printEnumStats(errw io.Writer, s enumerate.Session) {
+	stats, ok := enumerate.SessionStats(s)
+	if !ok {
+		fmt.Fprintln(errw, "# serial session (no shard stats)")
+		return
+	}
+	stats.Fprint(errw)
 }
 
 func runSample(w io.Writer, inst *core.Instance, count, workers int) error {

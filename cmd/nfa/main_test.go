@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -211,7 +212,8 @@ func TestEnumCursorRoundTrip(t *testing.T) {
 }
 
 // TestEnumParallelMatchesSerial: -workers with the ordered merge produces
-// the exact serial output.
+// the exact serial output, and the parallel run now mints a resume token
+// of its own (the multi-cell frontier).
 func TestEnumParallelMatchesSerial(t *testing.T) {
 	f := writeFixture(t, "amb.txt", ambFixture)
 	serial, _, code := runNFA(t, "enum", "-f", f, "-n", "6", "-limit", "0", "-workers", "1")
@@ -225,8 +227,90 @@ func TestEnumParallelMatchesSerial(t *testing.T) {
 	if parallel != serial {
 		t.Fatalf("parallel enum differs:\n%q\nvs\n%q", parallel, serial)
 	}
-	if !strings.Contains(errOut, "not resumable") {
-		t.Fatalf("parallel run should report non-resumability: %q", errOut)
+	if !strings.Contains(errOut, "-cursor el1:p:") {
+		t.Fatalf("parallel run should mint a frontier resume token: %q", errOut)
+	}
+}
+
+// TestEnumUnordered: throughput mode emits the same multiset of witnesses
+// in some order, and -v dumps per-shard scheduler statistics on stderr.
+func TestEnumUnordered(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	serial, _, code := runNFA(t, "enum", "-f", f, "-n", "6", "-limit", "0", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	out, errOut, code := runNFA(t, "enum", "-f", f, "-n", "6", "-limit", "0",
+		"-workers", "4", "-unordered", "-steal", "1", "-budget", "16", "-v")
+	if code != 0 {
+		t.Fatalf("unordered exit %d, stderr %q", code, errOut)
+	}
+	want := strings.Fields(serial)
+	got := strings.Fields(out)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("unordered enum printed %d witnesses, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("unordered witness %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !strings.Contains(errOut, "unordered") {
+		t.Fatalf("summary should mention unordered mode: %q", errOut)
+	}
+	for _, marker := range []string{"# shards:", "peak buffer:", "shard 0 prefix="} {
+		if !strings.Contains(errOut, marker) {
+			t.Fatalf("-v stats missing %q:\n%s", marker, errOut)
+		}
+	}
+}
+
+// TestEnumParallelCursorRoundTrip: paginate with -workers 4 — each page
+// prints a frontier token, and the concatenation of the pages equals the
+// serial listing, end to end through the CLI.
+func TestEnumParallelCursorRoundTrip(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	fullOut, _, code := runNFA(t, "enum", "-f", f, "-n", "5", "-limit", "0")
+	if code != 0 {
+		t.Fatalf("full enum exit %d", code)
+	}
+	want := strings.Fields(fullOut)
+
+	var got []string
+	cursor := ""
+	for page := 0; ; page++ {
+		if page > len(want)+2 {
+			t.Fatal("parallel pagination does not terminate")
+		}
+		args := []string{"enum", "-f", f, "-n", "5", "-limit", "7", "-workers", "4", "-steal", "1", "-budget", "8"}
+		if cursor != "" {
+			args = append(args, "-cursor", cursor)
+		}
+		out, errOut, code := runNFA(t, args...)
+		if code != 0 {
+			t.Fatalf("page %d: exit %d, stderr %q", page, code, errOut)
+		}
+		words := strings.Fields(out)
+		got = append(got, words...)
+		const marker = "-cursor "
+		i := strings.Index(errOut, marker)
+		if i < 0 {
+			t.Fatalf("page %d: no resume token on stderr: %q", page, errOut)
+		}
+		cursor = strings.TrimSpace(errOut[i+len(marker):])
+		if len(words) == 0 {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paginated %d witnesses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("witness %d = %q, want %q", i, got[i], want[i])
+		}
 	}
 }
 

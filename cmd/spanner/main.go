@@ -11,8 +11,12 @@
 //
 // Enumeration is paginated: with -limit the command prints a resume token
 // on stderr, and -cursor continues a previous listing exactly where it
-// stopped. -workers N (N > 1) enumerates prefix shards in parallel,
-// merged back into canonical order.
+// stopped. -workers N (N > 1) enumerates prefix shards in parallel under a
+// work-stealing scheduler, merged back into canonical order (-unordered
+// switches to arrival-order throughput mode); -steal and -budget tune the
+// re-shard pacing and the ordered-merge memory bound, -v dumps per-shard
+// scheduler statistics, and parallel runs mint multi-cell frontier tokens
+// that -cursor resumes with any worker count.
 package main
 
 import (
@@ -26,22 +30,26 @@ import (
 
 func main() {
 	var (
-		rule     = flag.String("rule", "", "extraction rule: regex with (name: ...) captures")
-		alphabet = flag.String("alphabet", "", "document alphabet characters")
-		doc      = flag.String("doc", "", "document text")
-		docFile  = flag.String("docfile", "", "read the document from a file instead")
-		count    = flag.Bool("count", false, "print the number of mappings")
-		enum     = flag.Bool("enum", false, "enumerate mappings")
-		limit    = flag.Int("limit", 0, "max mappings to enumerate (0 = all; prints a resume token)")
-		cursor   = flag.String("cursor", "", "resume a previous enumeration from its token")
-		workers  = flag.Int("workers", 0, "parallel enumeration shard workers (≤ 1 = serial, resumable)")
-		sampleN  = flag.Int("sample", 0, "sample N uniform mappings")
-		seed     = flag.Int64("seed", 0, "random seed")
-		k        = flag.Int("k", 0, "FPRAS sketch size override")
+		rule      = flag.String("rule", "", "extraction rule: regex with (name: ...) captures")
+		alphabet  = flag.String("alphabet", "", "document alphabet characters")
+		doc       = flag.String("doc", "", "document text")
+		docFile   = flag.String("docfile", "", "read the document from a file instead")
+		count     = flag.Bool("count", false, "print the number of mappings")
+		enum      = flag.Bool("enum", false, "enumerate mappings")
+		limit     = flag.Int("limit", 0, "max mappings to enumerate (0 = all; prints a resume token)")
+		cursor    = flag.String("cursor", "", "resume a previous enumeration from its token")
+		workers   = flag.Int("workers", 0, "parallel enumeration shard workers (≤ 1 = serial)")
+		unordered = flag.Bool("unordered", false, "parallel enumeration in arrival order (throughput mode)")
+		budget    = flag.Int("budget", 0, "parallel merge budget in words (0 = default)")
+		steal     = flag.Int("steal", 0, "words between shard re-splits (0 = default, -1 = static shards)")
+		verbose   = flag.Bool("v", false, "print per-shard scheduler stats on stderr")
+		sampleN   = flag.Int("sample", 0, "sample N uniform mappings")
+		seed      = flag.Int64("seed", 0, "random seed")
+		k         = flag.Int("k", 0, "FPRAS sketch size override")
 	)
 	flag.Parse()
 	if *rule == "" || *alphabet == "" {
-		fmt.Fprintln(os.Stderr, "usage: spanner -rule RULE -alphabet CHARS (-doc TEXT | -docfile FILE) [-count|-enum [-limit N] [-cursor TOK] [-workers W]|-sample N]")
+		fmt.Fprintln(os.Stderr, "usage: spanner -rule RULE -alphabet CHARS (-doc TEXT | -docfile FILE) [-count|-enum [-limit N] [-cursor TOK] [-workers W] [-unordered] [-budget B] [-steal S] [-v]|-sample N]")
 		os.Exit(2)
 	}
 	if *docFile != "" {
@@ -85,10 +93,12 @@ func main() {
 	}
 	if *enum {
 		ms, err := inst.Enumerate(ci, core.CursorOptions{
-			Cursor:  *cursor,
-			Limit:   *limit,
-			Workers: *workers,
-			Ordered: true,
+			Cursor:         *cursor,
+			Limit:          *limit,
+			Workers:        *workers,
+			Ordered:        !*unordered,
+			MergeBudget:    *budget,
+			StealThreshold: *steal,
 		})
 		if err != nil {
 			fail(err.Error())
@@ -108,7 +118,14 @@ func main() {
 		if tok, ok := ms.Token(); ok {
 			fmt.Fprintf(os.Stderr, "# %d mappings; resume with -cursor %s\n", printed, tok)
 		} else {
-			fmt.Fprintf(os.Stderr, "# %d mappings (parallel, not resumable)\n", printed)
+			fmt.Fprintf(os.Stderr, "# %d mappings\n", printed)
+		}
+		if *verbose {
+			if stats, ok := ms.Stats(); ok {
+				stats.Fprint(os.Stderr)
+			} else {
+				fmt.Fprintln(os.Stderr, "# serial session (no shard stats)")
+			}
 		}
 		ms.Close()
 	}

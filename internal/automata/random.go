@@ -289,3 +289,53 @@ func PaperExample() (*NFA, int) {
 	n.AddTransition(5, b, 6)
 	return n, 3
 }
+
+// SkewedDensity returns a deterministic (hence unambiguous) automaton over
+// {0,1} whose language is pathologically mass-skewed across prefix cells:
+// the first k symbols are free, and a word whose k-prefix contains j ones
+// must from then on repeat k-blocks whose first j positions are free and
+// whose remaining k−j positions are 0. At witness length n the prefix 1^k
+// therefore owns ≈ 2^(n−k) words while the prefix 0^k owns exactly one,
+// with every intermediate density in between — and the skew recurs inside
+// every cell, at every depth. Any static prefix partition of L_n is
+// dominated by its densest cell (which also sorts last lexicographically),
+// which is exactly the workload the work-stealing shard scheduler exists
+// for; see BenchmarkEnumDelaySkewed and experiment E16.
+func SkewedDensity(k int) *NFA {
+	if k < 1 {
+		panic("automata: SkewedDensity needs k ≥ 1")
+	}
+	alpha := Binary()
+	// Prefix states (pos, ones) for pos in 0..k-1, ones ≤ pos, then k+1
+	// block gadgets of k states each: gadget j cycles through positions
+	// 0..k-1 with both symbols allowed at positions < j and only 0 after.
+	prefixStates := k * (k + 1) / 2
+	pre := func(pos, ones int) int { return pos*(pos+1)/2 + ones }
+	gad := func(j, i int) int { return prefixStates + j*k + i }
+	n := New(alpha, prefixStates+(k+1)*k)
+	n.SetStart(pre(0, 0))
+	for pos := 0; pos < k; pos++ {
+		for ones := 0; ones <= pos; ones++ {
+			q := pre(pos, ones)
+			n.SetFinal(q, true)
+			if pos < k-1 {
+				n.AddTransition(q, 0, pre(pos+1, ones))
+				n.AddTransition(q, 1, pre(pos+1, ones+1))
+			} else {
+				n.AddTransition(q, 0, gad(ones, 0))
+				n.AddTransition(q, 1, gad(ones+1, 0))
+			}
+		}
+	}
+	for j := 0; j <= k; j++ {
+		for i := 0; i < k; i++ {
+			q := gad(j, i)
+			n.SetFinal(q, true)
+			n.AddTransition(q, 0, gad(j, (i+1)%k))
+			if i < j {
+				n.AddTransition(q, 1, gad(j, (i+1)%k))
+			}
+		}
+	}
+	return n
+}

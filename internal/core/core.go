@@ -223,30 +223,45 @@ func (in *Instance) ufa() (*sample.UFASampler, error) {
 // CursorOptions configure an enumeration session.
 type CursorOptions struct {
 	// Cursor resumes from a token minted by a previous session's Token
-	// ("" starts from the first witness). Mutually exclusive with
-	// Workers > 1: a parallel stream has no single resume point.
+	// ("" starts from the first witness). Serial tokens and multi-cell
+	// frontier tokens (from parallel sessions) both resume with any
+	// Workers setting: a serial token opened with Workers > 1 is re-
+	// sharded into suffix cells, and a frontier token opened serially
+	// drains its cells one after another.
 	Cursor string
 	// Limit stops the session after this many outputs (≤ 0 = unbounded).
-	// The resume token of a limited serial session points just past the
-	// last emitted witness, so paginated calls chain cleanly.
+	// The resume token of a limited session points just past the last
+	// emitted witness, so paginated calls chain cleanly.
 	Limit int
-	// Workers > 1 enables prefix-sharded parallel enumeration across that
-	// many goroutines (0 or 1 = serial; serial sessions are resumable).
+	// Workers > 1 enables work-stealing sharded parallel enumeration
+	// across that many goroutines (0 or 1 = serial).
 	Workers int
-	// Shards is the target prefix-cell count for parallel sessions
-	// (0 = 4×Workers).
+	// Shards is the target initial prefix-cell count for parallel
+	// sessions (0 = 4×Workers); work-stealing re-shards skewed cells on
+	// the fly.
 	Shards int
 	// Ordered makes a parallel session emit in the canonical serial order
 	// (bitwise identical to Workers ≤ 1); unordered parallel sessions
 	// emit in per-shard arrival order for maximum throughput.
 	Ordered bool
+	// MergeBudget caps the words a parallel session buffers ahead of the
+	// consumer (0 = enumerate.DefaultMergeBudget); in ordered mode cells
+	// that run too far ahead are spilled to their resume cursors and
+	// reopened later, so peak buffering respects the budget on any skew.
+	MergeBudget int
+	// StealThreshold is the number of words a cell must produce between
+	// splits before idle workers may re-shard it (0 = default; < 0
+	// disables work-stealing, reproducing a static fan-out).
+	StealThreshold int
 }
 
 // Enumerate opens a class-appropriate enumeration session: Algorithm 1
 // (constant delay) for ClassUL, the flashlight (polynomial delay) for
-// ClassNL. Serial sessions (Workers ≤ 1) are resumable via Token; parallel
-// sessions fan prefix cells across goroutines. Close the session when done
-// (a no-op for serial sessions).
+// ClassNL. Every session is resumable via Token: serial sessions mint a
+// single-position cursor, parallel sessions (Workers > 1, scheduled by
+// work-stealing across prefix cells) a multi-cell frontier token; both
+// resume through Cursor/EnumerateFrom with any worker count. Close the
+// session when done (a no-op for serial sessions).
 func (in *Instance) Enumerate(opts CursorOptions) (enumerate.Session, error) {
 	s, err := in.openSession(opts)
 	if err != nil {
@@ -259,17 +274,40 @@ func (in *Instance) Enumerate(opts CursorOptions) (enumerate.Session, error) {
 }
 
 func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
-	if opts.Workers > 1 {
-		if opts.Cursor != "" {
-			return nil, fmt.Errorf("core: parallel enumeration cannot resume from a cursor (use Workers ≤ 1)")
-		}
-		sopts := enumerate.StreamOptions{Workers: opts.Workers, Shards: opts.Shards, Ordered: opts.Ordered}
-		if in.class == ClassUL {
-			return enumerate.NewUFAStream(in.n, in.length, sopts)
-		}
-		return enumerate.NewNFAStream(in.n, in.length, sopts)
+	sopts := enumerate.StreamOptions{
+		Workers:        opts.Workers,
+		Shards:         opts.Shards,
+		Ordered:        opts.Ordered,
+		MergeBudget:    opts.MergeBudget,
+		StealThreshold: opts.StealThreshold,
+	}
+	kind := enumerate.KindNFA
+	if in.class == ClassUL {
+		kind = enumerate.KindUFA
 	}
 	if opts.Cursor != "" {
+		// A frontier token (multi-cell position of a parallel session)
+		// resumes either as a new parallel stream or as a serial chain
+		// over its remaining cells.
+		if enumerate.IsFrontierToken(opts.Cursor) {
+			f, err := enumerate.ParseFrontier(opts.Cursor)
+			if err != nil {
+				return nil, err
+			}
+			if f.Length != in.length {
+				return nil, fmt.Errorf("core: cursor length %d does not match instance length %d", f.Length, in.length)
+			}
+			if f.Kind != kind {
+				return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", f.Kind, in.class)
+			}
+			if opts.Workers > 1 {
+				if in.class == ClassUL {
+					return enumerate.NewUFAStreamFrom(in.n, f, sopts)
+				}
+				return enumerate.NewNFAStreamFrom(in.n, f, sopts)
+			}
+			return enumerate.ResumeFrontier(in.n, f)
+		}
 		c, err := enumerate.ParseToken(opts.Cursor)
 		if err != nil {
 			return nil, err
@@ -277,16 +315,27 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 		if c.Length != in.length {
 			return nil, fmt.Errorf("core: cursor length %d does not match instance length %d", c.Length, in.length)
 		}
-		if in.class == ClassUL {
-			if c.Kind != enumerate.KindUFA {
-				return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", c.Kind, in.class)
-			}
-			return enumerate.NewUFAFrom(in.n, c)
-		}
-		if c.Kind != enumerate.KindNFA {
+		if c.Kind != kind {
 			return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", c.Kind, in.class)
 		}
+		if opts.Workers > 1 {
+			// Re-shard the serial token's suffix into parallel cells.
+			f := enumerate.SuffixFrontier(c)
+			if in.class == ClassUL {
+				return enumerate.NewUFAStreamFrom(in.n, f, sopts)
+			}
+			return enumerate.NewNFAStreamFrom(in.n, f, sopts)
+		}
+		if in.class == ClassUL {
+			return enumerate.NewUFAFrom(in.n, c)
+		}
 		return enumerate.NewNFAFrom(in.n, c)
+	}
+	if opts.Workers > 1 {
+		if in.class == ClassUL {
+			return enumerate.NewUFAStream(in.n, in.length, sopts)
+		}
+		return enumerate.NewNFAStream(in.n, in.length, sopts)
 	}
 	if in.class == ClassUL {
 		return enumerate.NewUFA(in.n, in.length)
@@ -316,6 +365,10 @@ func (l *limitedSession) Next() (automata.Word, bool) {
 	}
 	return w, ok
 }
+
+// Unwrap exposes the underlying session so enumerate.SessionStats can reach
+// the scheduler statistics of a wrapped parallel stream.
+func (l *limitedSession) Unwrap() enumerate.Session { return l.Session }
 
 // Witnesses drains a fresh session into formatted strings (limit ≤ 0 means
 // all) — a convenience for examples and CLIs.

@@ -193,8 +193,91 @@ func TestEnumerateRejectsBadCursors(t *testing.T) {
 	if _, err := in.EnumerateFrom(tok2); err == nil {
 		t.Fatal("cursor with wrong kind accepted")
 	}
-	// Parallel + cursor is contradictory.
+	// A parallel resume validates length and kind too.
 	if _, err := in.Enumerate(CursorOptions{Cursor: tok, Workers: 4}); err == nil {
-		t.Fatal("parallel resume accepted")
+		t.Fatal("parallel resume of a wrong-length cursor accepted")
+	}
+	if _, err := in.Enumerate(CursorOptions{Cursor: tok2, Workers: 4}); err == nil {
+		t.Fatal("parallel resume of a wrong-kind cursor accepted")
+	}
+}
+
+// TestEnumerateParallelResume: a parallel session's frontier token resumes
+// through the core entry points — serially, and as a new parallel stream —
+// and a serial token reopens as a parallel stream. All three paths must
+// produce exactly the remaining witnesses, in order.
+func TestEnumerateParallelResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 3; trial++ {
+		a := automata.Random(rng, automata.Binary(), 4+rng.Intn(3), 0.3, 0.4)
+		in, err := New(a, 7, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := in.Witnesses(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) < 4 {
+			continue
+		}
+		k := len(want) / 3
+		popts := CursorOptions{Workers: 4, Shards: 5, Ordered: true, MergeBudget: 8, StealThreshold: 1}
+
+		// Parallel page, then resume three ways.
+		page := popts
+		page.Limit = k
+		s, err := in.Enumerate(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := drainSession(in, s)
+		tok, ok := s.Token()
+		if !ok {
+			t.Fatal("parallel session must mint a resume token")
+		}
+		if len(first) != k {
+			t.Fatalf("trial %d: page had %d witnesses, want %d", trial, len(first), k)
+		}
+
+		for name, resume := range map[string]CursorOptions{
+			"serial":   {Cursor: tok},
+			"parallel": {Cursor: tok, Workers: 4, Shards: 3, Ordered: true, MergeBudget: 8, StealThreshold: 1},
+		} {
+			rs, err := in.Enumerate(resume)
+			if err != nil {
+				t.Fatalf("trial %d %s resume: %v", trial, name, err)
+			}
+			got := append(append([]string(nil), first...), drainSession(in, rs)...)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s resume: %d outputs, want %d", trial, name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s resume: output %d = %q, want %q", trial, name, i, got[i], want[i])
+				}
+			}
+		}
+
+		// Serial page resumed as a parallel stream.
+		ss, err := in.Enumerate(CursorOptions{Limit: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = drainSession(in, ss)
+		stok, _ := ss.Token()
+		rs, err := in.Enumerate(CursorOptions{Cursor: stok, Workers: 4, Ordered: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(append([]string(nil), first...), drainSession(in, rs)...)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d serial->parallel: %d outputs, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d serial->parallel: output %d = %q, want %q", trial, i, got[i], want[i])
+			}
+		}
 	}
 }

@@ -16,6 +16,10 @@ const (
 	KindUFA byte = 'u'
 	// KindNFA marks a flashlight cursor (position = last emitted word).
 	KindNFA byte = 'n'
+	// KindFrontier marks a multi-cell frontier token: the position of a
+	// parallel (or chained) session, an ordered list of remaining cells
+	// with one optional mid-cell position each. See Frontier.
+	KindFrontier byte = 'p'
 )
 
 // CursorState distinguishes the three positions a cursor can denote.
@@ -71,6 +75,9 @@ func ParseToken(token string) (Cursor, error) {
 	parts := strings.Split(token, ":")
 	if len(parts) != 3 || parts[0] != tokenPrefix {
 		return c, fmt.Errorf("enumerate: malformed resume token (want %s:<kind>:<payload>)", tokenPrefix)
+	}
+	if len(parts[1]) == 1 && parts[1][0] == KindFrontier {
+		return c, fmt.Errorf("enumerate: token is a multi-cell frontier (use ParseFrontier)")
 	}
 	if len(parts[1]) != 1 || (parts[1][0] != KindUFA && parts[1][0] != KindNFA) {
 		return c, fmt.Errorf("enumerate: unknown cursor kind %q", parts[1])
@@ -129,9 +136,18 @@ func ParseToken(token string) (Cursor, error) {
 
 // Resume reopens an enumeration from a serialized token, dispatching on the
 // cursor kind: a 'u' token yields a UFAEnumerator, an 'n' token an
-// NFAEnumerator. The automaton must be the one the token was minted on
-// (enforced via the embedded fingerprint).
+// NFAEnumerator, and a 'p' (frontier) token a serial session that drains
+// the remaining cells of a paused parallel stream one after another. The
+// automaton must be the one the token was minted on (enforced via the
+// embedded fingerprint).
 func Resume(n *automata.NFA, token string) (Session, error) {
+	if IsFrontierToken(token) {
+		f, err := ParseFrontier(token)
+		if err != nil {
+			return nil, err
+		}
+		return ResumeFrontier(n, f)
+	}
 	c, err := ParseToken(token)
 	if err != nil {
 		return nil, err
@@ -140,4 +156,211 @@ func Resume(n *automata.NFA, token string) (Session, error) {
 		return NewUFAFrom(n, c)
 	}
 	return NewNFAFrom(n, c)
+}
+
+// FrontierSeg is one remaining cell of a Frontier: a prefix cell (with the
+// SplitSteal lower bound Lo and, when the cell's upper range was stolen
+// away, the lexicographic ceiling path Ceil) plus, when Pos is non-nil,
+// the position of the last word already delivered inside the cell — the
+// cell resumes just after it. A nil Pos means the whole cell is still
+// pending; a nil/empty Ceil means the cell runs to the end of its prefix
+// subtree.
+type FrontierSeg struct {
+	Prefix []int
+	Lo     int
+	Ceil   []int
+	Pos    []int
+}
+
+// Frontier is the decoded position of a parallel enumeration session: the
+// ordered list of cells not yet fully delivered. The concatenation of the
+// segments' remaining ranges, in order, is exactly the undelivered part of
+// the enumeration (for an ordered stream that is a suffix of the canonical
+// order; for an unordered stream it is the complement of the delivered
+// multiset). Kind is the algorithm's cursor kind (KindUFA or KindNFA), not
+// KindFrontier.
+type Frontier struct {
+	Kind   byte
+	Length int
+	FP     uint32
+	Segs   []FrontierSeg
+}
+
+// Token serializes the frontier as el1:p:<payload>. The payload is
+// uvarint(fp) ∘ uvarint(length) ∘ kind byte ∘ uvarint(|segs|) followed by
+// each segment as uvarint(|prefix|) ∘ prefix uvarints ∘ uvarint(lo) ∘
+// uvarint(|ceil|) ∘ ceil uvarints ∘ state byte ('m' iff Pos is present) ∘
+// Length position uvarints when mid.
+func (f Frontier) Token() string {
+	buf := make([]byte, 0, 16+8*len(f.Segs))
+	buf = binary.AppendUvarint(buf, uint64(f.FP))
+	buf = binary.AppendUvarint(buf, uint64(f.Length))
+	buf = append(buf, f.Kind)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Segs)))
+	for _, s := range f.Segs {
+		buf = binary.AppendUvarint(buf, uint64(len(s.Prefix)))
+		for _, v := range s.Prefix {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+		buf = binary.AppendUvarint(buf, uint64(s.Lo))
+		buf = binary.AppendUvarint(buf, uint64(len(s.Ceil)))
+		for _, v := range s.Ceil {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+		if s.Pos != nil {
+			buf = append(buf, byte(CursorMid))
+			for _, v := range s.Pos {
+				buf = binary.AppendUvarint(buf, uint64(v))
+			}
+		} else {
+			buf = append(buf, byte(CursorFresh))
+		}
+	}
+	return tokenPrefix + ":" + string(KindFrontier) + ":" + base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// IsFrontierToken reports whether the token claims the frontier kind, so
+// callers can route it to ParseFrontier instead of ParseToken.
+func IsFrontierToken(token string) bool {
+	return strings.HasPrefix(token, tokenPrefix+":"+string(KindFrontier)+":")
+}
+
+// ParseFrontier decodes a frontier token, validating everything that can be
+// checked without the automaton. As with ParseToken, claimed counts are
+// bounded by the remaining payload bytes before any allocation is sized off
+// untrusted input; automaton-dependent validation (fingerprint, prefix
+// viability, decision ranges) happens when the cells are reopened.
+func ParseFrontier(token string) (Frontier, error) {
+	var f Frontier
+	parts := strings.Split(token, ":")
+	if len(parts) != 3 || parts[0] != tokenPrefix || parts[1] != string(KindFrontier) {
+		return f, fmt.Errorf("enumerate: malformed frontier token (want %s:%c:<payload>)", tokenPrefix, KindFrontier)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil {
+		return f, fmt.Errorf("enumerate: bad frontier payload: %v", err)
+	}
+	uv := func(what string) (int, error) {
+		v, k := binary.Uvarint(raw)
+		if k <= 0 || v > math.MaxInt32 {
+			return 0, fmt.Errorf("enumerate: bad frontier %s", what)
+		}
+		raw = raw[k:]
+		return int(v), nil
+	}
+	fp, k := binary.Uvarint(raw)
+	if k <= 0 || fp > math.MaxUint32 {
+		return f, fmt.Errorf("enumerate: bad frontier fingerprint")
+	}
+	raw = raw[k:]
+	f.FP = uint32(fp)
+	if f.Length, err = uv("length"); err != nil {
+		return f, err
+	}
+	if len(raw) == 0 {
+		return f, fmt.Errorf("enumerate: truncated frontier token (missing kind)")
+	}
+	f.Kind = raw[0]
+	raw = raw[1:]
+	if f.Kind != KindUFA && f.Kind != KindNFA {
+		return f, fmt.Errorf("enumerate: unknown frontier cell kind %q", f.Kind)
+	}
+	nsegs, err := uv("segment count")
+	if err != nil {
+		return f, err
+	}
+	// Every segment costs at least two payload bytes (prefix length, lo,
+	// state), so an honest token can never claim more segments than bytes.
+	if nsegs > len(raw) {
+		return f, fmt.Errorf("enumerate: frontier claims %d segments but carries %d bytes", nsegs, len(raw))
+	}
+	f.Segs = make([]FrontierSeg, 0, nsegs)
+	for i := 0; i < nsegs; i++ {
+		var s FrontierSeg
+		plen, err := uv("prefix length")
+		if err != nil {
+			return f, err
+		}
+		if plen > f.Length {
+			return f, fmt.Errorf("enumerate: frontier prefix length %d exceeds %d", plen, f.Length)
+		}
+		if plen > len(raw) {
+			return f, fmt.Errorf("enumerate: frontier prefix claims %d ints but carries %d bytes", plen, len(raw))
+		}
+		s.Prefix = make([]int, plen)
+		for j := range s.Prefix {
+			if s.Prefix[j], err = uv("prefix int"); err != nil {
+				return f, err
+			}
+		}
+		if s.Lo, err = uv("lower bound"); err != nil {
+			return f, err
+		}
+		clen, err := uv("ceiling length")
+		if err != nil {
+			return f, err
+		}
+		if clen > f.Length {
+			return f, fmt.Errorf("enumerate: frontier ceiling length %d exceeds %d", clen, f.Length)
+		}
+		if clen > len(raw) {
+			return f, fmt.Errorf("enumerate: frontier ceiling claims %d ints but carries %d bytes", clen, len(raw))
+		}
+		if clen > 0 {
+			s.Ceil = make([]int, clen)
+			for j := range s.Ceil {
+				if s.Ceil[j], err = uv("ceiling int"); err != nil {
+					return f, err
+				}
+			}
+		}
+		if len(raw) == 0 {
+			return f, fmt.Errorf("enumerate: truncated frontier segment (missing state)")
+		}
+		state := CursorState(raw[0])
+		raw = raw[1:]
+		switch state {
+		case CursorFresh:
+		case CursorMid:
+			if f.Length > len(raw) {
+				return f, fmt.Errorf("enumerate: frontier position claims %d ints but carries %d bytes", f.Length, len(raw))
+			}
+			s.Pos = make([]int, f.Length)
+			for j := range s.Pos {
+				if s.Pos[j], err = uv("position int"); err != nil {
+					return f, err
+				}
+			}
+		default:
+			return f, fmt.Errorf("enumerate: unknown frontier segment state %q", byte(state))
+		}
+		f.Segs = append(f.Segs, s)
+	}
+	if len(raw) != 0 {
+		return f, fmt.Errorf("enumerate: trailing bytes after frontier segments")
+	}
+	return f, nil
+}
+
+// SuffixFrontier converts a serial mid-enumeration cursor into the
+// equivalent frontier: the remaining words after the cursor's position are
+// exactly, in canonical order, the alternatives after the taken decision at
+// each depth, deepest first. This is how a serial resume token reopens as a
+// parallel stream — the cells rebalance from there via work-stealing.
+func SuffixFrontier(c Cursor) Frontier {
+	f := Frontier{Kind: c.Kind, Length: c.Length, FP: c.FP}
+	switch c.State {
+	case CursorDone:
+		return f
+	case CursorFresh:
+		f.Segs = []FrontierSeg{{}}
+		return f
+	}
+	for d := c.Length - 1; d >= 0; d-- {
+		f.Segs = append(f.Segs, FrontierSeg{
+			Prefix: append([]int(nil), c.Pos[:d]...),
+			Lo:     c.Pos[d] + 1,
+		})
+	}
+	return f
 }

@@ -34,27 +34,84 @@
 // (uvarint each). The position is the per-layer decision-index vector for a
 // UFA and the last emitted word for an NFA — both of size O(n log), the
 // logspace cursor the paper's self-reduction promises. The fingerprint is a
-// 32-bit hash of the automaton's transition structure, so a token cannot be
-// resumed against a different automaton undetected. Resuming with
+// 32-bit hash of the automaton's transition structure mixed with the
+// witness length, so a token cannot be resumed against a different
+// automaton — or with a tampered length — undetected. Resuming with
 // NewUFAFrom/NewNFAFrom (or Resume, which dispatches on the kind) replays
 // the position in O(n·m) and continues: for every k, "enumerate k words,
 // serialize, reopen, drain" emits exactly the words an uninterrupted
 // enumeration would, in the same order. Cursors of shard-restricted
 // enumerators record the global position and resume the full enumeration.
 //
-// # Sharded parallel enumeration
+// # Cells
 //
 // Shards splits L_n(N) into disjoint prefix cells: flashlight branches (or
 // Algorithm 1 decision subtrees) never overlap, so the cells partition the
 // language and the concatenation of the cells in shard order is exactly the
-// serial enumeration order. Stream enumerates cells across Workers
-// goroutines (via internal/par) and merges either in canonical order
-// (Ordered, bitwise identical to serial) or in per-shard arrival order
-// (throughput mode). The concurrency contract: a single enumerator must not
-// be shared between goroutines, but the precomputed tables (DAG adjacency,
-// co-reachability sets) are frozen after construction and are shared by
-// every shard enumerator forked from the same template; Stream.Next is for
-// one consumer goroutine.
+// serial enumeration order. A cell (Shard) is in general the triple
+// (prefix, lo, ceil): the words extending prefix whose next decision is
+// ≥ lo, up to the end of the ceil subtree (both bounds arise from
+// work-stealing splits; Shards-produced cells are whole subtrees). A cell's
+// position is a cursor, so any cell can be suspended to (shard, position)
+// and reopened with OpenShardAt — the self-reduction working at cell
+// granularity.
+//
+// # The work-stealing scheduler
+//
+// Stream enumerates cells across Workers goroutines with dynamic
+// re-sharding. Workers claim cells from an ordered list (nearest the
+// consume point first); an idle worker with nothing to claim flags the
+// busiest running cell, and that cell's owner — cooperatively, between two
+// Next calls — splits off the alternatives at the shallowest unexhausted
+// branch of its current position (SplitSteal): the victim keeps everything
+// up to the branch (its floor rises, and its ceiling records the pinned
+// path), the thief cell covers everything after, and the thief is linked
+// immediately after the victim, keeping the list in canonical language
+// order at all times. StealThreshold paces the splits: a cell must produce
+// that many words between splits before it is eligible again. The result is
+// that mass-skewed languages — where any static partition is dominated by
+// one cell — keep every worker busy (experiment E16).
+//
+// # The bounded ordered merge
+//
+// Ordered mode delivers the cells' outputs in canonical order, bitwise
+// identical to serial enumeration. MergeBudget caps the words buffered
+// ahead of the consumer, across all cells: a non-head producer that would
+// overrun the budget suspends its cell (spill-to-cursor: the cell collapses
+// to its shard descriptor plus spill cursor; buffered words stay until
+// delivered), and the head producer reclaims room by dropping the buffer of
+// the furthest suspended cell, whose words are re-produced when the
+// scheduler returns to it — the ceiling guarantees re-production never
+// re-enters stolen ranges. Peak buffering therefore never exceeds the
+// budget, regardless of skew; unordered (throughput) mode simply applies
+// the budget as backpressure.
+//
+// # Frontier tokens
+//
+// A Stream's Token serializes the multi-cell frontier as
+//
+//	el1:p:<base64url payload>
+//
+// with payload uvarint(fingerprint) ∘ uvarint(length) ∘ kind byte ∘
+// uvarint(|segments|) ∘ segments, each segment being uvarint(|prefix|) ∘
+// prefix ∘ uvarint(lo) ∘ uvarint(|ceil|) ∘ ceil ∘ state byte ∘ position
+// ints when mid — one entry per not-fully-delivered cell, in canonical
+// order, carrying the last delivered position of cells that already
+// emitted. Resuming the frontier (ResumeFrontier for a serial chain,
+// NewUFAStreamFrom/NewNFAStreamFrom for a new parallel stream) yields
+// exactly the undelivered words; a serial cursor conversely reopens in
+// parallel via SuffixFrontier. Parse-time validation bounds every claimed
+// count by the remaining payload (see FuzzDecodeCursor), and the
+// length-bound fingerprint is checked before any length-sized
+// precomputation. The fingerprint is a checksum, not a MAC: services
+// resuming fully untrusted tokens should additionally bound the token
+// length against their own instance, as core.Instance does.
+//
+// The concurrency contract: a single enumerator must not be shared between
+// goroutines, but the precomputed tables (DAG adjacency, co-reachability
+// sets) are frozen after construction and are shared by every shard
+// enumerator forked from the same template; Stream.Next and Stream.Token
+// are for one consumer goroutine.
 package enumerate
 
 import (
@@ -78,9 +135,11 @@ type Enumerator interface {
 // serial enumerators and parallel Streams implement it.
 type Session interface {
 	Enumerator
-	// Token returns a resume token for the position after the last output,
-	// or ok=false when the session cannot be resumed (parallel shards
-	// interleave, so a Stream has no single cursor).
+	// Token returns a resume token for the position after the last
+	// delivered output: a single-position cursor for serial sessions, a
+	// multi-cell frontier token for parallel streams. ok=false is
+	// reserved for sessions that cannot be resumed at all (none of the
+	// engine's own sessions; external implementations may differ).
 	Token() (token string, ok bool)
 	// Err reports a failure that ended the session early (always nil for
 	// the serial enumerators).
@@ -129,8 +188,9 @@ func CollectWords(e Enumerator, limit int) []automata.Word {
 
 // Fingerprint hashes the transition structure of an automaton (states,
 // alphabet, start, finals, transitions) to 32 bits. Resume tokens embed it
-// so that a cursor minted on one automaton fails loudly when replayed
-// against another.
+// mixed with the witness length (fpFor), so a cursor minted on one
+// automaton — or with one length — fails loudly when replayed against
+// another.
 func Fingerprint(n *automata.NFA) uint32 {
 	m := n.NumStates()
 	sigma := n.Alphabet().Size()
@@ -148,6 +208,18 @@ func Fingerprint(n *automata.NFA) uint32 {
 	return uint32(h ^ h>>32)
 }
 
+// fpFor is the fingerprint tokens actually embed: Fingerprint bound to the
+// witness length. Resume paths validate it before running any
+// length-sized precomputation, so a token whose length field was tampered
+// with (or corrupted) is rejected for the price of one automaton hash.
+// This is a checksum against accidents and casual tampering, not a MAC —
+// there is no secret, so a caller resuming fully untrusted tokens should
+// additionally bound Length against its own instance, exactly as
+// core.Instance does.
+func fpFor(n *automata.NFA, length int) uint32 {
+	return Fingerprint(n) ^ uint32(par.Mix64(uint64(length)^0xF00D5EED)>>17)
+}
+
 // UFAEnumerator enumerates L_n(N) for an unambiguous N with constant delay
 // (Algorithm 1 of the paper). It implements Session; it must not be shared
 // between goroutines.
@@ -159,10 +231,18 @@ type UFAEnumerator struct {
 	// layer). path[t] is the state at layer t (t ≥ 1); choice[t] is the
 	// index of the edge taken out of layer t-1's vertex. floor is the
 	// shard lock depth: choices below it are pinned and backtracking stops
-	// there (0 for a full-range enumerator).
+	// there (0 for a full-range enumerator). lo is the first admissible
+	// choice at the floor layer: a stolen cell covers only the floor
+	// node's subtrees with index ≥ lo. ceil, when non-nil, is the cell's
+	// lexicographic ceiling (a decision-path prefix): enumeration stops
+	// before the first word whose decision vector leaves the ceiling
+	// subtree — how a cell whose upper range was stolen away is reopened
+	// without re-entering the stolen part.
 	started bool
 	done    bool
 	floor   int
+	lo      int
+	ceil    []int
 	choice  []int
 	path    []int
 	word    automata.Word
@@ -178,7 +258,7 @@ func NewUFA(n *automata.NFA, length int) (*UFAEnumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &UFAEnumerator{dag: dag, fp: Fingerprint(n)}
+	e := &UFAEnumerator{dag: dag, fp: fpFor(n, length)}
 	e.reset()
 	return e, nil
 }
@@ -260,9 +340,18 @@ func (e *UFAEnumerator) Next() (automata.Word, bool) {
 		if start == n {
 			// Full-path shard: the single word was built when the shard
 			// was opened.
+			if exceedsCeil(e.choice, e.ceil) {
+				e.done = true
+				return nil, false
+			}
 			return e.word, true
 		}
-		e.choice[start] = 0
+		if e.lo >= len(e.edgesAt(start)) {
+			// A stolen cell whose admissible range is empty.
+			e.done = true
+			return nil, false
+		}
+		e.choice[start] = e.lo
 	}
 	// Descend minimally from layer `start` (its choice is already set).
 	for t := start; t < n; t++ {
@@ -273,7 +362,25 @@ func (e *UFAEnumerator) Next() (automata.Word, bool) {
 		e.word[t] = edge.Symbol
 		e.path[t+1] = edge.To
 	}
+	if exceedsCeil(e.choice, e.ceil) {
+		// Positions grow lexicographically, so the first one past the
+		// ceiling ends the cell.
+		e.done = true
+		return nil, false
+	}
 	return e.word, true
+}
+
+// exceedsCeil reports whether a decision path has left the ceiling subtree
+// (nil ceil means unbounded). Positions increase lexicographically over an
+// enumeration, so the first position past the ceiling exhausts the cell.
+func exceedsCeil(pos, ceil []int) bool {
+	for i, c := range ceil {
+		if pos[i] != c {
+			return pos[i] > c
+		}
+	}
+	return false
 }
 
 // Cursor returns the enumerator's position after the last emitted word.
@@ -312,12 +419,15 @@ func NewUFAFrom(n *automata.NFA, c Cursor) (*UFAEnumerator, error) {
 	if c.Kind != KindUFA {
 		return nil, fmt.Errorf("enumerate: cursor kind %q, want %q", c.Kind, KindUFA)
 	}
+	// Fingerprint first: it is cheap, while building the DAG is not, and
+	// fpFor binds the length — so neither a cross-automaton token nor one
+	// with a tampered length field buys a length-sized precomputation.
+	if fp := fpFor(n, c.Length); c.FP != fp {
+		return nil, fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton at this length (%08x)", c.FP, fp)
+	}
 	e, err := NewUFA(n, c.Length)
 	if err != nil {
 		return nil, err
-	}
-	if c.FP != e.fp {
-		return nil, fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton (%08x)", c.FP, e.fp)
 	}
 	switch c.State {
 	case CursorFresh:
@@ -410,18 +520,42 @@ func (e *UFAEnumerator) Shards(target int) []Shard {
 }
 
 // OpenShard returns a fresh enumerator restricted to one cell produced by
-// Shards, sharing this enumerator's precomputation. The shard enumerator
-// emits exactly the cell's words, in serial order.
+// Shards (or carved off by SplitSteal), sharing this enumerator's
+// precomputation. The shard enumerator emits exactly the cell's words, in
+// serial order.
 func (e *UFAEnumerator) OpenShard(s Shard) (*UFAEnumerator, error) {
+	return e.OpenShardAt(s, nil)
+}
+
+// OpenShardAt is OpenShard positioned mid-cell: pos, when non-nil, is the
+// full decision vector of the last word already emitted inside the cell
+// (as recorded in a frontier token), and the returned enumerator continues
+// just after it. pos must lie inside the cell; every decision is validated
+// against the DAG during the replay.
+func (e *UFAEnumerator) OpenShardAt(s Shard, pos []int) (*UFAEnumerator, error) {
 	if s.kind != KindUFA {
 		return nil, fmt.Errorf("enumerate: shard kind %q, want %q", s.kind, KindUFA)
+	}
+	if s.lo < 0 {
+		return nil, fmt.Errorf("enumerate: negative shard lower bound %d", s.lo)
 	}
 	c := e.fork()
 	n := c.dag.N
 	if len(s.prefix) > n {
 		return nil, fmt.Errorf("enumerate: shard prefix length %d exceeds %d", len(s.prefix), n)
 	}
-	if c.done || len(s.prefix) == 0 {
+	if len(s.ceil) > n {
+		return nil, fmt.Errorf("enumerate: shard ceiling length %d exceeds %d", len(s.ceil), n)
+	}
+	c.ceil = s.ceil
+	if c.done {
+		return c, nil
+	}
+	if n == 0 {
+		if pos != nil {
+			// ε was already emitted; the cell is exhausted.
+			c.started, c.done = true, true
+		}
 		return c, nil
 	}
 	for t, i := range s.prefix {
@@ -435,7 +569,94 @@ func (e *UFAEnumerator) OpenShard(s Shard) (*UFAEnumerator, error) {
 		c.path[t+1] = edge.To
 	}
 	c.floor = len(s.prefix)
+	c.lo = s.lo
+	if pos == nil {
+		return c, nil
+	}
+	if len(pos) != n {
+		return nil, fmt.Errorf("enumerate: shard position has %d decisions, want %d", len(pos), n)
+	}
+	for t := 0; t < c.floor; t++ {
+		if pos[t] != s.prefix[t] {
+			return nil, fmt.Errorf("enumerate: shard position leaves the cell at layer %d", t)
+		}
+	}
+	if c.floor < n && pos[c.floor] < s.lo {
+		return nil, fmt.Errorf("enumerate: shard position below the cell's lower bound at layer %d", c.floor)
+	}
+	for t := 0; t < n; t++ {
+		edges := c.edgesAt(t)
+		if pos[t] < 0 || pos[t] >= len(edges) {
+			return nil, fmt.Errorf("enumerate: shard position decision %d at layer %d out of range (%d edges)", pos[t], t, len(edges))
+		}
+		c.choice[t] = pos[t]
+		edge := edges[pos[t]]
+		c.word[t] = edge.Symbol
+		c.path[t+1] = edge.To
+	}
+	c.started = true
 	return c, nil
+}
+
+// SplitSteal carves the upper part of this enumerator's remaining range off
+// into a new cell: the alternatives at the shallowest not-yet-exhausted
+// layer at or above the current position (respecting the cell's ceiling —
+// already-stolen upper ranges are never re-stolen). The receiver keeps
+// everything up to that branch point (its floor rises past it) and the
+// returned shard covers everything after, so in canonical order the
+// receiver's remaining words immediately precede the stolen cell's.
+// ok=false when the remaining range is a single subtree with no detachable
+// sibling. The receiver must have emitted at least one word and must be
+// between two Next calls.
+func (e *UFAEnumerator) SplitSteal() (Shard, bool) {
+	if !e.started || e.done {
+		return Shard{}, false
+	}
+	n := e.dag.N
+	onCeil := pathOnCeil(e.choice, e.ceil, e.floor)
+	for t := e.floor; t < n; t++ {
+		hi := len(e.edgesAt(t)) - 1
+		if onCeil && t < len(e.ceil) && e.ceil[t] < hi {
+			hi = e.ceil[t]
+		}
+		if e.choice[t]+1 <= hi {
+			s := Shard{
+				kind:   KindUFA,
+				prefix: append([]int(nil), e.choice[:t]...),
+				lo:     e.choice[t] + 1,
+				ceil:   e.ceil,
+			}
+			e.floor = t + 1
+			return s, true
+		}
+		onCeil = onCeil && t < len(e.ceil) && e.choice[t] == e.ceil[t]
+	}
+	return Shard{}, false
+}
+
+// pathOnCeil reports whether pos[:depth] still tracks the ceiling path (so
+// the ceiling bounds the admissible alternatives at depth).
+func pathOnCeil(pos, ceil []int, depth int) bool {
+	if ceil == nil {
+		return false
+	}
+	if depth > len(ceil) {
+		depth = len(ceil)
+	}
+	for i := 0; i < depth; i++ {
+		if pos[i] != ceil[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PinnedPath returns the decision path pinned by the shard floor: the
+// exact upper bound of the enumerator's remaining range after SplitSteal
+// raised its floor. The scheduler records it as the cell's new ceiling so
+// suspended cells reopen without re-entering stolen ranges.
+func (e *UFAEnumerator) PinnedPath() []int {
+	return append([]int(nil), e.choice[:e.floor]...)
 }
 
 // NFAEnumerator enumerates L_n(N) for an arbitrary ε-free NFA with
@@ -453,12 +674,17 @@ type NFAEnumerator struct {
 
 	// Iterator state: the prefix, the reachable-set stack, and the next
 	// symbol to try at each depth. floor is the shard lock depth: the
-	// prefix below it is pinned and backtracking stops there.
+	// prefix below it is pinned and backtracking stops there. lo is the
+	// first admissible symbol at the floor depth (stolen cells cover only
+	// the floor node's subtrees on symbols ≥ lo); ceil, when non-nil, is
+	// the cell's lexicographic ceiling word-prefix (see the UFA variant).
 	word    automata.Word
 	sets    []*bitset.Set
 	nextSym []int
 	depth   int
 	floor   int
+	lo      int
+	ceil    []int
 	done    bool
 	started bool
 	scratch *bitset.Set
@@ -473,7 +699,7 @@ func NewNFA(n *automata.NFA, length int) (*NFAEnumerator, error) {
 		return nil, fmt.Errorf("enumerate: negative length %d", length)
 	}
 	m := n.NumStates()
-	e := &NFAEnumerator{n: n, length: length, sigma: n.Alphabet().Size(), fp: Fingerprint(n)}
+	e := &NFAEnumerator{n: n, length: length, sigma: n.Alphabet().Size(), fp: fpFor(n, length)}
 	e.coReach = make([]*bitset.Set, length+1)
 	e.coReach[length] = n.FinalSet()
 	for t := length - 1; t >= 0; t-- {
@@ -538,6 +764,12 @@ func (e *NFAEnumerator) Next() (automata.Word, bool) {
 	for {
 		if e.depth == e.length {
 			// Invariant guarantees acceptance here (coReach[length] = F).
+			if exceedsCeil(e.word, e.ceil) {
+				// Words grow lexicographically, so the first one past the
+				// ceiling ends the cell.
+				e.done = true
+				return nil, false
+			}
 			return e.word, true
 		}
 		a := e.nextSym[e.depth]
@@ -602,12 +834,14 @@ func NewNFAFrom(n *automata.NFA, c Cursor) (*NFAEnumerator, error) {
 	if c.Kind != KindNFA {
 		return nil, fmt.Errorf("enumerate: cursor kind %q, want %q", c.Kind, KindNFA)
 	}
+	// Fingerprint before the (length-sized) precomputation, as in
+	// NewUFAFrom.
+	if fp := fpFor(n, c.Length); c.FP != fp {
+		return nil, fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton at this length (%08x)", c.FP, fp)
+	}
 	e, err := NewNFA(n, c.Length)
 	if err != nil {
 		return nil, err
-	}
-	if c.FP != e.fp {
-		return nil, fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton (%08x)", c.FP, e.fp)
 	}
 	switch c.State {
 	case CursorFresh:
@@ -701,17 +935,40 @@ func (e *NFAEnumerator) Shards(target int) []Shard {
 }
 
 // OpenShard returns a fresh enumerator restricted to one cell produced by
-// Shards, sharing this enumerator's precomputation. The shard enumerator
-// emits exactly the cell's words, in lexicographic order.
+// Shards (or carved off by SplitSteal), sharing this enumerator's
+// precomputation. The shard enumerator emits exactly the cell's words, in
+// lexicographic order.
 func (e *NFAEnumerator) OpenShard(s Shard) (*NFAEnumerator, error) {
+	return e.OpenShardAt(s, nil)
+}
+
+// OpenShardAt is OpenShard positioned mid-cell: pos, when non-nil, is the
+// last word already emitted inside the cell (as recorded in a frontier
+// token), and the returned enumerator continues just after it. The prefix
+// and every position step are checked for viability during the replay.
+func (e *NFAEnumerator) OpenShardAt(s Shard, pos []int) (*NFAEnumerator, error) {
 	if s.kind != KindNFA {
 		return nil, fmt.Errorf("enumerate: shard kind %q, want %q", s.kind, KindNFA)
+	}
+	if s.lo < 0 {
+		return nil, fmt.Errorf("enumerate: negative shard lower bound %d", s.lo)
 	}
 	c := e.fork()
 	if len(s.prefix) > c.length {
 		return nil, fmt.Errorf("enumerate: shard prefix length %d exceeds %d", len(s.prefix), c.length)
 	}
-	if c.done || len(s.prefix) == 0 {
+	if len(s.ceil) > c.length {
+		return nil, fmt.Errorf("enumerate: shard ceiling length %d exceeds %d", len(s.ceil), c.length)
+	}
+	c.ceil = s.ceil
+	if c.done {
+		return c, nil
+	}
+	if c.length == 0 {
+		if pos != nil {
+			// ε was already emitted; the cell is exhausted.
+			c.started, c.done = true, true
+		}
 		return c, nil
 	}
 	for t, a := range s.prefix {
@@ -728,7 +985,83 @@ func (e *NFAEnumerator) OpenShard(s Shard) (*NFAEnumerator, error) {
 		c.nextSym[t] = a + 1
 	}
 	c.floor = len(s.prefix)
+	c.lo = s.lo
 	c.depth = c.floor
-	c.nextSym[c.floor] = 0
+	c.nextSym[c.floor] = s.lo
+	if pos == nil {
+		return c, nil
+	}
+	if len(pos) != c.length {
+		return nil, fmt.Errorf("enumerate: shard position has %d symbols, want %d", len(pos), c.length)
+	}
+	for t := 0; t < c.floor; t++ {
+		if pos[t] != s.prefix[t] {
+			return nil, fmt.Errorf("enumerate: shard position leaves the cell at position %d", t)
+		}
+	}
+	if c.floor < c.length && pos[c.floor] < s.lo {
+		return nil, fmt.Errorf("enumerate: shard position below the cell's lower bound at position %d", c.floor)
+	}
+	for t := c.floor; t < c.length; t++ {
+		a := pos[t]
+		if a < 0 || a >= c.sigma {
+			return nil, fmt.Errorf("enumerate: shard position symbol %d at position %d out of range", a, t)
+		}
+		c.n.StepSet(c.scratch, c.sets[t], a)
+		c.scratch.IntersectWith(c.coReach[t+1])
+		if c.scratch.Empty() {
+			return nil, fmt.Errorf("enumerate: shard position is not a viable word at position %d", t)
+		}
+		c.word[t] = automata.Symbol(a)
+		c.sets[t+1].CopyFrom(c.scratch)
+		c.nextSym[t] = a + 1
+	}
+	c.nextSym[c.length] = 0
+	c.depth = c.length
+	c.started = true
 	return c, nil
+}
+
+// SplitSteal carves the upper part of this enumerator's remaining range off
+// into a new cell, under the same contract as (*UFAEnumerator).SplitSteal:
+// the stolen shard covers the viable alternatives at the shallowest
+// not-yet-exhausted depth of the current position (respecting the cell's
+// ceiling), and the receiver's floor rises past that branch point.
+func (e *NFAEnumerator) SplitSteal() (Shard, bool) {
+	if !e.started || e.done {
+		return Shard{}, false
+	}
+	pos := make([]int, e.length)
+	for i, a := range e.word {
+		pos[i] = int(a)
+	}
+	onCeil := pathOnCeil(pos, e.ceil, e.floor)
+	for t := e.floor; t < e.length; t++ {
+		hi := e.sigma - 1
+		if onCeil && t < len(e.ceil) && e.ceil[t] < hi {
+			hi = e.ceil[t]
+		}
+		for a := e.nextSym[t]; a <= hi; a++ {
+			e.n.StepSet(e.scratch, e.sets[t], a)
+			e.scratch.IntersectWith(e.coReach[t+1])
+			if e.scratch.Empty() {
+				continue
+			}
+			s := Shard{kind: KindNFA, prefix: append([]int(nil), pos[:t]...), lo: a, ceil: e.ceil}
+			e.floor = t + 1
+			return s, true
+		}
+		onCeil = onCeil && t < len(e.ceil) && pos[t] == e.ceil[t]
+	}
+	return Shard{}, false
+}
+
+// PinnedPath returns the word prefix pinned by the shard floor — the upper
+// bound of the remaining range after a split (see the UFA variant).
+func (e *NFAEnumerator) PinnedPath() []int {
+	pinned := make([]int, e.floor)
+	for i := 0; i < e.floor; i++ {
+		pinned[i] = int(e.word[i])
+	}
+	return pinned
 }

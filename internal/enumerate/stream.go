@@ -1,6 +1,8 @@
 package enumerate
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -8,12 +10,17 @@ import (
 	"repro/internal/par"
 )
 
-// Shard identifies one prefix cell of a sharded enumeration: a decision
-// prefix (KindUFA) or a word prefix (KindNFA). Cells produced by Shards
-// partition the language slice; an empty prefix is the whole range.
+// Shard identifies one cell of a sharded enumeration: a decision prefix
+// (KindUFA) or a word prefix (KindNFA), restricted to the prefix node's
+// subtrees with first decision/symbol ≥ lo (lo is 0 for cells produced by
+// Shards; SplitSteal mints cells with a positive lower bound). Cells
+// produced by Shards partition the language slice; an empty prefix with
+// lo 0 is the whole range.
 type Shard struct {
 	kind   byte
 	prefix []int
+	lo     int
+	ceil   []int
 }
 
 // Prefix returns the cell's prefix (decision indices or symbols, per kind).
@@ -23,168 +30,651 @@ func (s Shard) Prefix() []int { return s.prefix }
 // Kind returns the shard's cursor kind (KindUFA or KindNFA).
 func (s Shard) Kind() byte { return s.kind }
 
+// Lo returns the first admissible decision/symbol at the prefix node: the
+// cell covers only subtrees with index ≥ Lo (0 for Shards-produced cells).
+func (s Shard) Lo() int { return s.lo }
+
+// Ceil returns the cell's lexicographic ceiling path (nil = unbounded):
+// the cell ends at the last word of the ceiling subtree. SplitSteal pins a
+// victim's ceiling so the cell never re-enters a stolen range, no matter
+// how it is later suspended, reopened, or serialized. The caller must not
+// mutate it.
+func (s Shard) Ceil() []int { return s.ceil }
+
+// Defaults for the scheduler knobs (see StreamOptions).
+const (
+	// DefaultMergeBudget is the default cap on words buffered ahead of the
+	// consumer across all cells.
+	DefaultMergeBudget = 1024
+	// DefaultStealThreshold is the default number of words a cell must
+	// produce between splits before idle workers may re-shard it.
+	DefaultStealThreshold = 64
+)
+
 // StreamOptions configure sharded parallel enumeration.
 type StreamOptions struct {
 	// Workers is the number of goroutines enumerating cells
 	// (0 = GOMAXPROCS).
 	Workers int
-	// Shards is the target prefix-cell count (0 = 4×Workers: more cells
-	// than workers keeps the claim queue warm when cells are uneven).
+	// Shards is the target initial prefix-cell count (0 = 4×Workers; with
+	// work-stealing enabled the initial split only seeds the scheduler —
+	// skewed cells are re-sharded on the fly).
 	Shards int
 	// Ordered emits outputs in the canonical serial order (cells are
 	// merged in shard order); unordered mode emits in per-shard arrival
 	// order for maximum throughput.
 	Ordered bool
+	// MergeBudget caps the total number of words buffered ahead of the
+	// consumer, across all cells (0 = DefaultMergeBudget, minimum 1). In
+	// ordered mode a cell that would overrun the budget is suspended —
+	// spilled to its cursor — and reopened when the canonical frontier
+	// reaches it, so peak buffering never exceeds the budget no matter how
+	// skewed the language is; in unordered mode producers simply block.
+	MergeBudget int
+	// StealThreshold is the number of words a cell must have produced
+	// since it was opened or last split before an idle worker may re-shard
+	// it at its current frontier (0 = DefaultStealThreshold; < 0 disables
+	// work-stealing, reproducing the static fan-out).
+	StealThreshold int
 }
 
-// streamBuffer is the per-shard (ordered) or global (unordered) channel
-// capacity: enough to decouple producers from a bursty consumer, small
-// enough to bound memory at words × shards.
-const streamBuffer = 256
+// workers resolves the worker count.
+func (o StreamOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
-// wordBuf wraps a word buffer so pool round-trips and channel sends move
-// one pointer instead of boxing a slice header (which would cost an
-// allocation per output).
-type wordBuf struct{ w automata.Word }
+// budget resolves MergeBudget.
+func (o StreamOptions) budget() int {
+	if o.MergeBudget > 0 {
+		return o.MergeBudget
+	}
+	return DefaultMergeBudget
+}
 
-// Stream is a parallel enumeration session over prefix cells. It
+// stealThreshold resolves StealThreshold; ok=false means stealing is off.
+func (o StreamOptions) stealThreshold() (int, bool) {
+	if o.StealThreshold < 0 {
+		return 0, false
+	}
+	if o.StealThreshold == 0 {
+		return DefaultStealThreshold, true
+	}
+	return o.StealThreshold, true
+}
+
+// cellEnum is what the scheduler needs from a shard enumerator beyond
+// Next: cooperative splitting, the pinned path after a split, and the
+// global position for tokens. Both concrete enumerators implement it, and
+// using the interface (instead of per-call type switches) turns a missing
+// method on a future enumerator kind into a compile error at the open
+// callback.
+type cellEnum interface {
+	Enumerator
+	SplitSteal() (Shard, bool)
+	PinnedPath() []int
+	Cursor() Cursor
+}
+
+// wordBuf wraps a word buffer so pool round-trips move one pointer instead
+// of boxing a slice header. pos is the enumerator position after emitting w
+// (the decision vector for KindUFA; nil for KindNFA, where the word itself
+// is the position) — it is what frontier tokens record per cell.
+type wordBuf struct {
+	w   automata.Word
+	pos []int
+}
+
+// segState is a segment's scheduling state.
+type segState uint8
+
+const (
+	// segPending: ready to be claimed by a worker.
+	segPending segState = iota
+	// segRunning: a producer goroutine owns the segment's enumerator.
+	segRunning
+	// segSuspended: spilled under budget pressure; production is paused
+	// (the enumerator is parked on the segment) until the consumer's
+	// frontier reaches it.
+	segSuspended
+	// segDone: the cell's range is exhausted (buffered words may remain).
+	segDone
+)
+
+func (s segState) String() string {
+	switch s {
+	case segPending:
+		return "pending"
+	case segRunning:
+		return "running"
+	case segSuspended:
+		return "suspended"
+	}
+	return "done"
+}
+
+// segment is one schedulable cell. The linked list through next is kept in
+// canonical language order at all times: SplitSteal inserts the stolen cell
+// immediately after its victim, whose remaining range precedes it.
+type segment struct {
+	id    int
+	shard Shard
+	start []int // resume-after position for the first open (nil = cell start)
+
+	state segState
+	buf   []*wordBuf // produced, not yet delivered
+	off   int        // buf[:off] already delivered (popped front)
+
+	deliv    []int // position of the last delivered word (nil until first)
+	produced int   // words produced in total (stats)
+	since    int   // words produced since open/last split (steal pacing)
+	steals   int   // successful splits of this cell
+	spills   int   // times this cell was suspended or had its buffer dropped
+	stealReq bool  // an idle worker asked the owner to split
+
+	next *segment
+}
+
+// pending reports how many buffered words await delivery.
+func (s *segment) pending() int { return len(s.buf) - s.off }
+
+// resumePosLocked is the cell's spill cursor: the position after which
+// production must resume when the cell is (re)opened — the last buffered
+// word if any, else the last delivered word, else the cell's start. A nil
+// result means the cell restarts from its beginning. Suspended cells hold
+// no enumerator at all: this cursor plus the shard descriptor (with its
+// ceiling) is the cell's entire persistent state.
+func (s *segment) resumePosLocked() []int {
+	if s.pending() > 0 {
+		b := s.buf[len(s.buf)-1]
+		if b.pos != nil {
+			return append([]int(nil), b.pos...)
+		}
+		return append([]int(nil), b.w...)
+	}
+	if s.deliv != nil {
+		return append([]int(nil), s.deliv...)
+	}
+	if s.start != nil {
+		return append([]int(nil), s.start...)
+	}
+	return nil
+}
+
+// ShardStat is one cell's scheduler statistics (see Stream.Stats).
+type ShardStat struct {
+	ID       int    `json:"id"`
+	Prefix   []int  `json:"prefix"`
+	Lo       int    `json:"lo,omitempty"`
+	State    string `json:"state"`
+	Produced int    `json:"produced"`
+	Steals   int    `json:"steals,omitempty"`
+	Spills   int    `json:"spills,omitempty"`
+}
+
+// StreamStats is a snapshot of the scheduler: per-cell completion counts
+// plus the global steal/spill totals and the peak number of buffered words
+// (which never exceeds the merge budget).
+type StreamStats struct {
+	Cells        []ShardStat `json:"cells"`
+	Delivered    int         `json:"delivered"`
+	Steals       int         `json:"steals"`
+	SoftSpills   int         `json:"soft_spills"`
+	HardSpills   int         `json:"hard_spills"`
+	PeakBuffered int         `json:"peak_buffered"`
+	MergeBudget  int         `json:"merge_budget"`
+}
+
+// Stream is a parallel enumeration session over prefix cells, scheduled by
+// work-stealing: idle workers ask the busiest running cell to re-shard at
+// its current frontier, so skewed languages keep every worker busy. It
 // implements Session; Next is for a single consumer goroutine. Words
 // returned by Next are valid until the following call (buffers are
 // recycled through a pool).
 type Stream struct {
-	shards []Shard
-	open   func(Shard) (Enumerator, error)
+	kind   byte
+	fp     uint32
+	length int
+	shards []Shard // initial cells, for diagnostics
+	open   func(Shard, []int) (cellEnum, error)
 	opts   StreamOptions
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	finished chan struct{} // closed when every worker has returned
+	// Resolved knobs (see StreamOptions).
+	budgetN   int
+	threshold int
+	stealOK   bool
 
-	chans  []chan *wordBuf // ordered mode: one per shard
-	closes []sync.Once     // guards double-close of chans[i]
-	ch     chan *wordBuf   // unordered mode
+	mu       sync.Mutex
+	workCond *sync.Cond // workers wait: new pending cell, head advance, stop
+	roomCond *sync.Cond // producers wait: budget room, spillable cell, stop
+	consCond *sync.Cond // consumer waits: words buffered, cell done, stop
 
-	cur  int // ordered mode: shard currently being drained
-	prev *wordBuf
-	pool sync.Pool
+	head     *segment // first not-fully-delivered segment (canonical order)
+	all      []*segment
+	buffered int
+	peak     int
+	nextID   int
+	stopped  bool
+	err      error
 
-	errMu sync.Mutex
-	err   error
+	delivered  int
+	steals     int
+	softSpills int
+	hardSpills int
+
+	roomWaiters int
+
+	group par.Group
+	pool  sync.Pool
+	prev  *wordBuf
 }
 
-// newStream launches the workers and returns the consumable stream.
-func newStream(shards []Shard, open func(Shard) (Enumerator, error), wordLen int, opts StreamOptions) *Stream {
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
+// initialSeg seeds the scheduler with one cell, optionally mid-cell.
+type initialSeg struct {
+	shard Shard
+	start []int
+}
+
+// newStream builds the segment list, launches the workers and returns the
+// consumable stream.
+func newStream(kind byte, fp uint32, length int, inits []initialSeg, open func(Shard, []int) (cellEnum, error), opts StreamOptions) *Stream {
 	st := &Stream{
-		shards:   shards,
-		open:     open,
-		opts:     opts,
-		stop:     make(chan struct{}),
-		finished: make(chan struct{}),
+		kind:   kind,
+		fp:     fp,
+		length: length,
+		open:   open,
+		opts:   opts,
 	}
-	st.pool.New = func() any { return &wordBuf{w: make(automata.Word, wordLen)} }
-	if opts.Ordered {
-		st.chans = make([]chan *wordBuf, len(shards))
-		st.closes = make([]sync.Once, len(shards))
-		for i := range st.chans {
-			st.chans[i] = make(chan *wordBuf, streamBuffer)
+	st.budgetN = opts.budget()
+	st.threshold, st.stealOK = opts.stealThreshold()
+	st.workCond = sync.NewCond(&st.mu)
+	st.roomCond = sync.NewCond(&st.mu)
+	st.consCond = sync.NewCond(&st.mu)
+	st.pool.New = func() any {
+		b := &wordBuf{w: make(automata.Word, length)}
+		if kind == KindUFA {
+			b.pos = make([]int, length)
 		}
-	} else {
-		st.ch = make(chan *wordBuf, streamBuffer)
+		return b
 	}
-	go st.run()
+	var tail *segment
+	for _, in := range inits {
+		seg := &segment{id: st.nextID, shard: in.shard, start: in.start}
+		st.nextID++
+		st.shards = append(st.shards, in.shard)
+		st.all = append(st.all, seg)
+		if tail == nil {
+			st.head = seg
+		} else {
+			tail.next = seg
+		}
+		tail = seg
+	}
+	for w := 0; w < opts.workers(); w++ {
+		st.group.Go(st.worker)
+	}
 	return st
-}
-
-// run fans the cells across the worker budget. Indices are claimed in
-// increasing order (a ForEachIndexedUntil guarantee), so in ordered mode
-// the cell the consumer is draining is always claimed and can always make
-// progress — no deadlock regardless of buffer sizes.
-func (st *Stream) run() {
-	par.ForEachIndexedUntil(len(st.shards), st.opts.Workers, st.stop, st.runShard)
-	if st.opts.Ordered {
-		// Close every cell channel that its worker did not get to (never
-		// claimed, or abandoned on stop) so the consumer never blocks on a
-		// channel nobody owns.
-		for i := range st.chans {
-			st.closeShard(i)
-		}
-	} else {
-		close(st.ch)
-	}
-	close(st.finished)
-}
-
-func (st *Stream) closeShard(i int) {
-	st.closes[i].Do(func() { close(st.chans[i]) })
-}
-
-// runShard enumerates one cell, copying each output into a pooled buffer
-// and handing it to the merge channel.
-func (st *Stream) runShard(i int) {
-	out := st.ch
-	if st.opts.Ordered {
-		out = st.chans[i]
-		defer st.closeShard(i)
-	}
-	e, err := st.open(st.shards[i])
-	if err != nil {
-		st.fail(err)
-		return
-	}
-	for {
-		w, ok := e.Next()
-		if !ok {
-			return
-		}
-		buf := st.pool.Get().(*wordBuf)
-		copy(buf.w, w)
-		select {
-		case out <- buf:
-		case <-st.stop:
-			return
-		}
-	}
 }
 
 // fail records the first error and stops the stream.
 func (st *Stream) fail(err error) {
-	st.errMu.Lock()
+	st.mu.Lock()
 	if st.err == nil {
 		st.err = err
 	}
-	st.errMu.Unlock()
-	st.stopOnce.Do(func() { close(st.stop) })
+	st.stopLocked()
+	st.mu.Unlock()
+}
+
+// stopLocked halts the scheduler and wakes everyone.
+func (st *Stream) stopLocked() {
+	st.stopped = true
+	st.workCond.Broadcast()
+	st.roomCond.Broadcast()
+	st.consCond.Broadcast()
+}
+
+// worker claims cells and produces until the stream is exhausted/stopped.
+// A claimed cell is always reopened from its descriptor (shard + spill
+// cursor): suspended cells park no state beyond that, which is what caps
+// the scheduler's memory at the merge budget plus one open enumerator per
+// worker.
+func (st *Stream) worker() {
+	for {
+		seg, pos, ok := st.claim()
+		if !ok {
+			return
+		}
+		e, err := st.open(seg.shard, pos)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		st.produce(seg, e)
+	}
+}
+
+// claim hands out the claimable cell nearest the consume point: pending
+// cells and suspended cells (whose parked enumerator nobody owns) alike.
+// With nothing claimable it picks a steal victim — the running cell that
+// has produced the most since its last split — flags it, and waits for the
+// owner to publish the stolen cell. Returns ok=false when the stream is
+// exhausted/stopped. Cells other than the head are not claimed while the
+// budget is full: any word they produced would immediately spill again.
+func (st *Stream) claim() (*segment, []int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.stopped || st.head == nil {
+			return nil, nil, false
+		}
+		full := st.buffered >= st.budgetN
+		var victim *segment
+		allDone := true
+		for s := st.head; s != nil; s = s.next {
+			if s.state != segDone {
+				allDone = false
+			}
+			claimable := s.state == segPending || s.state == segSuspended
+			if claimable && (!st.opts.Ordered || !full || s == st.head) {
+				s.state = segRunning
+				return s, s.resumePosLocked(), true
+			}
+			if st.stealOK && s.state == segRunning && !s.stealReq && s.since >= st.threshold {
+				if victim == nil || s.since > victim.since {
+					victim = s
+				}
+			}
+		}
+		if allDone {
+			return nil, nil, false
+		}
+		if victim != nil {
+			victim.stealReq = true
+		}
+		st.workCond.Wait()
+	}
+}
+
+// produce drains one cell into its buffer: each round reserves a budget
+// slot (which is where steal requests are honored and spills happen —
+// before a word is in hand, so nothing is ever lost), produces the next
+// word, and commits it. It returns when the cell is exhausted, suspended,
+// or the stream stops.
+func (st *Stream) produce(seg *segment, e cellEnum) {
+	for {
+		if !st.reserve(seg, e) {
+			return
+		}
+		w, ok := e.Next()
+		if !ok {
+			st.finish(seg)
+			return
+		}
+		b := st.pool.Get().(*wordBuf)
+		copy(b.w, w)
+		if ue, isUFA := e.(*UFAEnumerator); isUFA {
+			copy(b.pos, ue.choice)
+		}
+		st.commit(seg, b)
+	}
+}
+
+// victimCeil picks the tighter of a cell's old ceiling and the pinned path
+// left by a split: the old ceiling only stays binding when it extends the
+// pinned path (a deeper bound along the same branch).
+func victimCeil(ceil, pinned []int) []int {
+	if len(ceil) >= len(pinned) {
+		ext := true
+		for i := range pinned {
+			if ceil[i] != pinned[i] {
+				ext = false
+				break
+			}
+		}
+		if ext {
+			return ceil
+		}
+	}
+	return pinned
+}
+
+// reserve claims one budget slot before the cell's next word is produced,
+// enforcing the merge budget. In ordered mode a non-head producer that
+// finds the budget full suspends its cell (soft spill: the enumerator
+// parks on the segment, buffered words stay); the head producer instead
+// reclaims room by dropping the buffer of the furthest suspended-or-done
+// cell (hard spill: those words are re-produced when the cell reopens from
+// its start cursor), waiting only when every buffered word is its own.
+// Steal requests are honored here, between two Next calls. Returns false
+// when the producer should release the cell (suspended or stopped).
+func (st *Stream) reserve(seg *segment, e cellEnum) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seg.stealReq {
+		seg.stealReq = false
+		if s, ok := e.SplitSteal(); ok {
+			st.insertAfterLocked(seg, s)
+			// The victim's remaining range is now bounded by its pinned
+			// path; record it as the cell's ceiling so any later reopen
+			// (spill, token) stays out of the stolen range.
+			seg.shard.ceil = victimCeil(seg.shard.ceil, e.PinnedPath())
+			seg.since = 0
+			seg.steals++
+			st.steals++
+		}
+		st.workCond.Broadcast()
+	}
+	for st.buffered >= st.budgetN && !st.stopped {
+		if st.opts.Ordered && seg != st.head {
+			// Soft spill: the cell collapses to its descriptor + spill
+			// cursor (the enumerator is discarded); the consumer or an
+			// idle worker reopens it once the budget frees.
+			seg.state = segSuspended
+			seg.spills++
+			st.softSpills++
+			seg.stealReq = false
+			st.roomCond.Broadcast() // the head producer may now reclaim room
+			st.workCond.Broadcast() // steal waiters must pick a new victim
+			return false
+		}
+		if st.opts.Ordered {
+			if v := st.spillableLocked(seg); v != nil {
+				st.dropBufferLocked(v)
+				continue
+			}
+		}
+		st.roomWaiters++
+		st.roomCond.Wait()
+		st.roomWaiters--
+	}
+	if st.stopped {
+		return false
+	}
+	st.buffered++
+	if st.buffered > st.peak {
+		st.peak = st.buffered
+	}
+	return true
+}
+
+// commit fills the slot reserved by reserve with the produced word. Each
+// time the cell's since-last-split counter crosses a multiple of the steal
+// threshold, waiting workers are woken so they can flag it — the liveness
+// edge that makes stealing independent of goroutine scheduling (a worker
+// that went idle before the cell became eligible still learns about it).
+func (st *Stream) commit(seg *segment, b *wordBuf) {
+	st.mu.Lock()
+	seg.buf = append(seg.buf, b)
+	seg.produced++
+	seg.since++
+	if st.stealOK && seg.since%st.threshold == 0 {
+		st.workCond.Broadcast()
+	}
+	st.consCond.Signal()
+	st.mu.Unlock()
+}
+
+// finish releases an unused reservation and retires an exhausted cell.
+func (st *Stream) finish(seg *segment) {
+	st.mu.Lock()
+	st.buffered--
+	seg.state = segDone
+	seg.stealReq = false
+	st.workCond.Broadcast()
+	st.consCond.Signal()
+	if st.roomWaiters > 0 {
+		st.roomCond.Broadcast()
+	}
+	st.mu.Unlock()
+}
+
+// insertAfterLocked links a freshly stolen cell right after its victim and
+// publishes it as pending work.
+func (st *Stream) insertAfterLocked(victim *segment, s Shard) {
+	seg := &segment{id: st.nextID, shard: s, state: segPending, next: victim.next}
+	st.nextID++
+	victim.next = seg
+	st.all = append(st.all, seg)
+}
+
+// spillableLocked returns the furthest-from-the-frontier cell whose buffer
+// can be dropped to make room: suspended or done, with undelivered words,
+// and not the caller's own cell.
+func (st *Stream) spillableLocked(self *segment) *segment {
+	var last *segment
+	for s := st.head; s != nil; s = s.next {
+		if s != self && s != st.head && s.pending() > 0 && (s.state == segSuspended || s.state == segDone) {
+			last = s
+		}
+	}
+	return last
+}
+
+// dropBufferLocked is the hard spill: the cell's undelivered words are
+// returned to the pool and the cell reverts to pending, to be re-produced
+// when the scheduler gets back to it. The restart cursor (resumePosLocked)
+// falls back to the last delivered word or the cell start, and the shard
+// ceiling keeps the re-production inside the cell's current range, so the
+// dropped words — and only they — are produced again.
+func (st *Stream) dropBufferLocked(seg *segment) {
+	for _, b := range seg.buf[seg.off:] {
+		st.pool.Put(b)
+	}
+	st.buffered -= seg.pending()
+	seg.buf = seg.buf[:0]
+	seg.off = 0
+	seg.state = segPending
+	seg.stealReq = false
+	seg.spills++
+	st.hardSpills++
+	st.workCond.Broadcast()
+}
+
+// resumeLocked turns a suspended cell back into claimable work.
+func (st *Stream) resumeLocked(seg *segment) {
+	seg.state = segPending
+	st.workCond.Broadcast()
+}
+
+// popLocked removes and returns the next undelivered word of a segment,
+// recording the delivered position for frontier tokens.
+func (st *Stream) popLocked(seg *segment) *wordBuf {
+	b := seg.buf[seg.off]
+	seg.buf[seg.off] = nil
+	seg.off++
+	if seg.off == len(seg.buf) {
+		seg.buf = seg.buf[:0]
+		seg.off = 0
+	}
+	wasFull := st.buffered >= st.budgetN
+	st.buffered--
+	if seg.deliv == nil {
+		seg.deliv = make([]int, st.length)
+	}
+	if b.pos != nil {
+		copy(seg.deliv, b.pos)
+	} else {
+		copy(seg.deliv, b.w)
+	}
+	st.delivered++
+	if st.roomWaiters > 0 {
+		st.roomCond.Broadcast()
+	}
+	if wasFull && st.buffered < st.budgetN {
+		st.workCond.Broadcast() // budget-gated pending cells are claimable again
+	}
+	return b
 }
 
 // Next implements Enumerator for the single consumer goroutine. In ordered
 // mode outputs arrive in the canonical serial order; otherwise in
-// per-shard arrival order. The returned word is valid until the following
+// per-cell arrival order. The returned word is valid until the following
 // call to Next.
 func (st *Stream) Next() (automata.Word, bool) {
-	select {
-	case <-st.stop:
-		return nil, false
-	default:
-	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.opts.Ordered {
-		for st.cur < len(st.chans) {
-			b, ok := <-st.chans[st.cur]
-			if !ok {
-				st.cur++
+		return st.nextOrdered()
+	}
+	return st.nextUnordered()
+}
+
+func (st *Stream) nextOrdered() (automata.Word, bool) {
+	for {
+		if st.stopped || st.head == nil {
+			return nil, false
+		}
+		h := st.head
+		if h.pending() > 0 {
+			return st.deliver(st.popLocked(h)), true
+		}
+		switch h.state {
+		case segDone:
+			st.head = h.next
+			if st.head != nil && st.head.state == segSuspended {
+				st.resumeLocked(st.head)
+			}
+			st.workCond.Broadcast() // claim priority shifted to the new head
+			continue
+		case segSuspended:
+			st.resumeLocked(h)
+		}
+		st.consCond.Wait()
+	}
+}
+
+func (st *Stream) nextUnordered() (automata.Word, bool) {
+	for {
+		if st.stopped {
+			return nil, false
+		}
+		// Unlink fully delivered cells as they are encountered; deliver
+		// from the first cell with buffered words.
+		var prev *segment
+		allDone := true
+		for s := st.head; s != nil; s = s.next {
+			if s.pending() > 0 {
+				return st.deliver(st.popLocked(s)), true
+			}
+			if s.state == segDone {
+				if prev == nil {
+					st.head = s.next
+				} else {
+					prev.next = s.next
+				}
 				continue
 			}
-			return st.deliver(b), true
+			allDone = false
+			prev = s
 		}
-		return nil, false
+		if st.head == nil || allDone {
+			return nil, false
+		}
+		st.consCond.Wait()
 	}
-	b, ok := <-st.ch
-	if !ok {
-		return nil, false
-	}
-	return st.deliver(b), true
 }
 
 // deliver recycles the previously returned buffer and hands out the next.
@@ -196,15 +686,41 @@ func (st *Stream) deliver(b *wordBuf) automata.Word {
 	return b.w
 }
 
-// Token implements Session: a parallel stream interleaves cells, so it has
-// no single resume point.
-func (st *Stream) Token() (string, bool) { return "", false }
+// Token implements Session: the serialized multi-cell frontier — every
+// not-fully-delivered cell in canonical order, with the last delivered
+// position of the cells that already emitted. Resuming the token (serially
+// via Resume, or in parallel via core's EnumerateFrom with Workers > 1)
+// yields exactly the undelivered words. Safe to call between Next calls on
+// the consumer goroutine, including after exhaustion.
+func (st *Stream) Token() (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f := Frontier{Kind: st.kind, Length: st.length, FP: st.fp}
+	for s := st.head; s != nil; s = s.next {
+		if s.state == segDone && s.pending() == 0 {
+			continue
+		}
+		seg := FrontierSeg{
+			Prefix: append([]int(nil), s.shard.prefix...),
+			Lo:     s.shard.lo,
+			Ceil:   append([]int(nil), s.shard.ceil...),
+		}
+		switch {
+		case s.deliv != nil:
+			seg.Pos = append([]int(nil), s.deliv...)
+		case s.start != nil:
+			seg.Pos = append([]int(nil), s.start...)
+		}
+		f.Segs = append(f.Segs, seg)
+	}
+	return f.Token(), true
+}
 
-// Err reports the first shard-open failure that ended the stream early
-// (nil for a normal drain). Check it when Next returns false.
+// Err reports the first cell-open failure that ended the stream early (nil
+// for a normal drain). Check it when Next returns false.
 func (st *Stream) Err() error {
-	st.errMu.Lock()
-	defer st.errMu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.err
 }
 
@@ -212,39 +728,162 @@ func (st *Stream) Err() error {
 // buffered are discarded; Next returns false afterwards. Safe to call more
 // than once and after exhaustion.
 func (st *Stream) Close() {
-	st.stopOnce.Do(func() { close(st.stop) })
-	<-st.finished
+	st.mu.Lock()
+	st.stopLocked()
+	st.mu.Unlock()
+	st.group.Wait()
 }
 
-// Shards reports the prefix cells the stream enumerates, for diagnostics.
+// Shards reports the initial prefix cells the stream was seeded with, for
+// diagnostics; Stats covers the cells minted by work-stealing too.
 func (st *Stream) Shards() []Shard { return st.shards }
+
+// Stats snapshots the scheduler: per-cell production counts (including
+// stolen cells), steal/spill totals, and the peak buffered-word count.
+func (st *Stream) Stats() StreamStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	stats := StreamStats{
+		Delivered:    st.delivered,
+		Steals:       st.steals,
+		SoftSpills:   st.softSpills,
+		HardSpills:   st.hardSpills,
+		PeakBuffered: st.peak,
+		MergeBudget:  st.budgetN,
+	}
+	for _, s := range st.all {
+		stats.Cells = append(stats.Cells, ShardStat{
+			ID:       s.id,
+			Prefix:   append([]int(nil), s.shard.prefix...),
+			Lo:       s.shard.lo,
+			State:    s.state.String(),
+			Produced: s.produced,
+			Steals:   s.steals,
+			Spills:   s.spills,
+		})
+	}
+	return stats
+}
+
+// Fprint renders the snapshot as the human-readable per-shard listing the
+// CLIs print under -v: one header line with the global counters, then one
+// line per cell. Shared so every front end reports the scheduler the same
+// way.
+func (s StreamStats) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# shards: %d  delivered: %d  steals: %d  spills: %d soft / %d hard  peak buffer: %d/%d words\n",
+		len(s.Cells), s.Delivered, s.Steals, s.SoftSpills, s.HardSpills, s.PeakBuffered, s.MergeBudget)
+	for _, c := range s.Cells {
+		extra := ""
+		if c.Lo > 0 {
+			extra = fmt.Sprintf(" lo=%d", c.Lo)
+		}
+		fmt.Fprintf(w, "#   shard %d prefix=%v%s %s: %d words, %d steals, %d spills\n",
+			c.ID, c.Prefix, extra, c.State, c.Produced, c.Steals, c.Spills)
+	}
+}
+
+// SessionStats extracts scheduler statistics from a session when it is (or
+// wraps, via Unwrap) a parallel Stream; ok=false for serial sessions.
+func SessionStats(s Session) (StreamStats, bool) {
+	for {
+		if st, ok := s.(*Stream); ok {
+			return st.Stats(), true
+		}
+		u, ok := s.(interface{ Unwrap() Session })
+		if !ok {
+			return StreamStats{}, false
+		}
+		s = u.Unwrap()
+	}
+}
 
 // shardTarget resolves StreamOptions.Shards.
 func shardTarget(opts StreamOptions) int {
 	if opts.Shards > 0 {
 		return opts.Shards
 	}
-	w := opts.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	return 4 * opts.workers()
+}
+
+// freshInits wraps Shards-produced cells as scheduler seeds.
+func freshInits(shards []Shard) []initialSeg {
+	inits := make([]initialSeg, len(shards))
+	for i, s := range shards {
+		inits[i] = initialSeg{shard: s}
 	}
-	return 4 * w
+	return inits
 }
 
 // Stream opens a sharded parallel enumeration of this enumerator's range,
 // sharing its precomputation. The receiver must be fresh (not yet
 // iterated) and must not be used while the stream runs.
 func (e *UFAEnumerator) Stream(opts StreamOptions) *Stream {
-	shards := e.Shards(shardTarget(opts))
-	return newStream(shards, func(s Shard) (Enumerator, error) { return e.OpenShard(s) }, e.dag.N, opts)
+	inits := freshInits(e.Shards(shardTarget(opts)))
+	return newStream(KindUFA, e.fp, e.dag.N, inits, func(s Shard, pos []int) (cellEnum, error) {
+		return e.OpenShardAt(s, pos)
+	}, opts)
+}
+
+// StreamFrom reopens a parallel enumeration at a frontier recorded by a
+// previous session's Token, sharing this enumerator's precomputation: the
+// stream emits exactly the frontier's undelivered words.
+func (e *UFAEnumerator) StreamFrom(f Frontier, opts StreamOptions) (*Stream, error) {
+	inits, err := frontierInits(f, KindUFA, e.fp, e.dag.N)
+	if err != nil {
+		return nil, err
+	}
+	return newStream(KindUFA, e.fp, e.dag.N, inits, func(s Shard, pos []int) (cellEnum, error) {
+		return e.OpenShardAt(s, pos)
+	}, opts), nil
 }
 
 // Stream opens a sharded parallel enumeration of this enumerator's range,
 // sharing its precomputation. The receiver must be fresh (not yet
 // iterated) and must not be used while the stream runs.
 func (e *NFAEnumerator) Stream(opts StreamOptions) *Stream {
-	shards := e.Shards(shardTarget(opts))
-	return newStream(shards, func(s Shard) (Enumerator, error) { return e.OpenShard(s) }, e.length, opts)
+	inits := freshInits(e.Shards(shardTarget(opts)))
+	return newStream(KindNFA, e.fp, e.length, inits, func(s Shard, pos []int) (cellEnum, error) {
+		return e.OpenShardAt(s, pos)
+	}, opts)
+}
+
+// StreamFrom reopens a parallel enumeration at a frontier recorded by a
+// previous session's Token, under the same contract as the UFA variant.
+func (e *NFAEnumerator) StreamFrom(f Frontier, opts StreamOptions) (*Stream, error) {
+	inits, err := frontierInits(f, KindNFA, e.fp, e.length)
+	if err != nil {
+		return nil, err
+	}
+	return newStream(KindNFA, e.fp, e.length, inits, func(s Shard, pos []int) (cellEnum, error) {
+		return e.OpenShardAt(s, pos)
+	}, opts), nil
+}
+
+// frontierInits validates a frontier against the built enumerator and
+// converts its segments into scheduler seeds.
+func frontierInits(f Frontier, kind byte, fp uint32, length int) ([]initialSeg, error) {
+	if f.Kind != kind {
+		return nil, fmt.Errorf("enumerate: frontier kind %q, want %q", f.Kind, kind)
+	}
+	if f.FP != fp {
+		return nil, fmt.Errorf("enumerate: frontier fingerprint %08x does not match automaton (%08x)", f.FP, fp)
+	}
+	if f.Length != length {
+		return nil, fmt.Errorf("enumerate: frontier length %d, want %d", f.Length, length)
+	}
+	inits := make([]initialSeg, len(f.Segs))
+	for i, s := range f.Segs {
+		inits[i] = initialSeg{
+			shard: Shard{kind: kind, prefix: append([]int(nil), s.Prefix...), lo: s.Lo},
+		}
+		if len(s.Ceil) > 0 {
+			inits[i].shard.ceil = append([]int(nil), s.Ceil...)
+		}
+		if s.Pos != nil {
+			inits[i].start = append([]int(nil), s.Pos...)
+		}
+	}
+	return inits, nil
 }
 
 // NewUFAStream is NewUFA followed by Stream: parallel constant-delay
@@ -265,4 +904,139 @@ func NewNFAStream(n *automata.NFA, length int, opts StreamOptions) (*Stream, err
 		return nil, err
 	}
 	return e.Stream(opts), nil
+}
+
+// NewUFAStreamFrom resumes a parallel constant-delay enumeration from a
+// frontier token's decoded form.
+func NewUFAStreamFrom(n *automata.NFA, f Frontier, opts StreamOptions) (*Stream, error) {
+	// Fingerprint (length-bound, see fpFor) before the length-sized
+	// precomputation: a forged frontier must not buy a DAG build.
+	if fp := fpFor(n, f.Length); f.FP != fp {
+		return nil, fmt.Errorf("enumerate: frontier fingerprint %08x does not match automaton at this length (%08x)", f.FP, fp)
+	}
+	e, err := NewUFA(n, f.Length)
+	if err != nil {
+		return nil, err
+	}
+	return e.StreamFrom(f, opts)
+}
+
+// NewNFAStreamFrom resumes a parallel polynomial-delay enumeration from a
+// frontier token's decoded form.
+func NewNFAStreamFrom(n *automata.NFA, f Frontier, opts StreamOptions) (*Stream, error) {
+	if fp := fpFor(n, f.Length); f.FP != fp {
+		return nil, fmt.Errorf("enumerate: frontier fingerprint %08x does not match automaton at this length (%08x)", f.FP, fp)
+	}
+	e, err := NewNFA(n, f.Length)
+	if err != nil {
+		return nil, err
+	}
+	return e.StreamFrom(f, opts)
+}
+
+// ResumeFrontier reopens a paused parallel session's frontier as a serial
+// session: the remaining cells are drained one after another, in frontier
+// order. Its Token is again a frontier token, so serial and parallel
+// resumption interoperate freely.
+func ResumeFrontier(n *automata.NFA, f Frontier) (Session, error) {
+	// Fingerprint (length-bound) before the length-sized precomputation,
+	// as in NewUFAFrom.
+	if fp := fpFor(n, f.Length); f.FP != fp {
+		return nil, fmt.Errorf("enumerate: frontier fingerprint %08x does not match automaton at this length (%08x)", f.FP, fp)
+	}
+	var open func(Shard, []int) (cellEnum, error)
+	switch f.Kind {
+	case KindUFA:
+		e, err := NewUFA(n, f.Length)
+		if err != nil {
+			return nil, err
+		}
+		open = func(s Shard, pos []int) (cellEnum, error) { return e.OpenShardAt(s, pos) }
+	case KindNFA:
+		e, err := NewNFA(n, f.Length)
+		if err != nil {
+			return nil, err
+		}
+		open = func(s Shard, pos []int) (cellEnum, error) { return e.OpenShardAt(s, pos) }
+	default:
+		return nil, fmt.Errorf("enumerate: unknown frontier kind %q", f.Kind)
+	}
+	return &chainSession{kind: f.Kind, fp: f.FP, length: f.Length, open: open, segs: f.Segs}, nil
+}
+
+// chainSession drains frontier cells serially: the serial face of a
+// parallel resume token.
+type chainSession struct {
+	kind   byte
+	fp     uint32
+	length int
+	open   func(Shard, []int) (cellEnum, error)
+	segs   []FrontierSeg
+	idx    int
+	cur    cellEnum
+	err    error
+}
+
+func (c *chainSession) Next() (automata.Word, bool) {
+	if c.err != nil {
+		return nil, false
+	}
+	for {
+		if c.cur == nil {
+			if c.idx >= len(c.segs) {
+				return nil, false
+			}
+			s := c.segs[c.idx]
+			e, err := c.open(Shard{kind: c.kind, prefix: s.Prefix, lo: s.Lo, ceil: ceilOrNil(s.Ceil)}, s.Pos)
+			if err != nil {
+				c.err = err
+				return nil, false
+			}
+			c.cur = e
+		}
+		if w, ok := c.cur.Next(); ok {
+			return w, true
+		}
+		c.cur = nil
+		c.idx++
+	}
+}
+
+// Token implements Session: the remaining cells, with the live cell's
+// position taken from its enumerator. A session that failed mid-chain
+// (Err != nil) still serializes every undelivered cell, the failed one
+// included, so nothing is lost when the caller checkpoints after an error.
+func (c *chainSession) Token() (string, bool) {
+	f := Frontier{Kind: c.kind, FP: c.fp, Length: c.length}
+	if c.idx < len(c.segs) {
+		if c.cur != nil {
+			seg := c.segs[c.idx]
+			cu := c.cur.Cursor()
+			switch cu.State {
+			case CursorMid:
+				seg.Pos = append([]int(nil), cu.Pos...)
+				f.Segs = append(f.Segs, seg)
+			case CursorFresh:
+				f.Segs = append(f.Segs, seg)
+			}
+			// CursorDone: the live cell is exhausted; skip it.
+			f.Segs = append(f.Segs, c.segs[c.idx+1:]...)
+		} else {
+			// Not yet opened — or its open failed: either way the whole
+			// cell (and everything after it) is still undelivered.
+			f.Segs = append(f.Segs, c.segs[c.idx:]...)
+		}
+	}
+	return f.Token(), true
+}
+
+func (c *chainSession) Err() error { return c.err }
+func (c *chainSession) Close()     {}
+
+// ceilOrNil normalizes an empty ceiling to nil (unbounded).
+func ceilOrNil(c []int) []int {
+	if len(c) == 0 {
+		return nil
+	}
+	return c
 }

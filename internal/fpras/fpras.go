@@ -181,8 +181,10 @@ type Estimator struct {
 
 	// memo caches W̃ computations keyed by (layer, T): Sample revisits the
 	// same suffix sets constantly and the sketches are frozen per layer
-	// once built, so memoization is exact, not an approximation. Sharded
-	// locks keep contention off the parallel build path.
+	// once built, so memoization is exact, not an approximation. The table
+	// is per-layer (sharded within each layer, so locks stay off the
+	// parallel build path) and frozen layers are dropped as the build
+	// advances; see the memoTable comment.
 	memo memoTable
 
 	// samplers recycles per-goroutine scratch state across Sample calls.
@@ -203,16 +205,32 @@ type stepChoice struct {
 	w0, w1 *big.Float
 }
 
-// memoTable is a sharded hash map from (layer, vertex set) to *stepChoice.
-// Keys are hashed to a uint64; buckets keep the full key for equality, so
-// hash collisions cost a comparison, never a wrong answer. Values are
-// deterministic functions of the frozen sketches, so two goroutines racing
-// to insert the same key compute identical entries and either may win.
+// memoTable keeps one sharded hash map per unrolling layer, from vertex-set
+// keys to *stepChoice. Keys are hashed to a uint64; buckets keep the full
+// key for equality, so hash collisions cost a comparison, never a wrong
+// answer. Values are deterministic functions of the frozen sketches, so two
+// goroutines racing to insert the same key compute identical entries and
+// either may win.
+//
+// Per-layer tables serve two purposes: the layer index drops out of the key
+// (and shard contention splits across layers), and — the memory point of
+// the ROADMAP memo item — a layer's entries can be dropped wholesale once
+// buildLayer's barrier passes. The build clears the whole table after every
+// layer: within one layer the K·MaxTries descents of each vertex revisit
+// the same suffix sets constantly (the reuse that matters), while
+// cross-layer reuse is sparse and not worth pinning the table's full
+// footprint for the whole build. The entries populated by the final
+// s_final vertex are kept: they are exactly the sets the post-build Sample
+// descents walk, and Sample repopulates lazily anyway.
 type memoTable struct {
+	layers []*memoLayer
+}
+
+type memoLayer struct {
 	shards [memoShards]memoShard
 }
 
-const memoShards = 64
+const memoShards = 16
 
 type memoShard struct {
 	mu sync.RWMutex
@@ -220,25 +238,40 @@ type memoShard struct {
 }
 
 type memoEntry struct {
-	layer int
-	cur   []int
-	ch    *stepChoice
+	cur []int
+	ch  *stepChoice
 }
 
-func memoHash(layer int, cur []int) uint64 {
-	h := par.Mix64(uint64(int64(layer)) ^ 0x243f6a8885a308d3)
+func memoHash(cur []int) uint64 {
+	h := par.Mix64(0x243f6a8885a308d3)
 	for _, v := range cur {
 		h = par.Mix64(h ^ uint64(int64(v)+0x13198a2e03707344))
 	}
 	return h
 }
 
+// init sizes the table for layers 1..n+1 (s_final descends from n+1).
+func (m *memoTable) init(n int) {
+	m.layers = make([]*memoLayer, n+2)
+	for i := range m.layers {
+		m.layers[i] = &memoLayer{}
+	}
+}
+
+// dropThrough discards every entry at layers ≤ t. Only called between
+// build barriers, when no sampler goroutine is in flight.
+func (m *memoTable) dropThrough(t int) {
+	for i := 1; i <= t && i < len(m.layers); i++ {
+		m.layers[i] = &memoLayer{}
+	}
+}
+
 func (m *memoTable) get(h uint64, layer int, cur []int) *stepChoice {
-	sh := &m.shards[h%memoShards]
+	sh := &m.layers[layer].shards[h%memoShards]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	for _, e := range sh.m[h] {
-		if e.layer == layer && slices.Equal(e.cur, cur) {
+		if slices.Equal(e.cur, cur) {
 			return e.ch
 		}
 	}
@@ -246,18 +279,18 @@ func (m *memoTable) get(h uint64, layer int, cur []int) *stepChoice {
 }
 
 func (m *memoTable) put(h uint64, layer int, cur []int, ch *stepChoice) {
-	sh := &m.shards[h%memoShards]
+	sh := &m.layers[layer].shards[h%memoShards]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.m == nil {
 		sh.m = make(map[uint64][]*memoEntry)
 	}
 	for _, e := range sh.m[h] {
-		if e.layer == layer && slices.Equal(e.cur, cur) {
+		if slices.Equal(e.cur, cur) {
 			return // lost a benign race; the entries are identical
 		}
 	}
-	sh.m[h] = append(sh.m[h], &memoEntry{layer: layer, cur: cur, ch: ch})
+	sh.m[h] = append(sh.m[h], &memoEntry{cur: cur, ch: ch})
 }
 
 // New builds the full FPRAS state: DAG construction plus the layer-by-layer
@@ -291,6 +324,7 @@ func New(n *automata.NFA, length int, params Params) (*Estimator, error) {
 		e.empty = true
 		return e, nil
 	}
+	e.memo.init(length)
 	e.data = make([][]*vertexData, length+1)
 	for t := 1; t <= length; t++ {
 		e.data[t] = make([]*vertexData, dag.M)
@@ -339,6 +373,11 @@ func (e *Estimator) build() error {
 		if err := e.buildLayer(t, e.dag.AliveSet(t).Elems()); err != nil {
 			return err
 		}
+		// The layer is frozen; drop the memo entries its build populated
+		// (all at layers ≤ t). Later layers repopulate what they revisit,
+		// so peak memo memory is one layer-build's worth, not the whole
+		// build's (see the memoTable comment).
+		e.memo.dropThrough(t)
 	}
 	s := e.getSampler(par.StreamRNG(e.params.Seed, streamBuild, n+1, -1))
 	vd, err := s.buildVertex(n+1, -1, e.dag.FinalPreds())
@@ -735,7 +774,7 @@ func (s *sampler) sampleAttempt(layer int, target []int, r *big.Float) (sampleEn
 // singletons; descents follow the sorted t0/t1 of earlier choices).
 func (s *sampler) choiceFor(t int, cur []int) (*stepChoice, error) {
 	e := s.e
-	h := memoHash(t, cur)
+	h := memoHash(cur)
 	if ch := e.memo.get(h, t, cur); ch != nil {
 		return ch, nil
 	}

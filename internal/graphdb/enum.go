@@ -7,8 +7,11 @@ import (
 
 // PathSession streams the paths of ⟦Q⟧_n(G, u, v) through the core
 // enumeration engine, decoding each product witness into the graph path it
-// encodes. Serial sessions are resumable via Token; parallel sessions
-// (CursorOptions.Workers > 1) shard by edge-sequence prefix.
+// encodes. Every session is resumable via Token (serial cursors or
+// multi-cell frontier tokens); parallel sessions (CursorOptions.Workers >
+// 1) shard by edge-sequence prefix under the work-stealing scheduler,
+// tunable through CursorOptions.MergeBudget and
+// CursorOptions.StealThreshold.
 type PathSession struct {
 	p *Product
 	s enumerate.Session
@@ -35,9 +38,15 @@ func (ps *PathSession) Next() (Path, bool) {
 	return ps.p.WordToPath(w), true
 }
 
-// Token returns the resume token of the underlying session (ok=false for
-// parallel sessions).
+// Token returns the resume token of the underlying session: a serial
+// cursor or, for parallel sessions, a multi-cell frontier token.
 func (ps *PathSession) Token() (string, bool) { return ps.s.Token() }
+
+// Stats exposes the work-stealing scheduler's statistics of a parallel
+// session (ok=false for serial sessions).
+func (ps *PathSession) Stats() (enumerate.StreamStats, bool) {
+	return enumerate.SessionStats(ps.s)
+}
 
 // Err reports an underlying session failure.
 func (ps *PathSession) Err() error { return ps.s.Err() }

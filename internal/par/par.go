@@ -1,8 +1,10 @@
-// Package par holds the two primitives every deterministic-parallel path
-// in this library is built from: a bounded indexed fan-out and a seed
-// derivation for independent PRNG streams. Keeping them in one place means
-// the FPRAS build, batched FPRAS sampling, and the UFA batch sampler all
-// share one scheme — and a fix to either primitive reaches all of them.
+// Package par holds the small primitives every parallel path in this
+// library is built from: a bounded indexed fan-out for deterministic
+// index-addressed work (the FPRAS build, batched sampling), a worker group
+// for dynamic-work schedulers that claim from a shared queue (the
+// enumerate work-stealing stream), and a seed derivation for independent
+// PRNG streams. Keeping them in one place means every concurrent subsystem
+// shares one scheme — and a fix to any primitive reaches all of them.
 package par
 
 import (
@@ -11,33 +13,38 @@ import (
 	"sync/atomic"
 )
 
-// ForEachIndexed runs f(i) for every i in [0, n) across at most `workers`
-// goroutines (workers ≤ 1 runs inline). It returns after every call
-// completes. Determinism is the caller's contract: f must derive anything
-// random from i (see StreamRNG) and write only to its own index, so the
-// result never depends on which goroutine claimed which index.
-func ForEachIndexed(n, workers int, f func(i int)) {
-	ForEachIndexedUntil(n, workers, nil, f)
+// Group is a minimal goroutine group for long-lived workers: Go launches,
+// Wait blocks until every launched function has returned. Unlike
+// ForEachIndexed it imposes no work shape — schedulers that claim work
+// dynamically (work-stealing, suspended-and-resumed cells) own their queue
+// and use the group only for lifecycle.
+type Group struct {
+	wg sync.WaitGroup
 }
 
-// ForEachIndexedUntil is ForEachIndexed with cooperative cancellation: once
-// `stop` is closed no further index is claimed. Calls already in flight run
-// to completion — f is never interrupted mid-call — so the function still
-// returns only after every started call has finished. A nil stop channel
-// means no cancellation. Indices are claimed in increasing order, a property
-// the ordered merge in internal/enumerate relies on.
-func ForEachIndexedUntil(n, workers int, stop <-chan struct{}, f func(i int)) {
-	stopped := func() bool {
-		if stop == nil {
-			return false
-		}
-		select {
-		case <-stop:
-			return true
-		default:
-			return false
-		}
-	}
+// Go launches f on its own goroutine.
+func (g *Group) Go(f func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		f()
+	}()
+}
+
+// Wait blocks until every function launched with Go has returned.
+func (g *Group) Wait() {
+	g.wg.Wait()
+}
+
+// ForEachIndexed runs f(i) for every i in [0, n) across at most `workers`
+// goroutines (workers ≤ 1 runs inline). It returns after every call
+// completes; indices are claimed in increasing order. Determinism is the
+// caller's contract: f must derive anything random from i (see StreamRNG)
+// and write only to its own index, so the result never depends on which
+// goroutine claimed which index. Consumers that need cancellation or
+// dynamic work own their queue and use Group instead (the enumerate
+// work-stealing scheduler).
+func ForEachIndexed(n, workers int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -46,9 +53,6 @@ func ForEachIndexedUntil(n, workers int, stop <-chan struct{}, f func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if stopped() {
-				return
-			}
 			f(i)
 		}
 		return
@@ -62,9 +66,6 @@ func ForEachIndexedUntil(n, workers int, stop <-chan struct{}, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				if stopped() {
-					return
-				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

@@ -9,10 +9,13 @@ import (
 // Words opens an enumeration session over the length-n words matching the
 // pattern, routed through the core engine's class dispatch: when the
 // Glushkov automaton is unambiguous the session has constant delay
-// (Algorithm 1), otherwise polynomial delay (flashlight). Serial sessions
-// are resumable via Token — compile the same pattern over the same
-// alphabet and pass the token back through opts.Cursor; parallel sessions
-// (opts.Workers > 1) shard the language by prefix.
+// (Algorithm 1), otherwise polynomial delay (flashlight). Every session is
+// resumable via Token — compile the same pattern over the same alphabet
+// and pass the token back through opts.Cursor (parallel sessions mint
+// multi-cell frontier tokens that also resume with any worker count);
+// parallel sessions (opts.Workers > 1) shard the language by prefix under
+// the work-stealing scheduler, tunable through opts.MergeBudget and
+// opts.StealThreshold.
 func Words(pattern string, alpha *automata.Alphabet, n int, opts core.CursorOptions) (enumerate.Session, error) {
 	nfa, err := Compile(pattern, alpha)
 	if err != nil {

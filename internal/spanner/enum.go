@@ -7,8 +7,11 @@ import (
 
 // MappingSession streams the mappings of ⟦A⟧(d) through the core
 // enumeration engine, decoding each witness on the fly. It inherits the
-// engine's contract: serial sessions are resumable via Token, parallel
-// sessions (CursorOptions.Workers > 1) shard by encoding prefix.
+// engine's contract: every session is resumable via Token (serial cursors
+// or multi-cell frontier tokens), and parallel sessions
+// (CursorOptions.Workers > 1) shard by encoding prefix under the
+// work-stealing scheduler, tunable through CursorOptions.MergeBudget and
+// CursorOptions.StealThreshold.
 type MappingSession struct {
 	inst *Instance
 	s    enumerate.Session
@@ -46,9 +49,15 @@ func (ms *MappingSession) Next() (Mapping, bool) {
 	return mp, true
 }
 
-// Token returns the resume token of the underlying session (ok=false for
-// parallel sessions).
+// Token returns the resume token of the underlying session: a serial
+// cursor or, for parallel sessions, a multi-cell frontier token.
 func (ms *MappingSession) Token() (string, bool) { return ms.s.Token() }
+
+// Stats exposes the work-stealing scheduler's statistics of a parallel
+// session (ok=false for serial sessions).
+func (ms *MappingSession) Stats() (enumerate.StreamStats, bool) {
+	return enumerate.SessionStats(ms.s)
+}
 
 // Err reports a decode failure or an underlying session failure.
 func (ms *MappingSession) Err() error { return ms.err }

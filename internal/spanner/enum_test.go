@@ -107,4 +107,55 @@ func TestMappingSessionMatchesOracle(t *testing.T) {
 			t.Fatalf("parallel output %d = %s, want %s", i, par[i], full[i])
 		}
 	}
+
+	// Parallel pagination: work-stealing sessions mint frontier tokens that
+	// chain through the mapping layer exactly like serial cursors.
+	paged = nil
+	token = ""
+	for steps := 0; ; steps++ {
+		if steps > len(full)+2 {
+			t.Fatal("parallel pagination does not terminate")
+		}
+		page, tok := collect(core.CursorOptions{
+			Cursor: token, Limit: 2, Workers: 3, Shards: 2, Ordered: true,
+			StealThreshold: 1, MergeBudget: 4,
+		})
+		paged = append(paged, page...)
+		token = tok
+		if len(page) == 0 {
+			break
+		}
+	}
+	if len(paged) != len(full) {
+		t.Fatalf("parallel pagination yielded %d mappings, want %d", len(paged), len(full))
+	}
+	for i := range full {
+		if paged[i] != full[i] {
+			t.Fatalf("parallel page output %d = %s, want %s", i, paged[i], full[i])
+		}
+	}
+
+	// Scheduler stats surface through the mapping session for parallel runs
+	// and are absent for serial ones.
+	ms, err := inst.Enumerate(ci, core.CursorOptions{Workers: 2, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := ms.Stats(); !ok {
+		t.Fatal("parallel mapping session must expose scheduler stats")
+	}
+	ms.Close()
+	serialMS, err := inst.Enumerate(ci, core.CursorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := serialMS.Stats(); ok {
+		t.Fatal("serial mapping session must not claim scheduler stats")
+	}
+	serialMS.Close()
 }
