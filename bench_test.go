@@ -91,6 +91,87 @@ func BenchmarkE3_SampleUFA(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleUFA: per-draw cost of the three exact uniform samplers
+// on a 64-state depth-20 UFA — the workload of experiment E17. "walk" is
+// the pre-index reference (per-draw residual-count accumulation, ~3
+// allocations per transition), "indexed" the rank-space sampler (one
+// uniform rank + one Unrank binary-search walk), "session" the same with
+// per-session scratch (zero allocations per draw). The acceptance bar for
+// the index rewrite is ≥ 3× fewer allocs/op for indexed vs walk.
+func BenchmarkSampleUFA(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	dfa := automata.RandomDFA(rng, automata.Binary(), 64, 0.5)
+	const depth = 20
+	b.Run("walk", func(b *testing.B) {
+		s, err := sample.NewWalkSampler(dfa, depth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Count().Sign() == 0 {
+			b.Skip("empty slice")
+		}
+		draw := rand.New(rand.NewSource(18))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Sample(draw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		s, err := sample.NewUFASampler(dfa, depth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Count().Sign() == 0 {
+			b.Skip("empty slice")
+		}
+		draw := rand.New(rand.NewSource(18))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Sample(draw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		s, err := sample.NewUFASampler(dfa, depth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Count().Sign() == 0 {
+			b.Skip("empty slice")
+		}
+		d := s.NewDrawSession(rand.New(rand.NewSource(18)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Sample(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("distinct", func(b *testing.B) {
+		s, err := sample.NewUFASampler(dfa, depth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Count().Sign() == 0 {
+			b.Skip("empty slice")
+		}
+		draw := rand.New(rand.NewSource(18))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SampleDistinct(16, draw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE4_FPRASAccuracy: one full FPRAS build on the evaluation-shape
 // workload (layered NFA), the operation whose error E4 tabulates. Pinned
 // to Workers: 1 so the number is a serial baseline on any machine; E14 and

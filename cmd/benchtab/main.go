@@ -1,5 +1,5 @@
 // Command benchtab regenerates the experiment tables of DESIGN.md /
-// EXPERIMENTS.md (F1 and E1–E15): the empirical validation of every
+// EXPERIMENTS.md (F1 and E1–E17): the empirical validation of every
 // theorem of the paper on this implementation.
 //
 // Usage:

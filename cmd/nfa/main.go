@@ -1,16 +1,26 @@
 // Command nfa is the CLI for MEM-NFA instances: given an automaton file
 // (the text format of internal/automata) and a witness length, it reports
 // instance facts (info), counts witnesses exactly or approximately (count),
-// enumerates them (enum), and samples them uniformly (sample) — the three
-// problems of the paper, dispatched per complexity class by internal/core.
+// enumerates them (enum), samples them uniformly (sample) — the three
+// problems of the paper, dispatched per complexity class by internal/core —
+// and, for unambiguous instances, gives ranked random access (rank,
+// unrank) through the counting index.
 //
 // Usage:
 //
 //	nfa info   -f automaton.txt
 //	nfa count  -f automaton.txt -n 12 [-exact] [-delta 0.1] [-k 96] [-seed 1] [-workers 8]
-//	nfa enum   -f automaton.txt -n 12 [-limit 20] [-cursor TOKEN] [-workers 8]
+//	nfa enum   -f automaton.txt -n 12 [-limit 20] [-cursor TOKEN | -seek RANK] [-workers 8]
 //	           [-unordered] [-budget 1024] [-steal 64] [-v]
-//	nfa sample -f automaton.txt -n 12 [-count 5] [-seed 1] [-workers 8]
+//	nfa sample -f automaton.txt -n 12 [-count 5] [-distinct] [-seed 1] [-workers 8]
+//	nfa rank   -f automaton.txt -n 12 -w WITNESS
+//	nfa unrank -f automaton.txt -n 12 -r RANK
+//
+// rank and unrank convert between a witness and its 0-based index in the
+// enumeration order (RelationUL only — ranked access for an ambiguous NFA
+// would imply exact #NFA counting); enum -seek RANK starts the listing at
+// that index in O(n) without replaying a cursor, and sample -distinct
+// draws without replacement.
 //
 // -workers bounds the parallelism of the FPRAS build, of batched sampling,
 // and of sharded enumeration (0 = all cores, 1 = serial); it changes
@@ -34,7 +44,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
 	"os"
+	"strings"
 
 	"repro/internal/automata"
 	"repro/internal/core"
@@ -55,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cmd := args[0]
 	switch cmd {
-	case "info", "count", "enum", "sample":
+	case "info", "count", "enum", "sample", "rank", "unrank":
 	default:
 		usage(stderr)
 		return 2
@@ -73,10 +85,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 0, "random seed (0 = fixed default)")
 		workers   = fs.Int("workers", 0, "FPRAS build/sampling/enum parallelism (0 = all cores)")
 		cursor    = fs.String("cursor", "", "resume a previous enum from its token (enum)")
+		seek      = fs.String("seek", "", "start enum at this 0-based rank of the enumeration order (enum; RelationUL)")
 		unordered = fs.Bool("unordered", false, "parallel enum in arrival order (throughput mode; enum)")
 		budget    = fs.Int("budget", 0, "parallel enum merge budget in words (0 = default; enum)")
 		steal     = fs.Int("steal", 0, "words between shard re-splits (0 = default, -1 = static shards; enum)")
 		verbose   = fs.Bool("v", false, "print per-shard scheduler stats on stderr (enum)")
+		distinct  = fs.Bool("distinct", false, "sample without replacement (sample; RelationUL)")
+		word      = fs.String("w", "", "witness to rank, in alphabet symbols (rank)")
+		rankStr   = fs.String("r", "", "0-based rank to unrank (unrank)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
@@ -102,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "info":
 		runInfo(stdout, nfa, *n)
 		return 0
-	case "count", "enum", "sample":
+	case "count", "enum", "sample", "rank", "unrank":
 		inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return fail(err.Error())
@@ -112,17 +128,85 @@ func run(args []string, stdout, stderr io.Writer) int {
 			err = runCount(stdout, inst, *exactF)
 		case "enum":
 			err = runEnum(stdout, stderr, inst, enumConfig{
-				limit: *limit, workers: *workers, cursor: *cursor,
+				limit: *limit, workers: *workers, cursor: *cursor, seek: *seek,
 				unordered: *unordered, budget: *budget, steal: *steal, verbose: *verbose,
 			})
 		case "sample":
-			err = runSample(stdout, inst, *count, *workers)
+			err = runSample(stdout, inst, *count, *workers, *distinct)
+		case "rank":
+			err = runRank(stdout, inst, *word)
+		case "unrank":
+			err = runUnrank(stdout, inst, *rankStr)
 		}
 		if err != nil {
 			return fail(err.Error())
 		}
 	}
 	return 0
+}
+
+// parseRank parses a decimal rank argument.
+func parseRank(s string) (*big.Int, error) {
+	r, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return nil, fmt.Errorf("malformed rank %q (want a decimal integer)", s)
+	}
+	return r, nil
+}
+
+// parseWitness decodes a witness string with the instance's alphabet,
+// longest symbol name first at every position.
+func parseWitness(inst *core.Instance, s string) (automata.Word, error) {
+	alpha := inst.Automaton().Alphabet()
+	var w automata.Word
+	for len(s) > 0 {
+		best := -1
+		bestLen := 0
+		for a := 0; a < alpha.Size(); a++ {
+			name := alpha.Name(a)
+			if len(name) > bestLen && strings.HasPrefix(s, name) {
+				best, bestLen = a, len(name)
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("witness %q: no alphabet symbol matches at %q", s, s[:1])
+		}
+		w = append(w, best)
+		s = s[bestLen:]
+	}
+	return w, nil
+}
+
+func runRank(w io.Writer, inst *core.Instance, witness string) error {
+	if witness == "" {
+		return fmt.Errorf("missing -w witness")
+	}
+	word, err := parseWitness(inst, witness)
+	if err != nil {
+		return err
+	}
+	r, err := inst.Rank(word)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, r.String())
+	return nil
+}
+
+func runUnrank(w io.Writer, inst *core.Instance, rankStr string) error {
+	if rankStr == "" {
+		return fmt.Errorf("missing -r rank")
+	}
+	r, err := parseRank(rankStr)
+	if err != nil {
+		return err
+	}
+	word, err := inst.Unrank(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, inst.FormatWord(word))
+	return nil
 }
 
 func runInfo(w io.Writer, n *automata.NFA, length int) {
@@ -174,13 +258,22 @@ func runCount(w io.Writer, inst *core.Instance, forceExact bool) error {
 // enumConfig carries the enum subcommand's flags.
 type enumConfig struct {
 	limit, workers, budget, steal int
-	cursor                        string
+	cursor, seek                  string
 	unordered, verbose            bool
 }
 
 func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
+	var seekRank *big.Int
+	if cfg.seek != "" {
+		r, err := parseRank(cfg.seek)
+		if err != nil {
+			return err
+		}
+		seekRank = r
+	}
 	s, err := inst.Enumerate(core.CursorOptions{
 		Cursor:         cfg.cursor,
+		SeekRank:       seekRank,
 		Limit:          cfg.limit,
 		Workers:        cfg.workers,
 		Ordered:        !cfg.unordered, // shards merge back into canonical order by default
@@ -231,8 +324,14 @@ func printEnumStats(errw io.Writer, s enumerate.Session) {
 	stats.Fprint(errw)
 }
 
-func runSample(w io.Writer, inst *core.Instance, count, workers int) error {
-	ws, err := inst.SampleManyParallel(count, workers)
+func runSample(w io.Writer, inst *core.Instance, count, workers int, distinct bool) error {
+	var ws []automata.Word
+	var err error
+	if distinct {
+		ws, err = inst.SampleDistinct(count)
+	} else {
+		ws, err = inst.SampleManyParallel(count, workers)
+	}
 	if err == core.ErrEmpty {
 		fmt.Fprintln(w, "⊥ (witness set empty)")
 		return nil
@@ -247,9 +346,13 @@ func runSample(w io.Writer, inst *core.Instance, count, workers int) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: nfa <info|count|enum|sample> -f FILE -n LENGTH [flags]
+	fmt.Fprintln(w, `usage: nfa <info|count|enum|sample|rank|unrank> -f FILE -n LENGTH [flags]
   info    automaton facts, class detection, exact count when feasible
   count   |L_n| — exact for unambiguous automata, FPRAS otherwise
-  enum    enumerate witnesses (constant or polynomial delay per class)
-  sample  uniform witnesses (exact or Las Vegas per class)`)
+  enum    enumerate witnesses (constant or polynomial delay per class;
+          -seek RANK starts at that index for unambiguous instances)
+  sample  uniform witnesses (exact or Las Vegas per class; -distinct
+          draws without replacement for unambiguous instances)
+  rank    witness -> its 0-based index in enumeration order (RelationUL)
+  unrank  0-based index -> witness (RelationUL)`)
 }

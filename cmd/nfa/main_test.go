@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -327,6 +328,127 @@ func TestEnumRejectsForeignCursor(t *testing.T) {
 	empty := writeFixture(t, "empty.txt", emptyFixture)
 	if _, _, code := runNFA(t, "enum", "-f", empty, "-n", "4", "-cursor", tok); code == 0 {
 		t.Fatal("foreign cursor accepted")
+	}
+}
+
+// allFixture is a one-state DFA accepting every binary word: unambiguous
+// (RelationUL) with |L_4| = 16 — the ranked-access fixture.
+const allFixture = `alphabet: 0 1
+states: 1
+start: 0
+final: 0
+0 0 0
+0 1 0
+`
+
+// TestRankUnrankCLI: unrank enumerates the language in enumeration order,
+// rank inverts it, and both reject ambiguous instances and bad input.
+func TestRankUnrankCLI(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	fullOut, _, code := runNFA(t, "enum", "-f", f, "-n", "4", "-limit", "0")
+	if code != 0 {
+		t.Fatalf("enum exit %d", code)
+	}
+	words := strings.Fields(fullOut)
+	if len(words) != 16 {
+		t.Fatalf("expected 16 witnesses, got %d", len(words))
+	}
+	for i, w := range words {
+		out, _, code := runNFA(t, "unrank", "-f", f, "-n", "4", "-r", fmt.Sprint(i))
+		if code != 0 {
+			t.Fatalf("unrank %d: exit %d", i, code)
+		}
+		if got := strings.TrimSpace(out); got != w {
+			t.Fatalf("unrank %d = %q, enum order says %q", i, got, w)
+		}
+		out, _, code = runNFA(t, "rank", "-f", f, "-n", "4", "-w", w)
+		if code != 0 {
+			t.Fatalf("rank %q: exit %d", w, code)
+		}
+		if got := strings.TrimSpace(out); got != fmt.Sprint(i) {
+			t.Fatalf("rank(%q) = %s, want %d", w, got, i)
+		}
+	}
+	// Out-of-range rank and unparseable input fail cleanly.
+	if _, _, code := runNFA(t, "unrank", "-f", f, "-n", "4", "-r", "16"); code != 1 {
+		t.Errorf("unrank past the end: exit %d, want 1", code)
+	}
+	if _, _, code := runNFA(t, "rank", "-f", f, "-n", "4", "-w", "01x1"); code != 1 {
+		t.Errorf("rank of a non-alphabet word: exit %d, want 1", code)
+	}
+	// Ranked access needs RelationUL.
+	amb := writeFixture(t, "amb.txt", ambFixture)
+	if _, errOut, code := runNFA(t, "rank", "-f", amb, "-n", "4", "-w", "0000"); code != 1 || !strings.Contains(errOut, "RelationUL") {
+		t.Errorf("rank on ambiguous: exit %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runNFA(t, "unrank", "-f", amb, "-n", "4", "-r", "0"); code != 1 {
+		t.Errorf("unrank on ambiguous: exit %d, want 1", code)
+	}
+}
+
+// TestEnumSeek: -seek RANK starts the listing at that index — serial and
+// parallel agree with the tail of the full listing — and a rank past the
+// end yields an empty page.
+func TestEnumSeek(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	fullOut, _, code := runNFA(t, "enum", "-f", f, "-n", "4", "-limit", "0")
+	if code != 0 {
+		t.Fatalf("enum exit %d", code)
+	}
+	want := strings.Fields(fullOut)
+	for _, seek := range []int{0, 1, 7, 15, 16} {
+		for _, workers := range []string{"1", "4"} {
+			out, _, code := runNFA(t, "enum", "-f", f, "-n", "4", "-limit", "0",
+				"-seek", fmt.Sprint(seek), "-workers", workers)
+			if code != 0 {
+				t.Fatalf("seek %d workers %s: exit %d", seek, workers, code)
+			}
+			got := strings.Fields(out)
+			tail := want[seek:]
+			if len(got) != len(tail) {
+				t.Fatalf("seek %d workers %s: %d witnesses, want %d", seek, workers, len(got), len(tail))
+			}
+			for i := range tail {
+				if got[i] != tail[i] {
+					t.Fatalf("seek %d workers %s: witness %d = %q, want %q", seek, workers, i, got[i], tail[i])
+				}
+			}
+		}
+	}
+	if _, _, code := runNFA(t, "enum", "-f", f, "-n", "4", "-seek", "17"); code != 1 {
+		t.Errorf("seek past |W|: exit %d, want 1", code)
+	}
+	amb := writeFixture(t, "amb.txt", ambFixture)
+	if _, _, code := runNFA(t, "enum", "-f", amb, "-n", "4", "-seek", "0"); code != 1 {
+		t.Errorf("seek on ambiguous: exit %d, want 1", code)
+	}
+}
+
+// TestSampleDistinctCLI: -distinct draws are distinct witnesses; a
+// full-language draw is a permutation of the language; oversized draws and
+// ambiguous instances fail.
+func TestSampleDistinctCLI(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	out, _, code := runNFA(t, "sample", "-f", f, "-n", "4", "-count", "16", "-distinct", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	got := strings.Fields(out)
+	sort.Strings(got)
+	if len(got) != 16 {
+		t.Fatalf("distinct sample printed %d words, want 16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("duplicate %q in distinct draw", got[i])
+		}
+	}
+	if _, _, code := runNFA(t, "sample", "-f", f, "-n", "4", "-count", "17", "-distinct"); code != 1 {
+		t.Errorf("oversized distinct draw: exit %d, want 1", code)
+	}
+	amb := writeFixture(t, "amb.txt", ambFixture)
+	if _, _, code := runNFA(t, "sample", "-f", amb, "-n", "4", "-distinct"); code != 1 {
+		t.Errorf("distinct on ambiguous: exit %d, want 1", code)
 	}
 }
 

@@ -2,17 +2,24 @@
 // matching a regular expression — the headline application of the paper's
 // #NFA FPRAS: the Glushkov automaton of the pattern is ambiguous in
 // general, yet its length-n language can be counted within (1±δ) and
-// sampled uniformly in polynomial time (Theorems 2/22).
+// sampled uniformly in polynomial time (Theorems 2/22). When the pattern
+// compiles to an unambiguous automaton the counting index additionally
+// gives exact counting, without-replacement sampling (-distinct) and
+// ranked random access (-at).
 //
 // Usage:
 //
 //	regexsample -pattern "(a|b)*abb" -alphabet ab -n 10 -samples 5
 //	regexsample -pattern "[ab]+[01][ab01]*" -alphabet ab01 -n 12 -count-only
+//	regexsample -pattern "aa*b" -alphabet ab -n 8 -samples 4 -distinct
+//	regexsample -pattern "aa*b" -alphabet ab -n 8 -at 17
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math/big"
 	"os"
 
 	"repro/internal/automata"
@@ -21,26 +28,42 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("regexsample", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		pattern   = flag.String("pattern", "", "regular expression")
-		alphabet  = flag.String("alphabet", "", "alphabet characters, e.g. ab01")
-		n         = flag.Int("n", 0, "string length")
-		samples   = flag.Int("samples", 3, "number of uniform samples to draw")
-		countOnly = flag.Bool("count-only", false, "print the count and exit")
-		delta     = flag.Float64("delta", 0.1, "FPRAS target relative error")
-		k         = flag.Int("k", 0, "FPRAS sketch size override")
-		seed      = flag.Int64("seed", 0, "random seed (0 = fixed default)")
+		pattern   = fs.String("pattern", "", "regular expression")
+		alphabet  = fs.String("alphabet", "", "alphabet characters, e.g. ab01")
+		n         = fs.Int("n", 0, "string length")
+		samples   = fs.Int("samples", 3, "number of uniform samples to draw")
+		countOnly = fs.Bool("count-only", false, "print the count and exit")
+		distinct  = fs.Bool("distinct", false, "sample without replacement (unambiguous patterns only)")
+		at        = fs.String("at", "", "print the match at this 0-based rank of the enumeration order and exit (unambiguous patterns only)")
+		delta     = fs.Float64("delta", 0.1, "FPRAS target relative error")
+		k         = fs.Int("k", 0, "FPRAS sketch size override")
+		seed      = fs.Int64("seed", 0, "random seed (0 = fixed default)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(msg string) int {
+		fmt.Fprintln(stderr, "regexsample: "+msg)
+		return 1
+	}
 	if *pattern == "" || *alphabet == "" || *n < 0 {
-		fmt.Fprintln(os.Stderr, "usage: regexsample -pattern REGEX -alphabet CHARS -n LENGTH [-samples N | -count-only]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: regexsample -pattern REGEX -alphabet CHARS -n LENGTH [-samples N [-distinct] | -count-only | -at RANK]")
+		return 2
 	}
 	names := make([]string, 0, len(*alphabet))
 	seen := map[rune]bool{}
 	for _, r := range *alphabet {
 		if seen[r] {
-			fail(fmt.Sprintf("duplicate alphabet character %q", string(r)))
+			return fail(fmt.Sprintf("duplicate alphabet character %q", string(r)))
 		}
 		seen[r] = true
 		names = append(names, string(r))
@@ -48,38 +71,60 @@ func main() {
 	alpha := automata.NewAlphabet(names...)
 	nfa, err := regex.Compile(*pattern, alpha)
 	if err != nil {
-		fail(err.Error())
+		return fail(err.Error())
 	}
 	inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed})
 	if err != nil {
-		fail(err.Error())
+		return fail(err.Error())
+	}
+	if *at != "" {
+		rank, ok := new(big.Int).SetString(*at, 10)
+		if !ok {
+			return fail(fmt.Sprintf("malformed rank %q (want a decimal integer)", *at))
+		}
+		w, err := inst.Unrank(rank)
+		if err != nil {
+			return fail(err.Error())
+		}
+		fmt.Fprintln(stdout, inst.FormatWord(w))
+		return 0
 	}
 	v, isExact, err := inst.Count()
 	if err != nil {
-		fail(err.Error())
+		return fail(err.Error())
 	}
 	kind := "≈ (FPRAS)"
 	if isExact {
 		kind = "exact"
 	}
-	fmt.Printf("matches of length %d: %s (%s; class %s)\n", *n, v.Text('f', 0), kind, inst.Class())
+	fmt.Fprintf(stdout, "matches of length %d: %s (%s; class %s)\n", *n, v.Text('f', 0), kind, inst.Class())
 	if *countOnly {
-		return
+		return 0
+	}
+	if *distinct {
+		ws, err := inst.SampleDistinct(*samples)
+		if err == core.ErrEmpty {
+			fmt.Fprintln(stdout, "⊥ (no matches at this length)")
+			return 0
+		}
+		if err != nil {
+			return fail(err.Error())
+		}
+		for _, w := range ws {
+			fmt.Fprintln(stdout, inst.FormatWord(w))
+		}
+		return 0
 	}
 	for i := 0; i < *samples; i++ {
 		w, err := inst.Sample()
 		if err == core.ErrEmpty {
-			fmt.Println("⊥ (no matches at this length)")
-			return
+			fmt.Fprintln(stdout, "⊥ (no matches at this length)")
+			return 0
 		}
 		if err != nil {
-			fail(err.Error())
+			return fail(err.Error())
 		}
-		fmt.Println(inst.FormatWord(w))
+		fmt.Fprintln(stdout, inst.FormatWord(w))
 	}
-}
-
-func fail(msg string) {
-	fmt.Fprintln(os.Stderr, "regexsample: "+msg)
-	os.Exit(1)
+	return 0
 }

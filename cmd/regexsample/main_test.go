@@ -1,0 +1,143 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runRS invokes the CLI entry point and returns (stdout, stderr, code).
+func runRS(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+// TestCountOnlyUnambiguous: a pattern with an unambiguous Glushkov
+// automaton is counted exactly through the RelationUL path.
+func TestCountOnlyUnambiguous(t *testing.T) {
+	// a then (a|b)*: matches of length 4 = 8 (a followed by any of 2^3).
+	out, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "4", "-count-only")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "matches of length 4: 8 (exact; class RelationUL)") {
+		t.Fatalf("unexpected count line: %q", out)
+	}
+}
+
+// TestCountAmbiguousFPRAS: an ambiguous pattern routes through the FPRAS;
+// with a small language the sketch is exact.
+func TestCountAmbiguousFPRAS(t *testing.T) {
+	// (a|b)*a(a|b)* is ambiguous; length-3 matches = all words with ≥ one
+	// a = 2^3 - 1 = 7.
+	out, _, code := runRS(t, "-pattern", "(a|b)*a(a|b)*", "-alphabet", "ab", "-n", "3", "-count-only", "-k", "64")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "matches of length 3: 7 ") || !strings.Contains(out, "RelationNL") {
+		t.Fatalf("unexpected count line: %q", out)
+	}
+}
+
+// TestSamplesMatchPattern: every sampled string matches the pattern and
+// has the requested length, for both classes.
+func TestSamplesMatchPattern(t *testing.T) {
+	for _, tc := range []struct{ pattern, anchored string }{
+		{"a(a|b)*b", "^a[ab]*b$"},
+		{"(a|b)*a(a|b)*", "^[ab]*a[ab]*$"},
+	} {
+		out, _, code := runRS(t, "-pattern", tc.pattern, "-alphabet", "ab", "-n", "6", "-samples", "5", "-seed", "3")
+		if code != 0 {
+			t.Fatalf("%s: exit %d", tc.pattern, code)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 6 { // count line + 5 samples
+			t.Fatalf("%s: %d output lines, want 6:\n%s", tc.pattern, len(lines), out)
+		}
+		re := regexp.MustCompile(tc.anchored)
+		for _, l := range lines[1:] {
+			if len(l) != 6 || !re.MatchString(l) {
+				t.Fatalf("%s: sample %q does not match", tc.pattern, l)
+			}
+		}
+	}
+}
+
+// TestDistinctSamples: -distinct draws distinct matches; asking for more
+// than exist fails.
+func TestDistinctSamples(t *testing.T) {
+	// a(a|b)* at length 3: 4 matches.
+	out, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "3", "-samples", "4", "-distinct", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // count line + 4 distinct matches
+		t.Fatalf("%d output lines, want 5:\n%s", len(lines), out)
+	}
+	seen := map[string]bool{}
+	for _, l := range lines[1:] {
+		if seen[l] {
+			t.Fatalf("duplicate distinct sample %q", l)
+		}
+		seen[l] = true
+	}
+	if _, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "3", "-samples", "5", "-distinct"); code != 1 {
+		t.Errorf("oversized distinct draw: exit %d, want 1", code)
+	}
+}
+
+// TestRankedAccess: -at walks the whole enumeration order; out-of-range
+// ranks and ambiguous patterns fail cleanly.
+func TestRankedAccess(t *testing.T) {
+	words := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		out, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "3", "-at", string(rune('0'+i)))
+		if code != 0 {
+			t.Fatalf("-at %d: exit %d", i, code)
+		}
+		w := strings.TrimSpace(out)
+		if len(w) != 3 || w[0] != 'a' {
+			t.Fatalf("-at %d: bad match %q", i, w)
+		}
+		words[w] = true
+	}
+	if len(words) != 4 {
+		t.Fatalf("-at covered %d of 4 matches", len(words))
+	}
+	if _, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "3", "-at", "4"); code != 1 {
+		t.Errorf("-at past the end: exit %d, want 1", code)
+	}
+	if _, _, code := runRS(t, "-pattern", "(a|b)*a(a|b)*", "-alphabet", "ab", "-n", "3", "-at", "0"); code != 1 {
+		t.Errorf("-at on ambiguous pattern: exit %d, want 1", code)
+	}
+	if _, _, code := runRS(t, "-pattern", "a*", "-alphabet", "ab", "-n", "3", "-at", "zzz"); code != 1 {
+		t.Errorf("malformed -at: exit %d, want 1", code)
+	}
+}
+
+// TestEmptyLanguage: a pattern with no matches at the length reports ⊥.
+func TestEmptyLanguage(t *testing.T) {
+	out, _, code := runRS(t, "-pattern", "ab", "-alphabet", "ab", "-n", "5", "-samples", "2")
+	if code != 0 || !strings.Contains(out, "⊥") {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+}
+
+// TestBadInvocations: usage and validation errors exit non-zero.
+func TestBadInvocations(t *testing.T) {
+	if _, _, code := runRS(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if _, _, code := runRS(t, "-pattern", "a*", "-alphabet", "aa", "-n", "3"); code != 1 {
+		t.Errorf("duplicate alphabet: exit %d, want 1", code)
+	}
+	if _, _, code := runRS(t, "-pattern", "a(", "-alphabet", "ab", "-n", "3"); code != 1 {
+		t.Errorf("malformed pattern: exit %d, want 1", code)
+	}
+	if _, _, code := runRS(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -1,6 +1,6 @@
 // Package bench is the experiment harness behind cmd/benchtab and the
 // repository-level benchmarks: it regenerates every table of the
-// experiment index in DESIGN.md (F1, E1–E16), printing one table per
+// experiment index in DESIGN.md (F1, E1–E17), printing one table per
 // experiment with the measured quantities that EXPERIMENTS.md records.
 //
 // The paper itself is a theory paper with no measured tables, so these
@@ -99,6 +99,7 @@ func All(quick bool) []*Table {
 		E14ParallelFPRAS(quick),
 		E15ShardedEnum(quick),
 		E16WorkStealing(quick),
+		E17SamplerThroughput(quick),
 	}
 }
 
@@ -139,13 +140,15 @@ func ByID(id string, quick bool) *Table {
 		return E15ShardedEnum(quick)
 	case "E16":
 		return E16WorkStealing(quick)
+	case "E17":
+		return E17SamplerThroughput(quick)
 	}
 	return nil
 }
 
 // IDs lists all experiment identifiers.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 }
 
 func ms(d time.Duration) string {

@@ -13,8 +13,8 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		t.Skip("skipping full experiment sweep in -short mode")
 	}
 	tables := All(true)
-	if len(tables) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(tables))
+	if len(tables) != len(IDs()) {
+		t.Fatalf("expected %d experiments, got %d", len(IDs()), len(tables))
 	}
 	for _, tab := range tables {
 		if tab == nil {

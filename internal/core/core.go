@@ -13,6 +13,14 @@
 // general alphabets are bridged to the binary FPRAS core through the
 // witness-preserving encoding of internal/automata.
 //
+// RelationUL instances additionally get ranked access through one shared
+// counting index (internal/countdag, built lazily and reused by every
+// consumer): Rank/Unrank convert between witnesses and their index in the
+// enumeration order, SampleDistinct draws without replacement in
+// rank-space, and CursorOptions.SeekRank (or a kind-'r' rank token)
+// starts an enumeration session at any rank in O(n·log Δ) without
+// replaying a cursor.
+//
 // # Concurrency
 //
 // Instance methods are safe for concurrent use: the lazily built engines
@@ -34,11 +42,12 @@ import (
 	"sync"
 
 	"repro/internal/automata"
+	"repro/internal/countdag"
 	"repro/internal/enumerate"
 	"repro/internal/exact"
 	"repro/internal/fpras"
-	"repro/internal/par"
 	"repro/internal/sample"
+	"repro/internal/unroll"
 )
 
 // streamULBatch namespaces SampleManyParallel's per-draw RNG streams on the
@@ -206,29 +215,146 @@ func (in *Instance) estimator() (*fpras.Estimator, error) {
 	return est, nil
 }
 
-// ufa lazily builds the exact uniform sampler for the ClassUL path.
+// ufa lazily builds the instance's shared ranked counting index (layer-
+// parallel, Options.Workers) and wraps it as the exact uniform sampler.
+// The same index serves Sample/SampleDistinct, Rank/Unrank and rank-seek
+// enumeration: one big.Int pass per instance, however many consumers.
+// ClassUL only (the caller dispatches); unambiguity was verified at New.
 func (in *Instance) ufa() (*sample.UFASampler, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.ufaSampler == nil {
-		s, err := sample.NewUFASampler(in.n, in.length)
+		dag, err := unroll.Build(in.n, in.length, unroll.Options{PruneBackward: true})
 		if err != nil {
 			return nil, err
 		}
-		in.ufaSampler = s
+		workers := in.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		in.ufaSampler = sample.NewUFASamplerIndex(in.n, countdag.Build(dag, workers))
 	}
 	return in.ufaSampler, nil
+}
+
+// sharedIndex returns the instance's counting index if it has been built
+// (nil otherwise — callers that can work without it shouldn't force the
+// build).
+func (in *Instance) sharedIndex() *countdag.Index {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.ufaSampler == nil {
+		return nil
+	}
+	return in.ufaSampler.Index()
+}
+
+// openSeeked opens a RelationUL session positioned at the given rank,
+// seeking through the instance's shared counting index (built and cached
+// on first use — a rank seek is an index consumer, so the build is never
+// thrown away).
+func (in *Instance) openSeeked(rank *big.Int, workers int, sopts enumerate.StreamOptions) (enumerate.Session, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: rank seek requires an unambiguous instance (RelationUL)")
+	}
+	if _, err := in.ufa(); err != nil {
+		return nil, err
+	}
+	e, err := in.newUFAEnum()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.SeekRank(rank); err != nil {
+		return nil, err
+	}
+	if workers > 1 {
+		return e.StreamFrom(enumerate.SuffixFrontier(e.Cursor()), sopts)
+	}
+	return e, nil
+}
+
+// newUFAEnum opens an Algorithm 1 enumerator, attaching the instance's
+// shared counting index when it is already built (enumeration alone does
+// not force the index; rank seeking and parallel streams build their own
+// on demand).
+func (in *Instance) newUFAEnum() (*enumerate.UFAEnumerator, error) {
+	e, err := enumerate.NewUFA(in.n, in.length)
+	if err != nil {
+		return nil, err
+	}
+	if idx := in.sharedIndex(); idx != nil {
+		if err := e.AttachIndex(idx); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Rank returns the 0-based index of the witness w in the instance's
+// enumeration order, or an error (wrapping countdag.ErrNotMember) when w
+// is not a witness. Exact ranked access is a RelationUL capability — for
+// RelationNL it would imply exact #NFA counting, which is #P-hard.
+func (in *Instance) Rank(w automata.Word) (*big.Int, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: Rank requires an unambiguous instance (RelationUL)")
+	}
+	s, err := in.ufa()
+	if err != nil {
+		return nil, err
+	}
+	return s.Rank(w)
+}
+
+// Unrank returns the witness at the given 0-based rank of the enumeration
+// order — random access into the witness stream. RelationUL only, like
+// Rank.
+func (in *Instance) Unrank(r *big.Int) (automata.Word, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: Unrank requires an unambiguous instance (RelationUL)")
+	}
+	s, err := in.ufa()
+	if err != nil {
+		return nil, err
+	}
+	return s.Unrank(r)
+}
+
+// SampleDistinct draws k distinct witnesses uniformly without replacement
+// (rank-space rejection through the counting index), consuming the
+// instance's internal RNG stream like Sample. RelationUL only; ErrEmpty
+// when the witness set is empty.
+func (in *Instance) SampleDistinct(k int) ([]automata.Word, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: SampleDistinct requires an unambiguous instance (RelationUL); sample with replacement and deduplicate for RelationNL")
+	}
+	s, err := in.ufa()
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	ws, err := s.SampleDistinct(k, in.rng)
+	in.mu.Unlock()
+	if err == sample.ErrEmpty {
+		return nil, ErrEmpty
+	}
+	return ws, err
 }
 
 // CursorOptions configure an enumeration session.
 type CursorOptions struct {
 	// Cursor resumes from a token minted by a previous session's Token
-	// ("" starts from the first witness). Serial tokens and multi-cell
-	// frontier tokens (from parallel sessions) both resume with any
-	// Workers setting: a serial token opened with Workers > 1 is re-
-	// sharded into suffix cells, and a frontier token opened serially
-	// drains its cells one after another.
+	// ("" starts from the first witness). Serial tokens, rank tokens
+	// (RelationUL, kind 'r') and multi-cell frontier tokens (from parallel
+	// sessions) all resume with any Workers setting: a serial or rank
+	// token opened with Workers > 1 is re-sharded into suffix cells, and a
+	// frontier token opened serially drains its cells one after another.
 	Cursor string
+	// SeekRank, when non-nil, starts the session at the witness with this
+	// 0-based rank of the enumeration order — O(n·log Δ) random access
+	// through the counting index instead of replaying a cursor.
+	// RelationUL only; mutually exclusive with Cursor. SeekRank = |W|
+	// opens an exhausted session.
+	SeekRank *big.Int
 	// Limit stops the session after this many outputs (≤ 0 = unbounded).
 	// The resume token of a limited session points just past the last
 	// emitted witness, so paginated calls chain cleanly.
@@ -285,6 +411,12 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 	if in.class == ClassUL {
 		kind = enumerate.KindUFA
 	}
+	if opts.SeekRank != nil {
+		if opts.Cursor != "" {
+			return nil, fmt.Errorf("core: SeekRank and Cursor are mutually exclusive")
+		}
+		return in.openSeeked(opts.SeekRank, opts.Workers, sopts)
+	}
 	if opts.Cursor != "" {
 		// A frontier token (multi-cell position of a parallel session)
 		// resumes either as a new parallel stream or as a serial chain
@@ -315,6 +447,18 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 		if c.Length != in.length {
 			return nil, fmt.Errorf("core: cursor length %d does not match instance length %d", c.Length, in.length)
 		}
+		if c.Kind == enumerate.KindUFARank {
+			// A rank token seeks through the counting index instead of
+			// replaying a position. Fingerprint first, as on every resume
+			// path.
+			if err := enumerate.ValidateCursor(in.n, c); err != nil {
+				return nil, err
+			}
+			if c.Rank == nil {
+				return nil, fmt.Errorf("core: rank cursor carries no rank")
+			}
+			return in.openSeeked(c.Rank, opts.Workers, sopts)
+		}
 		if c.Kind != kind {
 			return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", c.Kind, in.class)
 		}
@@ -333,12 +477,16 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 	}
 	if opts.Workers > 1 {
 		if in.class == ClassUL {
-			return enumerate.NewUFAStream(in.n, in.length, sopts)
+			e, err := in.newUFAEnum()
+			if err != nil {
+				return nil, err
+			}
+			return e.Stream(sopts), nil
 		}
 		return enumerate.NewNFAStream(in.n, in.length, sopts)
 	}
 	if in.class == ClassUL {
-		return enumerate.NewUFA(in.n, in.length)
+		return in.newUFAEnum()
 	}
 	return enumerate.NewNFA(in.n, in.length)
 }
@@ -433,9 +581,10 @@ func (in *Instance) SampleMany(k int) ([]automata.Word, error) {
 
 // SampleManyParallel draws k independent uniform witnesses across up to
 // `workers` goroutines (0 selects Options.Workers, which itself defaults to
-// GOMAXPROCS). Draw i comes from its own seed-derived RNG stream, so the
-// batch is a function of (Options, k) alone — identical for every worker
-// count — and differs from the stream SampleMany consumes.
+// GOMAXPROCS). Draws come from fixed-size chunks with seed-derived RNG
+// streams, so the batch is a function of (Options, k) alone — bitwise
+// identical for every worker count — and differs from the stream
+// SampleMany consumes.
 func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) {
 	if k <= 0 {
 		return nil, nil
@@ -478,22 +627,15 @@ func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) 
 	if err != nil {
 		return nil, err
 	}
-	// UFASampler.Sample only reads the frozen completion table, so distinct
-	// goroutines may share it as long as each brings its own RNG.
-	out := make([]automata.Word, k)
-	errs := make([]error, k)
-	par.ForEachIndexed(k, workers, func(i int) {
-		out[i], errs[i] = s.Sample(par.StreamRNG(in.seed, streamULBatch, i, 0))
-	})
-	for _, err := range errs {
-		if err == sample.ErrEmpty {
-			return nil, ErrEmpty
-		}
-		if err != nil {
-			return nil, err
-		}
+	// The sampler only reads the frozen counting index, so SampleMany fans
+	// chunked draw sessions across the workers — each chunk's RNG stream
+	// derives from (seed, chunk), so the batch never depends on the worker
+	// count.
+	ws, err := s.SampleMany(in.seed, streamULBatch, k, workers)
+	if err == sample.ErrEmpty {
+		return nil, ErrEmpty
 	}
-	return out, nil
+	return ws, err
 }
 
 // FormatWord renders a witness with the instance's alphabet.

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/enumerate"
+)
+
+// newULInstance builds an unambiguous instance on a random DFA.
+func newULInstance(t *testing.T, rng *rand.Rand, m, length int) *Instance {
+	t.Helper()
+	dfa := automata.RandomDFA(rng, automata.Binary(), m, 0.5)
+	in, err := New(dfa, length, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Class() != ClassUL {
+		t.Fatal("random DFA must be RelationUL")
+	}
+	return in
+}
+
+// TestRankUnrankInstance: through the core front door, unrank walks the
+// enumeration order, rank inverts it, and both refuse RelationNL
+// instances.
+func TestRankUnrankInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	in := newULInstance(t, rng, 8, 8)
+	want, err := in.Witnesses(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		word, err := in.Unrank(big.NewInt(int64(i)))
+		if err != nil {
+			t.Fatalf("Unrank(%d): %v", i, err)
+		}
+		if in.FormatWord(word) != w {
+			t.Fatalf("Unrank(%d) = %q, enumeration emits %q", i, in.FormatWord(word), w)
+		}
+		r, err := in.Rank(word)
+		if err != nil || r.Cmp(big.NewInt(int64(i))) != 0 {
+			t.Fatalf("Rank(%q) = %v (%v), want %d", w, r, err, i)
+		}
+	}
+	if _, err := in.Unrank(big.NewInt(int64(len(want)))); err == nil {
+		t.Fatal("Unrank past the end accepted")
+	}
+	amb, err := New(automata.AmbiguityGap(4), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := amb.Rank(automata.Word{0, 0, 0, 0}); err == nil {
+		t.Fatal("Rank on RelationNL accepted")
+	}
+	if _, err := amb.Unrank(big.NewInt(0)); err == nil {
+		t.Fatal("Unrank on RelationNL accepted")
+	}
+	if _, err := amb.SampleDistinct(2); err == nil {
+		t.Fatal("SampleDistinct on RelationNL accepted")
+	}
+	if _, err := amb.Enumerate(CursorOptions{SeekRank: big.NewInt(0)}); err == nil {
+		t.Fatal("SeekRank on RelationNL accepted")
+	}
+}
+
+// TestSeekRankMatchesReplay is the rank-seek resume acceptance property:
+// for random seek points k, (a) a session opened with SeekRank k, (b)
+// EnumerateFrom on the rank token minted at position k, and (c)
+// EnumerateFrom on the decision-cursor token replayed to the same
+// position all produce the identical suffix stream — serially and with
+// Workers > 1.
+func TestSeekRankMatchesReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 6; trial++ {
+		in := newULInstance(t, rng, 3+rng.Intn(8), 4+rng.Intn(5))
+		want, err := in.Witnesses(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		for probe := 0; probe < 4; probe++ {
+			k := rng.Intn(len(want) + 1)
+			// Replay path: drain k words off a fresh session, keep both
+			// token forms.
+			s, err := in.Enumerate(CursorOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				if _, ok := s.Next(); !ok {
+					t.Fatalf("trial %d: stream ended at %d of %d", trial, i, len(want))
+				}
+			}
+			replayTok, _ := s.Token()
+			ue, isUFA := s.(*enumerate.UFAEnumerator)
+			if !isUFA {
+				t.Fatal("serial UL session must be a UFAEnumerator")
+			}
+			rankCur, err := ue.RankCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rankCur.Rank.Cmp(big.NewInt(int64(k))) != 0 {
+				t.Fatalf("trial %d: rank cursor %v after %d words", trial, rankCur.Rank, k)
+			}
+			s.Close()
+
+			suffix := func(name string, open func() (enumerate.Session, error)) {
+				rs, err := open()
+				if err != nil {
+					t.Fatalf("trial %d seek %d %s: %v", trial, k, name, err)
+				}
+				got := drainSession(in, rs)
+				if len(got) != len(want)-k {
+					t.Fatalf("trial %d seek %d %s: %d outputs, want %d", trial, k, name, len(got), len(want)-k)
+				}
+				for i := range got {
+					if got[i] != want[k+i] {
+						t.Fatalf("trial %d seek %d %s: output %d = %q, want %q", trial, k, name, i, got[i], want[k+i])
+					}
+				}
+			}
+			suffix("replay-token", func() (enumerate.Session, error) {
+				return in.EnumerateFrom(replayTok)
+			})
+			suffix("rank-token", func() (enumerate.Session, error) {
+				return in.EnumerateFrom(rankCur.Token())
+			})
+			suffix("seek-option", func() (enumerate.Session, error) {
+				return in.Enumerate(CursorOptions{SeekRank: big.NewInt(int64(k))})
+			})
+			suffix("seek-parallel", func() (enumerate.Session, error) {
+				return in.Enumerate(CursorOptions{
+					SeekRank: big.NewInt(int64(k)),
+					Workers:  4, Ordered: true, MergeBudget: 8, StealThreshold: 1,
+				})
+			})
+			suffix("rank-token-parallel", func() (enumerate.Session, error) {
+				return in.Enumerate(CursorOptions{
+					Cursor:  rankCur.Token(),
+					Workers: 4, Ordered: true, MergeBudget: 8, StealThreshold: 1,
+				})
+			})
+		}
+	}
+}
+
+// TestSampleManyParallelWorkerEquivalence: the RelationUL batch sampler is
+// bitwise identical across worker counts (the FPRAS path has its own
+// equivalence tests in internal/fpras) — raced in CI at GOMAXPROCS=4.
+func TestSampleManyParallelWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	in := newULInstance(t, rng, 16, 12)
+	const k = 300
+	base, err := in.SampleManyParallel(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != k {
+		t.Fatalf("%d draws, want %d", len(base), k)
+	}
+	for _, w := range base {
+		if !in.Automaton().Accepts(w) {
+			t.Fatalf("non-witness %q sampled", in.FormatWord(w))
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := in.SampleManyParallel(k, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if in.FormatWord(got[i]) != in.FormatWord(base[i]) {
+				t.Fatalf("workers=%d draw %d: %q, want %q", workers, i, in.FormatWord(got[i]), in.FormatWord(base[i]))
+			}
+		}
+	}
+}
+
+// TestSampleDistinctInstance: distinct draws through the front door are
+// distinct witnesses and deterministic per seed.
+func TestSampleDistinctInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	in := newULInstance(t, rng, 10, 10)
+	total, err := in.CountExact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 8
+	if total.Cmp(big.NewInt(int64(k))) < 0 {
+		k = int(total.Int64())
+	}
+	if k == 0 {
+		t.Skip("empty slice")
+	}
+	ws, err := in.SampleDistinct(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		f := in.FormatWord(w)
+		if seen[f] {
+			t.Fatalf("duplicate %q", f)
+		}
+		if !in.Automaton().Accepts(w) {
+			t.Fatalf("non-witness %q", f)
+		}
+		seen[f] = true
+	}
+}

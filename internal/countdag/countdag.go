@@ -1,0 +1,412 @@
+// Package countdag builds the ranked counting index over the unrolled DAG
+// that the paper's counting and uniform-generation results both reduce to:
+// for every vertex (layer, state) of the Lemma 15 DAG, the number of
+// s_final-completions from it (the §5.3.2 path counts — for a UFA, the
+// number of witness suffixes), plus the cumulative per-edge prefix sums of
+// those counts in the DAG's decision order. One index powers four
+// consumers:
+//
+//   - exact counting: Total() is |L_n(N)| (Proposition 14);
+//   - uniform generation: a draw is one uniform rank plus one Unrank walk,
+//     O(n·log Δ) big.Int comparisons against frozen prefix sums
+//     (internal/sample);
+//   - ranked random access: Rank and Unrank convert between witnesses and
+//     their index in the enumeration order of Algorithm 1, so any suffix of
+//     the enumeration is addressable in O(n) without replay
+//     (enumerate.SeekRank, rank resume tokens);
+//   - exact scheduling: SubtreeSpan/RankOfChoices give the work-stealing
+//     scheduler exact remaining-cell sizes in place of the
+//     words-since-last-split proxy (internal/enumerate).
+//
+// The index orders words by the DAG's decision-list order — the order
+// Algorithm 1 enumerates, with edges out of a vertex sorted as
+// unroll.DAG.Succs returns them — not by symbol-lexicographic order (the
+// two coincide for deterministic automata whose successor lists are sorted
+// by symbol, but not in general).
+//
+// # Memory model and the big.Int sharing contract
+//
+// Build freezes the index before returning: afterwards every method only
+// reads, so an Index is safe for unbounded concurrent use with no locking.
+// Accessors return pointers into the frozen tables (Total, Count, EdgeCum,
+// SubtreeCount, and the counts inside SubtreeSpan results may all alias
+// internal state or each other): callers MUST NOT mutate any returned
+// *big.Int — copy with new(big.Int).Set first if a mutable value is
+// needed. Methods that compute fresh values (Rank, RankOfChoices, Unrank)
+// return values the caller owns. The same contract extends transitively to
+// consumers that re-expose index values (sample.UFASampler.Count and
+// friends).
+//
+// An Index is bound to the numeric structure of its DAG, not to the DAG
+// pointer: unroll.Build is deterministic, so an index built on one DAG is
+// valid for any other DAG built from the same automaton, length and
+// options (core shares one index across its sampler and enumerators this
+// way). The intended options are PruneBackward: true — the decision orders
+// then agree with the enumerator's; the counts are correct (dead branches
+// count zero) without it, but rank-space is only dense with pruning.
+package countdag
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/automata"
+	"repro/internal/bitset"
+	"repro/internal/par"
+	"repro/internal/unroll"
+)
+
+// ErrNotMember is wrapped by Rank when the word is not in the DAG's
+// language slice.
+var ErrNotMember = fmt.Errorf("countdag: word is not in the language slice")
+
+// Index is the frozen ranked counting index. See the package comment for
+// the concurrency and sharing contract.
+type Index struct {
+	dag   *unroll.DAG
+	total *big.Int
+
+	// cum[t][q][i] = number of words through the first i out-edges of
+	// vertex (t, q), for t in 1..N-1 (the last entry is the vertex's full
+	// subtree count). startCum is the same for s_start (decision layer 0).
+	// Layer-N vertices have no decisions; their subtree count is 1 when
+	// the state is accepting, else 0.
+	startCum []*big.Int
+	cum      [][][]*big.Int
+	// countN[q] caches the layer-N subtree counts (0 or 1).
+	countN []*big.Int
+}
+
+var (
+	zero = big.NewInt(0)
+	one  = big.NewInt(1)
+)
+
+// Build computes the index for d, fanning each layer's vertices across up
+// to `workers` goroutines (≤ 1 = serial; the result is bitwise identical
+// for every worker count — each vertex's sum is accumulated in its frozen
+// edge order and written only to its own slot).
+func Build(d *unroll.DAG, workers int) *Index {
+	x := &Index{dag: d}
+	n := d.N
+	if n == 0 {
+		x.total = zero
+		if !d.Empty() {
+			x.total = one
+		}
+		return x
+	}
+	x.countN = make([]*big.Int, d.M)
+	d.AliveSet(n).ForEach(func(q int) {
+		if d.Src.IsFinal(q) {
+			x.countN[q] = one
+		} else {
+			x.countN[q] = zero
+		}
+	})
+	// Backward, layer by layer: counts of layer t+1 feed the prefix sums
+	// of layer t. next[q] is the subtree count of (t+1, q).
+	next := x.countN
+	x.cum = make([][][]*big.Int, n)
+	for t := n - 1; t >= 1; t-- {
+		states := d.AliveSet(t).Elems()
+		layerCum := make([][]*big.Int, d.M)
+		cnt := make([]*big.Int, d.M)
+		nx := next // capture for the workers
+		par.ForEachIndexed(len(states), workers, func(i int) {
+			q := states[i]
+			edges := d.Succs(t, q)
+			c := make([]*big.Int, len(edges)+1)
+			c[0] = zero
+			acc := new(big.Int)
+			for j, e := range edges {
+				sub := nx[e.To]
+				if sub == nil {
+					sub = zero
+				}
+				acc.Add(acc, sub)
+				c[j+1] = new(big.Int).Set(acc)
+			}
+			layerCum[q] = c
+			cnt[q] = c[len(edges)]
+		})
+		x.cum[t] = layerCum
+		next = cnt
+	}
+	// After the loop `next` holds layer-1 counts (layer-N counts when N=1).
+	edges := d.StartSuccs()
+	x.startCum = make([]*big.Int, len(edges)+1)
+	x.startCum[0] = zero
+	acc := new(big.Int)
+	for j, e := range edges {
+		sub := next[e.To]
+		if sub == nil {
+			sub = zero
+		}
+		acc.Add(acc, sub)
+		x.startCum[j+1] = new(big.Int).Set(acc)
+	}
+	x.total = x.startCum[len(edges)]
+	return x
+}
+
+// DAG returns the DAG the index was built on.
+func (x *Index) DAG() *unroll.DAG { return x.dag }
+
+// N returns the witness length the index covers.
+func (x *Index) N() int { return x.dag.N }
+
+// Total returns |L_n| — the number of full-length DAG paths, which equals
+// the number of witnesses for an unambiguous automaton. Shared; do not
+// mutate.
+func (x *Index) Total() *big.Int { return x.total }
+
+// EdgeCum returns the cumulative prefix sums over the out-edges of the
+// vertex at decision layer `layer` (0 = s_start, state ignored; 1..N-1 =
+// (layer, state)): EdgeCum(...)[i] is the number of words through the
+// first i edges, and the last entry is the vertex's subtree count. Shared;
+// do not mutate the slice or its elements.
+func (x *Index) EdgeCum(layer, state int) []*big.Int {
+	if layer == 0 {
+		return x.startCum
+	}
+	return x.cum[layer][state]
+}
+
+// Count returns the subtree count of vertex (layer, state) for layer in
+// 1..N: the number of witness suffixes completing from it. Shared; do not
+// mutate.
+func (x *Index) Count(layer, state int) *big.Int {
+	if layer == x.dag.N {
+		if c := x.countN[state]; c != nil {
+			return c
+		}
+		return zero
+	}
+	c := x.cum[layer][state]
+	if c == nil {
+		return zero
+	}
+	return c[len(c)-1]
+}
+
+// PathVertex follows a decision path from s_start and returns the state
+// reached at layer len(path) (-1 for the empty path, i.e. s_start).
+func (x *Index) PathVertex(path []int) (int, error) {
+	q := -1
+	for t, i := range path {
+		edges := x.edgesAt(t, q)
+		if i < 0 || i >= len(edges) {
+			return 0, fmt.Errorf("countdag: decision %d at layer %d out of range (%d edges)", i, t, len(edges))
+		}
+		q = edges[i].To
+	}
+	return q, nil
+}
+
+// edgesAt returns the out-edges at decision layer t from state q (q = -1
+// for s_start).
+func (x *Index) edgesAt(t, q int) []unroll.OutEdge {
+	if t == 0 {
+		return x.dag.StartSuccs()
+	}
+	return x.dag.Succs(t, q)
+}
+
+// SubtreeSpan returns the rank of the first word of the subtree reached by
+// following `path` decisions from s_start, and the subtree's word count —
+// the half-open rank interval [first, first+count) is exactly the
+// subtree's slice of the enumeration. A full-length path denotes a single
+// word (count 1); the empty path denotes the whole range. `first` is owned
+// by the caller; `count` is shared — do not mutate it.
+func (x *Index) SubtreeSpan(path []int) (first, count *big.Int, err error) {
+	n := x.dag.N
+	if len(path) > n {
+		return nil, nil, fmt.Errorf("countdag: path length %d exceeds %d", len(path), n)
+	}
+	first = new(big.Int)
+	q := -1
+	for t, i := range path {
+		edges := x.edgesAt(t, q)
+		if i < 0 || i >= len(edges) {
+			return nil, nil, fmt.Errorf("countdag: decision %d at layer %d out of range (%d edges)", i, t, len(edges))
+		}
+		first.Add(first, x.EdgeCum(t, q)[i])
+		q = edges[i].To
+	}
+	switch {
+	case len(path) == 0:
+		count = x.total
+	case len(path) == n:
+		count = x.Count(n, q)
+	default:
+		count = x.Count(len(path), q)
+	}
+	return first, count, nil
+}
+
+// RankOfChoices returns the rank (index in enumeration order) of the word
+// at the full decision vector pos. The caller owns the result.
+func (x *Index) RankOfChoices(pos []int) (*big.Int, error) {
+	if len(pos) != x.dag.N {
+		return nil, fmt.Errorf("countdag: decision vector has %d entries, want %d", len(pos), x.dag.N)
+	}
+	first, _, err := x.SubtreeSpan(pos)
+	return first, err
+}
+
+// Rank returns the index of w in the enumeration order, or an error
+// wrapping ErrNotMember when w is not in the language slice. For a UFA the
+// accepting run of w is unique, so the decision path is reconstructed in
+// O(n·(m/64 + Δ)): forward reachable sets along w, then the unique
+// backward path from the accepting layer-N state.
+func (x *Index) Rank(w automata.Word) (*big.Int, error) {
+	n := x.dag.N
+	if len(w) != n {
+		return nil, fmt.Errorf("countdag: word length %d, want %d (%w)", len(w), n, ErrNotMember)
+	}
+	if n == 0 {
+		if x.total.Sign() == 0 {
+			return nil, fmt.Errorf("countdag: empty slice (%w)", ErrNotMember)
+		}
+		return new(big.Int), nil
+	}
+	sigma := x.dag.Sigma
+	for i, a := range w {
+		if a < 0 || a >= sigma {
+			return nil, fmt.Errorf("countdag: symbol %d at position %d out of range (%w)", a, i, ErrNotMember)
+		}
+	}
+	// Forward: reach[t] = alive states reachable via w[:t+1].
+	reach := make([]*bitset.Set, n)
+	for i := range reach {
+		reach[i] = bitset.New(x.dag.M)
+	}
+	if x.dag.ReachTrace(w, reach) == nil {
+		return nil, fmt.Errorf("countdag: empty word on positive length (%w)", ErrNotMember)
+	}
+	// The accepting layer-N state of w's run: unique for a UFA (two
+	// accepting states reachable via w would be two accepting runs).
+	path := make([]int, n+1)
+	path[0] = -1
+	q := -1
+	reach[n-1].ForEach(func(p int) {
+		if x.dag.Src.IsFinal(p) && q < 0 {
+			q = p
+		}
+	})
+	if q < 0 {
+		return nil, fmt.Errorf("countdag: no accepting run (%w)", ErrNotMember)
+	}
+	path[n] = q
+	// Backward: the unique predecessor in reach[t-1] stepping to path[t+1]
+	// on w[t].
+	for t := n - 1; t >= 1; t-- {
+		prev := -1
+		tgt := path[t+1]
+		reach[t-1].ForEach(func(p int) {
+			if prev >= 0 {
+				return
+			}
+			for _, s := range x.dag.Src.Successors(p, w[t]) {
+				if s == tgt {
+					prev = p
+					return
+				}
+			}
+		})
+		if prev < 0 {
+			return nil, fmt.Errorf("countdag: broken run reconstruction at layer %d (%w)", t, ErrNotMember)
+		}
+		path[t] = prev
+	}
+	// Sum the prefix weights of the chosen edge at every layer.
+	r := new(big.Int)
+	for t := 0; t < n; t++ {
+		edges := x.edgesAt(t, path[t])
+		idx := -1
+		for j, e := range edges {
+			if e.Symbol == w[t] && e.To == path[t+1] {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("countdag: run leaves the pruned DAG at layer %d (%w)", t, ErrNotMember)
+		}
+		r.Add(r, x.EdgeCum(t, path[t])[idx])
+	}
+	return r, nil
+}
+
+// Unrank returns the word at rank r (0-based, enumeration order). The
+// caller owns the result; r is not modified.
+func (x *Index) Unrank(r *big.Int) (automata.Word, error) {
+	w := make(automata.Word, x.dag.N)
+	rem := new(big.Int).Set(r)
+	if err := x.UnrankInto(rem, w); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// UnrankInto writes the word at rank rem into w (len(w) must be N),
+// consuming rem as scratch — the allocation-free core of Unrank that
+// sampling sessions drive with reused buffers.
+func (x *Index) UnrankInto(rem *big.Int, w automata.Word) error {
+	_, err := x.unrank(rem, w, nil, nil)
+	return err
+}
+
+// UnrankChoices returns the decision vector, word and state path (path[t]
+// = state at layer t, path[0] = -1) of the word at rank r — the form
+// enumerators seek with.
+func (x *Index) UnrankChoices(r *big.Int) (choices []int, w automata.Word, path []int, err error) {
+	n := x.dag.N
+	choices = make([]int, n)
+	w = make(automata.Word, n)
+	path = make([]int, n+1)
+	rem := new(big.Int).Set(r)
+	if _, err = x.unrank(rem, w, choices, path); err != nil {
+		return nil, nil, nil, err
+	}
+	return choices, w, path, nil
+}
+
+// unrank is the shared descent: at each vertex, binary-search the prefix
+// sums for the subtree containing rem and recurse into it. choices and
+// path may be nil.
+func (x *Index) unrank(rem *big.Int, w automata.Word, choices, path []int) (int, error) {
+	if rem.Sign() < 0 || rem.Cmp(x.total) >= 0 {
+		return 0, fmt.Errorf("countdag: rank %v out of range [0, %v)", rem, x.total)
+	}
+	n := x.dag.N
+	if len(w) != n {
+		return 0, fmt.Errorf("countdag: word buffer has length %d, want %d", len(w), n)
+	}
+	if path != nil {
+		path[0] = -1
+	}
+	q := -1
+	for t := 0; t < n; t++ {
+		edges := x.edgesAt(t, q)
+		cum := x.EdgeCum(t, q)
+		// The subtree of edge i owns ranks [cum[i], cum[i+1]).
+		i := sort.Search(len(edges), func(i int) bool { return cum[i+1].Cmp(rem) > 0 })
+		if i == len(edges) {
+			return 0, fmt.Errorf("countdag: inconsistent prefix sums at layer %d", t)
+		}
+		rem.Sub(rem, cum[i])
+		e := edges[i]
+		w[t] = e.Symbol
+		q = e.To
+		if choices != nil {
+			choices[t] = i
+		}
+		if path != nil {
+			path[t+1] = q
+		}
+	}
+	return q, nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/big"
 	"strings"
 
 	"repro/internal/automata"
@@ -16,6 +17,12 @@ const (
 	KindUFA byte = 'u'
 	// KindNFA marks a flashlight cursor (position = last emitted word).
 	KindNFA byte = 'n'
+	// KindUFARank marks a rank cursor for Algorithm 1 sessions: the
+	// position is a single big integer — the number of words already
+	// emitted, equivalently the rank of the next word in enumeration
+	// order. Resuming seeks through the counting index in O(n·log Δ)
+	// instead of replaying a decision vector (see NewUFAFromRank).
+	KindUFARank byte = 'r'
 	// KindFrontier marks a multi-cell frontier token: the position of a
 	// parallel (or chained) session, an ordered list of remaining cells
 	// with one optional mid-cell position each. See Frontier.
@@ -45,6 +52,10 @@ type Cursor struct {
 	// indices (KindUFA) or the symbols of the last emitted word (KindNFA),
 	// always exactly Length ints.
 	Pos []int
+	// Rank is the position payload of a KindUFARank cursor: the number of
+	// words already emitted (0 = fresh, |L_n| = done). Nil for the other
+	// kinds.
+	Rank *big.Int
 	// FP is the Fingerprint of the automaton the cursor was minted on.
 	FP uint32
 }
@@ -52,13 +63,22 @@ type Cursor struct {
 // tokenPrefix versions the wire format; bump it on incompatible changes.
 const tokenPrefix = "el1"
 
-// Token serializes the cursor to a compact printable resume token.
+// Token serializes the cursor to a compact printable resume token. A rank
+// cursor (KindUFARank) carries its big integer as uvarint(len) ∘ bytes in
+// place of the position ints.
 func (c Cursor) Token() string {
 	buf := make([]byte, 0, 8+2*len(c.Pos))
 	buf = binary.AppendUvarint(buf, uint64(c.FP))
 	buf = binary.AppendUvarint(buf, uint64(c.Length))
 	buf = append(buf, byte(c.State))
-	if c.State == CursorMid {
+	if c.Kind == KindUFARank {
+		var rb []byte
+		if c.Rank != nil {
+			rb = c.Rank.Bytes()
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rb)))
+		buf = append(buf, rb...)
+	} else if c.State == CursorMid {
 		for _, v := range c.Pos {
 			buf = binary.AppendUvarint(buf, uint64(v))
 		}
@@ -79,7 +99,7 @@ func ParseToken(token string) (Cursor, error) {
 	if len(parts[1]) == 1 && parts[1][0] == KindFrontier {
 		return c, fmt.Errorf("enumerate: token is a multi-cell frontier (use ParseFrontier)")
 	}
-	if len(parts[1]) != 1 || (parts[1][0] != KindUFA && parts[1][0] != KindNFA) {
+	if len(parts[1]) != 1 || (parts[1][0] != KindUFA && parts[1][0] != KindNFA && parts[1][0] != KindUFARank) {
 		return c, fmt.Errorf("enumerate: unknown cursor kind %q", parts[1])
 	}
 	c.Kind = parts[1][0]
@@ -104,6 +124,21 @@ func ParseToken(token string) (Cursor, error) {
 	}
 	c.State = CursorState(raw[0])
 	raw = raw[1:]
+	if c.Kind == KindUFARank {
+		if c.State != CursorMid {
+			return c, fmt.Errorf("enumerate: rank token in state %q, want %q", byte(c.State), byte(CursorMid))
+		}
+		blen, k := binary.Uvarint(raw)
+		if k <= 0 || blen > uint64(len(raw[k:])) {
+			return c, fmt.Errorf("enumerate: rank token claims %d bytes but carries %d", blen, len(raw)-max(k, 0))
+		}
+		raw = raw[k:]
+		c.Rank = new(big.Int).SetBytes(raw[:blen])
+		if len(raw[blen:]) != 0 {
+			return c, fmt.Errorf("enumerate: trailing bytes after rank")
+		}
+		return c, nil
+	}
 	switch c.State {
 	case CursorFresh, CursorDone:
 		if len(raw) != 0 {
@@ -135,9 +170,11 @@ func ParseToken(token string) (Cursor, error) {
 }
 
 // Resume reopens an enumeration from a serialized token, dispatching on the
-// cursor kind: a 'u' token yields a UFAEnumerator, an 'n' token an
-// NFAEnumerator, and a 'p' (frontier) token a serial session that drains
-// the remaining cells of a paused parallel stream one after another. The
+// cursor kind: a 'u' token yields a UFAEnumerator (decision replay), an
+// 'r' token a UFAEnumerator seeked by rank through the counting index, an
+// 'n' token an NFAEnumerator, and a 'p' (frontier) token a serial session
+// that drains the remaining cells of a paused parallel stream one after
+// another. The
 // automaton must be the one the token was minted on (enforced via the
 // embedded fingerprint).
 func Resume(n *automata.NFA, token string) (Session, error) {
@@ -152,8 +189,11 @@ func Resume(n *automata.NFA, token string) (Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.Kind == KindUFA {
+	switch c.Kind {
+	case KindUFA:
 		return NewUFAFrom(n, c)
+	case KindUFARank:
+		return NewUFAFromRank(n, c)
 	}
 	return NewNFAFrom(n, c)
 }

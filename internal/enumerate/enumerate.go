@@ -29,19 +29,38 @@
 //
 //	el1:<kind>:<base64url payload>
 //
-// where kind is 'u' (Algorithm 1) or 'n' (flashlight) and the payload is
-// uvarint(fingerprint) ∘ uvarint(length) ∘ state byte ∘ position ints
-// (uvarint each). The position is the per-layer decision-index vector for a
-// UFA and the last emitted word for an NFA — both of size O(n log), the
-// logspace cursor the paper's self-reduction promises. The fingerprint is a
-// 32-bit hash of the automaton's transition structure mixed with the
-// witness length, so a token cannot be resumed against a different
-// automaton — or with a tampered length — undetected. Resuming with
-// NewUFAFrom/NewNFAFrom (or Resume, which dispatches on the kind) replays
-// the position in O(n·m) and continues: for every k, "enumerate k words,
-// serialize, reopen, drain" emits exactly the words an uninterrupted
-// enumeration would, in the same order. Cursors of shard-restricted
-// enumerators record the global position and resume the full enumeration.
+// where kind is 'u' (Algorithm 1), 'n' (flashlight) or 'r' (rank, see
+// below) and the payload is uvarint(fingerprint) ∘ uvarint(length) ∘
+// state byte ∘ position ints (uvarint each). The position is the
+// per-layer decision-index vector for a UFA and the last emitted word for
+// an NFA — both of size O(n log), the logspace cursor the paper's
+// self-reduction promises. The fingerprint is a 32-bit hash of the
+// automaton's transition structure mixed with the witness length, so a
+// token cannot be resumed against a different automaton — or with a
+// tampered length — undetected. Resuming with NewUFAFrom/NewNFAFrom (or
+// Resume, which dispatches on the kind) replays the position in O(n·m)
+// and continues: for every k, "enumerate k words, serialize, reopen,
+// drain" emits exactly the words an uninterrupted enumeration would, in
+// the same order. Cursors of shard-restricted enumerators record the
+// global position and resume the full enumeration.
+//
+// # The counting index and ranked access
+//
+// Algorithm 1 enumerators can carry the ranked counting index of
+// internal/countdag (EnsureIndex/AttachIndex): per-vertex subtree counts
+// and per-edge prefix sums over the same DAG, frozen and shared by every
+// fork. It upgrades three things. Positions gain a rank form — an 'r'
+// token whose payload is a single big integer, the number of words
+// emitted — minted by RankCursor and resumed by NewUFAFromRank/SeekRank
+// in O(n·log Δ) big.Int steps instead of a replay; any rank is directly
+// addressable (NewUFAAt). Cells gain exact sizes — Remaining reports the
+// exact word count a cell has yet to produce, which the scheduler uses
+// for steal-victim selection in place of the words-since-last-split
+// proxy. And SplitSteal gains a balanced mode: still carving at the
+// shallowest unexhausted branch (the only sound split layer — a deeper
+// one would orphan that layer's remaining siblings), but choosing how
+// many sibling subtrees the thief takes so the stolen share lands closest
+// to half the cell's remaining words.
 //
 // # Cells
 //
@@ -61,16 +80,21 @@
 // Stream enumerates cells across Workers goroutines with dynamic
 // re-sharding. Workers claim cells from an ordered list (nearest the
 // consume point first); an idle worker with nothing to claim flags the
-// busiest running cell, and that cell's owner — cooperatively, between two
-// Next calls — splits off the alternatives at the shallowest unexhausted
-// branch of its current position (SplitSteal): the victim keeps everything
-// up to the branch (its floor rises, and its ceiling records the pinned
-// path), the thief cell covers everything after, and the thief is linked
-// immediately after the victim, keeping the list in canonical language
-// order at all times. StealThreshold paces the splits: a cell must produce
-// that many words between splits before it is eligible again. The result is
-// that mass-skewed languages — where any static partition is dominated by
-// one cell — keep every worker busy (experiment E16).
+// biggest running cell — by exact remaining word count when the cells
+// carry the counting index (UFA streams, unless ProxyVictims opts out),
+// by words-since-last-split otherwise — and that cell's owner —
+// cooperatively, between two Next calls — splits off alternatives at the
+// shallowest unexhausted branch of its current position (SplitSteal);
+// with the index the thief takes the sibling range whose exact word count
+// is closest to half the cell's remainder, without it the whole range.
+// Either way the victim keeps everything up to the stolen range (its
+// floor or ceiling records the new bound), the thief cell covers
+// everything after, and the thief is linked immediately after the victim,
+// keeping the list in canonical language order at all times. StealThreshold paces the splits:
+// a cell must produce that many words between splits before it is
+// eligible again. The result is that mass-skewed languages — where any
+// static partition is dominated by one cell — keep every worker busy
+// (experiment E16).
 //
 // # The bounded ordered merge
 //
@@ -84,7 +108,10 @@
 // scheduler returns to it — the ceiling guarantees re-production never
 // re-enters stolen ranges. Peak buffering therefore never exceeds the
 // budget, regardless of skew; unordered (throughput) mode simply applies
-// the budget as backpressure.
+// the budget as backpressure. Delivery is batched: the consumer pops up
+// to DeliveryBatch words per lock acquisition into a private batch and
+// hands them out lock-free; popped-but-unconsumed words still count as
+// undelivered in resume tokens.
 //
 // # Frontier tokens
 //
@@ -116,9 +143,11 @@ package enumerate
 
 import (
 	"fmt"
+	"math/big"
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
+	"repro/internal/countdag"
 	"repro/internal/par"
 	"repro/internal/unroll"
 )
@@ -226,6 +255,12 @@ func fpFor(n *automata.NFA, length int) uint32 {
 type UFAEnumerator struct {
 	dag *unroll.DAG
 	fp  uint32
+	// idx is the ranked counting index over dag (nil until EnsureIndex or
+	// AttachIndex): it upgrades the enumerator with O(n) rank seeking
+	// (SeekRank, RankCursor) and gives the work-stealing scheduler exact
+	// remaining-cell sizes (Remaining, size-balanced SplitSteal). Frozen
+	// once set; forks share it.
+	idx *countdag.Index
 
 	// Iterator state: the current path as (vertex per layer, edge index per
 	// layer). path[t] is the state at layer t (t ≥ 1); choice[t] is the
@@ -278,12 +313,71 @@ func (e *UFAEnumerator) reset() {
 	e.word = make(automata.Word, n)
 }
 
-// fork clones the frozen precomputation (DAG and adjacency are shared) with
-// fresh iterator state.
+// fork clones the frozen precomputation (DAG, adjacency and counting
+// index are shared) with fresh iterator state.
 func (e *UFAEnumerator) fork() *UFAEnumerator {
-	c := &UFAEnumerator{dag: e.dag, fp: e.fp}
+	c := &UFAEnumerator{dag: e.dag, fp: e.fp, idx: e.idx}
 	c.reset()
 	return c
+}
+
+// EnsureIndex returns the enumerator's ranked counting index, building it
+// on first call (serially; one backward big.Int pass over the DAG). Not
+// safe to call concurrently with other methods — attach the index before
+// sharing forks (Stream does this before launching workers).
+func (e *UFAEnumerator) EnsureIndex() *countdag.Index {
+	if e.idx == nil {
+		e.idx = countdag.Build(e.dag, 1)
+	}
+	return e.idx
+}
+
+// AttachIndex installs an index built elsewhere — typically core's shared
+// instance index. The index must cover the same (automaton, length,
+// backward-pruned) unrolling; countdag indexes are position-valid across
+// identically-built DAGs.
+func (e *UFAEnumerator) AttachIndex(idx *countdag.Index) error {
+	if idx == nil {
+		return fmt.Errorf("enumerate: nil index")
+	}
+	if idx.N() != e.dag.N {
+		return fmt.Errorf("enumerate: index covers length %d, enumerator %d", idx.N(), e.dag.N)
+	}
+	e.idx = idx
+	return nil
+}
+
+// SeekRank positions a fresh full-range enumerator so that the next
+// emitted word is the one at the given 0-based rank in enumeration order —
+// O(n·log Δ) via the counting index (built on demand), no replay. r =
+// Total() yields an exhausted enumerator; r beyond that is an error.
+func (e *UFAEnumerator) SeekRank(r *big.Int) error {
+	if e.started || e.floor != 0 || e.lo != 0 || e.ceil != nil {
+		return fmt.Errorf("enumerate: SeekRank needs a fresh full-range enumerator")
+	}
+	idx := e.EnsureIndex()
+	total := idx.Total()
+	if r.Sign() < 0 || r.Cmp(total) > 0 {
+		return fmt.Errorf("enumerate: seek rank %v out of range [0, %v]", r, total)
+	}
+	switch {
+	case r.Sign() == 0:
+		return nil // fresh position already denotes rank 0
+	case r.Cmp(total) == 0:
+		e.started, e.done = true, true
+		return nil
+	}
+	// Position = the word at rank r-1 was emitted.
+	prev := new(big.Int).Sub(r, big.NewInt(1))
+	choices, w, path, err := idx.UnrankChoices(prev)
+	if err != nil {
+		return err
+	}
+	copy(e.choice, choices)
+	copy(e.word, w)
+	copy(e.path, path)
+	e.started = true
+	return nil
 }
 
 // Count of distinct outputs is |L_n| for a UFA; exposed via the dag for
@@ -403,6 +497,96 @@ func (e *UFAEnumerator) Cursor() Cursor {
 // Token implements Session: the serialized Cursor.
 func (e *UFAEnumerator) Token() (string, bool) { return e.Cursor().Token(), true }
 
+// RankCursor returns the enumerator's position as a rank cursor: the
+// number of words already emitted before the current position, which is
+// also the rank of the next word. Resuming it (Resume / NewUFAFromRank)
+// seeks in O(n·log Δ) instead of replaying a decision vector. The index
+// is built on demand; like Cursor, a shard-restricted enumerator yields
+// the global position of its last emitted word.
+func (e *UFAEnumerator) RankCursor() (Cursor, error) {
+	idx := e.EnsureIndex()
+	c := Cursor{Kind: KindUFARank, Length: e.dag.N, FP: e.fp, State: CursorMid, Rank: new(big.Int)}
+	switch {
+	case e.done:
+		c.Rank.Set(idx.Total())
+	case !e.started:
+		// rank 0
+	default:
+		r, err := idx.RankOfChoices(e.choice)
+		if err != nil {
+			return Cursor{}, err
+		}
+		c.Rank.Add(r, bigOne)
+	}
+	return c, nil
+}
+
+// Remaining returns the exact number of words this enumerator has yet to
+// emit (within its cell bounds), when a counting index is attached;
+// ok=false without one. The scheduler uses it for exact steal-victim
+// selection. The caller owns the result.
+func (e *UFAEnumerator) Remaining() (*big.Int, bool) {
+	if e.idx == nil {
+		return nil, false
+	}
+	rem := new(big.Int)
+	if e.done {
+		return rem, true
+	}
+	n := e.dag.N
+	if n == 0 {
+		if !e.started && !e.dag.Empty() {
+			rem.SetInt64(1)
+		}
+		return rem, true
+	}
+	// The cell's rank interval ends just past its ceiling subtree (or its
+	// pinned prefix subtree when unbounded above).
+	end := e.ceil
+	if end == nil {
+		end = e.choice[:e.floor]
+	}
+	endFirst, endCount, err := e.idx.SubtreeSpan(end)
+	if err != nil {
+		return nil, false
+	}
+	limit := endFirst.Add(endFirst, endCount)
+	// cur = rank of the next word to emit.
+	var cur *big.Int
+	if e.started {
+		r, err := e.idx.RankOfChoices(e.choice)
+		if err != nil {
+			return nil, false
+		}
+		cur = r.Add(r, bigOne)
+	} else {
+		first, _, err := e.idx.SubtreeSpan(e.choice[:e.floor])
+		if err != nil {
+			return nil, false
+		}
+		cur = first
+		if e.floor < n {
+			q, err := e.idx.PathVertex(e.choice[:e.floor])
+			if err != nil {
+				return nil, false
+			}
+			cum := e.idx.EdgeCum(e.floor, q)
+			lo := e.lo
+			if lo > len(cum)-1 {
+				lo = len(cum) - 1
+			}
+			cur.Add(cur, cum[lo])
+		}
+	}
+	rem.Sub(limit, cur)
+	if rem.Sign() < 0 {
+		rem.SetInt64(0)
+	}
+	return rem, true
+}
+
+var bigOne = big.NewInt(1)
+
 // Err implements Session; serial enumerators never fail after construction.
 func (e *UFAEnumerator) Err() error { return nil }
 
@@ -462,6 +646,53 @@ func NewUFAFrom(n *automata.NFA, c Cursor) (*UFAEnumerator, error) {
 		return e, nil
 	}
 	return nil, fmt.Errorf("enumerate: unknown cursor state %d", c.State)
+}
+
+// NewUFAAt is NewUFA positioned so the next emitted word is the one at
+// the given 0-based rank of the enumeration order — random access into the
+// stream via the counting index, no replay. rank = |L_n| yields an
+// exhausted session.
+func NewUFAAt(n *automata.NFA, length int, rank *big.Int) (*UFAEnumerator, error) {
+	e, err := NewUFA(n, length)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.SeekRank(rank); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ValidateCursor runs the fingerprint check every resume path performs:
+// it reports an error unless the cursor was minted on this automaton at
+// its embedded length. Cheap (one automaton hash), so callers that build
+// their own enumerator — e.g. to attach a shared counting index before
+// seeking — can validate first without paying a length-sized
+// precomputation for a forged token.
+func ValidateCursor(n *automata.NFA, c Cursor) error {
+	if fp := fpFor(n, c.Length); c.FP != fp {
+		return fmt.Errorf("enumerate: cursor fingerprint %08x does not match automaton at this length (%08x)", c.FP, fp)
+	}
+	return nil
+}
+
+// NewUFAFromRank reopens an Algorithm 1 enumeration from a rank cursor
+// (kind 'r', as produced by RankCursor or ParseToken): the fingerprint is
+// validated first (it binds the length, so a forged token buys no
+// length-sized precomputation), then the position is seeked in O(n·log Δ)
+// instead of replayed. The continued enumeration is bitwise identical to
+// one that replayed a decision cursor to the same position.
+func NewUFAFromRank(n *automata.NFA, c Cursor) (*UFAEnumerator, error) {
+	if c.Kind != KindUFARank {
+		return nil, fmt.Errorf("enumerate: cursor kind %q, want %q", c.Kind, KindUFARank)
+	}
+	if err := ValidateCursor(n, c); err != nil {
+		return nil, err
+	}
+	if c.Rank == nil {
+		return nil, fmt.Errorf("enumerate: rank cursor carries no rank")
+	}
+	return NewUFAAt(n, c.Length, c.Rank)
 }
 
 // Shards splits the enumeration range into at least min(target, |cells|)
@@ -598,20 +829,35 @@ func (e *UFAEnumerator) OpenShardAt(s Shard, pos []int) (*UFAEnumerator, error) 
 	return c, nil
 }
 
-// SplitSteal carves the upper part of this enumerator's remaining range off
-// into a new cell: the alternatives at the shallowest not-yet-exhausted
-// layer at or above the current position (respecting the cell's ceiling —
-// already-stolen upper ranges are never re-stolen). The receiver keeps
-// everything up to that branch point (its floor rises past it) and the
-// returned shard covers everything after, so in canonical order the
-// receiver's remaining words immediately precede the stolen cell's.
-// ok=false when the remaining range is a single subtree with no detachable
-// sibling. The receiver must have emitted at least one word and must be
-// between two Next calls.
+// SplitSteal carves the upper part of this enumerator's remaining range
+// off into a new cell, always branching at the shallowest not-yet-
+// exhausted layer at or above the current position (respecting the
+// cell's ceiling — already-stolen upper ranges are never re-stolen; any
+// deeper branch layer would orphan the shallow layer's remaining
+// siblings). Without a counting index the thief takes every detachable
+// sibling there — a steal-most split; with one (EnsureIndex/AttachIndex,
+// which Stream arranges) it takes the sibling range whose exact word
+// count is closest to half the cell's remaining words — a steal-half
+// split, the receiver keeping the rest under a tightened ceiling. Either
+// way the receiver's remaining words immediately precede the stolen
+// cell's in canonical order. ok=false when the remaining range is a
+// single subtree with no detachable sibling. The receiver must have
+// emitted at least one word and must be between two Next calls.
 func (e *UFAEnumerator) SplitSteal() (Shard, bool) {
 	if !e.started || e.done {
 		return Shard{}, false
 	}
+	if e.idx != nil {
+		if s, ok, fellBack := e.splitBalanced(); !fellBack {
+			return s, ok
+		}
+	}
+	return e.splitShallowest()
+}
+
+// splitShallowest is the index-free split: the first layer with a
+// detachable sibling, which hands the thief the largest possible share.
+func (e *UFAEnumerator) splitShallowest() (Shard, bool) {
 	n := e.dag.N
 	onCeil := pathOnCeil(e.choice, e.ceil, e.floor)
 	for t := e.floor; t < n; t++ {
@@ -634,6 +880,117 @@ func (e *UFAEnumerator) SplitSteal() (Shard, bool) {
 	return Shard{}, false
 }
 
+// splitBalanced splits at the same branch layer as splitShallowest — the
+// shallowest detachable one; any deeper layer would orphan that layer's
+// unexhausted siblings, since neither the risen victim floor nor the
+// single-branch thief shard could ever reach them — but uses the counting
+// index to choose HOW MANY sibling subtrees the thief takes: the lower
+// bound j with the stolen word count closest to half the cell's remaining
+// words. A full take (j = choice+1) raises the victim's floor exactly
+// like the shallowest split; a partial take instead caps the victim with
+// a new ceiling ending at subtree j−1, so the words in between stay with
+// the victim. fellBack=true means the index computation could not run
+// (caller falls back to splitShallowest).
+func (e *UFAEnumerator) splitBalanced() (s Shard, ok, fellBack bool) {
+	n := e.dag.N
+	rem, okRem := e.Remaining()
+	if !okRem || rem.Sign() <= 0 {
+		return Shard{}, false, true
+	}
+	// Exclusive end of the cell's rank interval, for ceiling-truncated
+	// subtree sizes.
+	var ceilLimit *big.Int
+	if e.ceil != nil {
+		first, count, err := e.idx.SubtreeSpan(e.ceil)
+		if err != nil {
+			return Shard{}, false, true
+		}
+		ceilLimit = first.Add(first, count)
+	}
+	// base tracks the first rank of the subtree pinned by e.choice[:t].
+	base, _, err := e.idx.SubtreeSpan(e.choice[:e.floor])
+	if err != nil {
+		return Shard{}, false, true
+	}
+	// The shallowest detachable layer, exactly as splitShallowest finds it.
+	split := -1
+	var hi int
+	truncated := false
+	onCeil := pathOnCeil(e.choice, e.ceil, e.floor)
+	for t := e.floor; t < n; t++ {
+		q := -1
+		if t > 0 {
+			q = e.path[t]
+		}
+		cum := e.idx.EdgeCum(t, q)
+		hi = len(cum) - 2 // last edge index
+		truncated = false
+		if onCeil && t < len(e.ceil) && e.ceil[t] <= hi {
+			hi = e.ceil[t]
+			// The ceiling cuts into the subtree at index hi only when it
+			// pins decisions beyond this layer.
+			truncated = len(e.ceil) > t+1
+		}
+		if e.choice[t]+1 <= hi {
+			split = t
+			break
+		}
+		onCeil = onCeil && t < len(e.ceil) && e.choice[t] == e.ceil[t]
+		base.Add(base, cum[e.choice[t]])
+	}
+	if split < 0 {
+		return Shard{}, false, false
+	}
+	q := -1
+	if split > 0 {
+		q = e.path[split]
+	}
+	cum := e.idx.EdgeCum(split, q)
+	// Exclusive end of the stealable range at the split layer.
+	cellEnd := new(big.Int)
+	if truncated && ceilLimit != nil {
+		cellEnd.Set(ceilLimit)
+	} else {
+		cellEnd.Add(base, cum[hi+1])
+	}
+	// Pick j minimizing |2·stolen(j) − remaining|; stolen(j) = cellEnd −
+	// (base + cum[j]) decreases in j.
+	bestJ := -1
+	var bestDiff *big.Int
+	stolen := new(big.Int)
+	for j := e.choice[split] + 1; j <= hi; j++ {
+		stolen.Sub(cellEnd, base)
+		stolen.Sub(stolen, cum[j])
+		if stolen.Sign() <= 0 {
+			break
+		}
+		diff := new(big.Int).Lsh(stolen, 1)
+		diff.Sub(diff, rem).Abs(diff)
+		if bestJ < 0 || diff.Cmp(bestDiff) < 0 {
+			bestJ, bestDiff = j, diff
+		}
+	}
+	if bestJ < 0 {
+		return Shard{}, false, false
+	}
+	s = Shard{
+		kind:   KindUFA,
+		prefix: append([]int(nil), e.choice[:split]...),
+		lo:     bestJ,
+		ceil:   e.ceil, // the thief inherits the cell's old upper bound
+	}
+	if bestJ == e.choice[split]+1 {
+		// Full take: the victim keeps only its current subtree.
+		e.floor = split + 1
+	} else {
+		// Partial take: the victim keeps subtrees up to j−1 — its new
+		// upper bound, recorded as a ceiling (the floor must stay so it
+		// can still backtrack to those siblings).
+		e.ceil = append(append([]int(nil), e.choice[:split]...), bestJ-1)
+	}
+	return s, true, false
+}
+
 // pathOnCeil reports whether pos[:depth] still tracks the ceiling path (so
 // the ceiling bounds the admissible alternatives at depth).
 func pathOnCeil(pos, ceil []int, depth int) bool {
@@ -651,12 +1008,13 @@ func pathOnCeil(pos, ceil []int, depth int) bool {
 	return true
 }
 
-// PinnedPath returns the decision path pinned by the shard floor: the
-// exact upper bound of the enumerator's remaining range after SplitSteal
-// raised its floor. The scheduler records it as the cell's new ceiling so
-// suspended cells reopen without re-entering stolen ranges.
+// PinnedPath returns the exact upper bound of the enumerator's remaining
+// range after SplitSteal: the path pinned by the risen shard floor, or —
+// when a partial balanced split bounded the victim with a ceiling instead
+// — that tighter ceiling. The scheduler records it as the cell's new
+// ceiling so suspended cells reopen without re-entering stolen ranges.
 func (e *UFAEnumerator) PinnedPath() []int {
-	return append([]int(nil), e.choice[:e.floor]...)
+	return append([]int(nil), victimCeil(e.ceil, e.choice[:e.floor])...)
 }
 
 // NFAEnumerator enumerates L_n(N) for an arbitrary ε-free NFA with
@@ -819,6 +1177,12 @@ func (e *NFAEnumerator) Cursor() Cursor {
 
 // Token implements Session: the serialized Cursor.
 func (e *NFAEnumerator) Token() (string, bool) { return e.Cursor().Token(), true }
+
+// Remaining implements the scheduler's exact-size hook: counting the
+// remaining words of an ambiguous NFA cell would be #P-hard (which is why
+// the FPRAS exists), so the flashlight always answers ok=false and the
+// scheduler falls back to the words-since-last-split proxy.
+func (e *NFAEnumerator) Remaining() (*big.Int, bool) { return nil, false }
 
 // Err implements Session; serial enumerators never fail after construction.
 func (e *NFAEnumerator) Err() error { return nil }

@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"math/big"
 	"strings"
 	"testing"
 
@@ -36,6 +37,17 @@ func FuzzDecodeCursor(f *testing.F) {
 		f.Add(tok) // multi-cell frontier token
 	}
 	st.Close()
+	// Rank cursors ('r' tokens): fresh, mid and a forged huge rank.
+	re, _ := NewUFA(paper, length)
+	if c, err := re.RankCursor(); err == nil {
+		f.Add(c.Token())
+	}
+	re.Next()
+	if c, err := re.RankCursor(); err == nil {
+		f.Add(c.Token())
+	}
+	huge, _ := new(big.Int).SetString("123456789012345678901234567890", 10)
+	f.Add(Cursor{Kind: KindUFARank, Length: length, FP: re.fp, State: CursorMid, Rank: huge}.Token())
 	f.Add(Frontier{Kind: KindUFA, Length: 3, FP: 7, Segs: []FrontierSeg{
 		{Prefix: []int{1}, Lo: 1, Ceil: []int{1, 0}, Pos: []int{1, 0, 0}},
 	}}.Token())

@@ -3,8 +3,10 @@ package enumerate
 import (
 	"fmt"
 	"io"
+	"math/big"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/par"
@@ -49,6 +51,9 @@ const (
 	// DefaultStealThreshold is the default number of words a cell must
 	// produce between splits before idle workers may re-shard it.
 	DefaultStealThreshold = 64
+	// DefaultDeliveryBatch is the default number of words the consumer
+	// pops per lock acquisition.
+	DefaultDeliveryBatch = 64
 )
 
 // StreamOptions configure sharded parallel enumeration.
@@ -76,6 +81,18 @@ type StreamOptions struct {
 	// it at its current frontier (0 = DefaultStealThreshold; < 0 disables
 	// work-stealing, reproducing the static fan-out).
 	StealThreshold int
+	// ProxyVictims forces steal-victim selection back to the
+	// words-since-last-split proxy even when exact remaining-cell sizes
+	// are available (UFA streams carry a counting index by default, which
+	// also enables size-balanced splits). An A/B escape hatch — experiment
+	// E16 compares the two; leave false in production.
+	ProxyVictims bool
+	// DeliveryBatch is the number of buffered words the consumer pops per
+	// lock acquisition (0 = DefaultDeliveryBatch; 1 = one word per lock,
+	// the pre-batching behavior). Larger batches cut consumer-lock
+	// contention; the merge-budget bound on producer-side buffering is
+	// unaffected (popped words move to the consumer's private batch).
+	DeliveryBatch int
 }
 
 // workers resolves the worker count.
@@ -105,6 +122,14 @@ func (o StreamOptions) stealThreshold() (int, bool) {
 	return o.StealThreshold, true
 }
 
+// deliveryBatch resolves DeliveryBatch.
+func (o StreamOptions) deliveryBatch() int {
+	if o.DeliveryBatch > 0 {
+		return o.DeliveryBatch
+	}
+	return DefaultDeliveryBatch
+}
+
 // cellEnum is what the scheduler needs from a shard enumerator beyond
 // Next: cooperative splitting, the pinned path after a split, and the
 // global position for tokens. Both concrete enumerators implement it, and
@@ -116,6 +141,11 @@ type cellEnum interface {
 	SplitSteal() (Shard, bool)
 	PinnedPath() []int
 	Cursor() Cursor
+	// Remaining reports the exact number of words the cell has yet to
+	// produce, when the enumerator carries a counting index (UFA cells);
+	// ok=false falls the scheduler back to the words-since-last-split
+	// proxy for victim selection.
+	Remaining() (*big.Int, bool)
 }
 
 // wordBuf wraps a word buffer so pool round-trips move one pointer instead
@@ -167,12 +197,18 @@ type segment struct {
 	buf   []*wordBuf // produced, not yet delivered
 	off   int        // buf[:off] already delivered (popped front)
 
-	deliv    []int // position of the last delivered word (nil until first)
+	deliv    []int // position of the last popped word (nil until first)
 	produced int   // words produced in total (stats)
 	since    int   // words produced since open/last split (steal pacing)
 	steals   int   // successful splits of this cell
 	spills   int   // times this cell was suspended or had its buffer dropped
 	stealReq bool  // an idle worker asked the owner to split
+	// remaining is the exact number of words the cell's enumerator has
+	// yet to produce (UFA cells with a counting index; nil = unknown, the
+	// since proxy is used instead). Set when the cell is (re)opened,
+	// decremented per committed word, recomputed after a split — all
+	// under the stream mutex.
+	remaining *big.Int
 
 	next *segment
 }
@@ -245,6 +281,7 @@ type Stream struct {
 	budgetN   int
 	threshold int
 	stealOK   bool
+	batchN    int
 
 	mu       sync.Mutex
 	workCond *sync.Cond // workers wait: new pending cell, head advance, stop
@@ -269,6 +306,18 @@ type Stream struct {
 	group par.Group
 	pool  sync.Pool
 	prev  *wordBuf
+
+	// The consumer's private delivery batch: up to batchN words popped
+	// from one segment per lock acquisition, handed out by Next without
+	// re-locking. Only the consumer goroutine touches these fields outside
+	// the mutex; Token (same goroutine) reads them under it. closed gates
+	// the lock-free fast path after Close — the batch itself is kept so a
+	// post-Close Token still accounts for its unconsumed tail.
+	batch      []*wordBuf
+	batchIdx   int
+	batchSeg   *segment
+	batchStart []int // batchSeg's popped position before this batch (nil if none)
+	closed     atomic.Bool
 }
 
 // initialSeg seeds the scheduler with one cell, optionally mid-cell.
@@ -289,6 +338,7 @@ func newStream(kind byte, fp uint32, length int, inits []initialSeg, open func(S
 	}
 	st.budgetN = opts.budget()
 	st.threshold, st.stealOK = opts.stealThreshold()
+	st.batchN = opts.deliveryBatch()
 	st.workCond = sync.NewCond(&st.mu)
 	st.roomCond = sync.NewCond(&st.mu)
 	st.consCond = sync.NewCond(&st.mu)
@@ -358,9 +408,10 @@ func (st *Stream) worker() {
 
 // claim hands out the claimable cell nearest the consume point: pending
 // cells and suspended cells (whose parked enumerator nobody owns) alike.
-// With nothing claimable it picks a steal victim — the running cell that
-// has produced the most since its last split — flags it, and waits for the
-// owner to publish the stolen cell. Returns ok=false when the stream is
+// With nothing claimable it picks a steal victim — the running cell with
+// the most remaining words, exactly counted when its enumerator carries a
+// counting index and estimated by words-since-last-split otherwise —
+// flags it, and waits for the owner to publish the stolen cell. Returns ok=false when the stream is
 // exhausted/stopped. Cells other than the head are not claimed while the
 // budget is full: any word they produced would immediately spill again.
 func (st *Stream) claim() (*segment, []int, bool) {
@@ -383,7 +434,7 @@ func (st *Stream) claim() (*segment, []int, bool) {
 				return s, s.resumePosLocked(), true
 			}
 			if st.stealOK && s.state == segRunning && !s.stealReq && s.since >= st.threshold {
-				if victim == nil || s.since > victim.since {
+				if victim == nil || biggerCellLocked(s, victim) {
 					victim = s
 				}
 			}
@@ -398,12 +449,35 @@ func (st *Stream) claim() (*segment, []int, bool) {
 	}
 }
 
+// biggerCellLocked orders steal candidates: by exact remaining word count
+// when both cells carry one, by the words-since-last-split proxy
+// otherwise.
+func biggerCellLocked(a, b *segment) bool {
+	if a.remaining != nil && b.remaining != nil {
+		return a.remaining.Cmp(b.remaining) > 0
+	}
+	return a.since > b.since
+}
+
+// setRemaining snapshots the cell's exact remaining size from its freshly
+// opened enumerator (nil when the enumerator cannot count).
+func (st *Stream) setRemaining(seg *segment, e cellEnum) {
+	var rem *big.Int
+	if !st.opts.ProxyVictims {
+		rem, _ = e.Remaining()
+	}
+	st.mu.Lock()
+	seg.remaining = rem
+	st.mu.Unlock()
+}
+
 // produce drains one cell into its buffer: each round reserves a budget
 // slot (which is where steal requests are honored and spills happen —
 // before a word is in hand, so nothing is ever lost), produces the next
 // word, and commits it. It returns when the cell is exhausted, suspended,
 // or the stream stops.
 func (st *Stream) produce(seg *segment, e cellEnum) {
+	st.setRemaining(seg, e)
 	for {
 		if !st.reserve(seg, e) {
 			return
@@ -464,6 +538,13 @@ func (st *Stream) reserve(seg *segment, e cellEnum) bool {
 			seg.since = 0
 			seg.steals++
 			st.steals++
+			// The victim's range shrank to its pinned path; refresh its
+			// exact size so the next victim choice sees the split.
+			if !st.opts.ProxyVictims {
+				if rem, ok := e.Remaining(); ok {
+					seg.remaining = rem
+				}
+			}
 		}
 		st.workCond.Broadcast()
 	}
@@ -510,6 +591,9 @@ func (st *Stream) commit(seg *segment, b *wordBuf) {
 	seg.buf = append(seg.buf, b)
 	seg.produced++
 	seg.since++
+	if seg.remaining != nil && seg.remaining.Sign() > 0 {
+		seg.remaining.Sub(seg.remaining, bigOne)
+	}
 	if st.stealOK && seg.since%st.threshold == 0 {
 		st.workCond.Broadcast()
 	}
@@ -579,41 +663,70 @@ func (st *Stream) resumeLocked(seg *segment) {
 	st.workCond.Broadcast()
 }
 
-// popLocked removes and returns the next undelivered word of a segment,
-// recording the delivered position for frontier tokens.
-func (st *Stream) popLocked(seg *segment) *wordBuf {
-	b := seg.buf[seg.off]
-	seg.buf[seg.off] = nil
-	seg.off++
+// popBatchLocked moves up to batchN undelivered words from the segment's
+// buffer into the consumer's private batch — one lock acquisition serves
+// the whole run of Next calls that drains it — records the last popped
+// position as the segment's resume point, releases the freed budget to
+// the producers, and returns the first word. Popped words live only in the
+// batch: a later buffer drop or reopen of the cell resumes production
+// after them, and Token accounts for the not-yet-consumed tail (see
+// Token).
+func (st *Stream) popBatchLocked(seg *segment) *wordBuf {
+	k := seg.pending()
+	if k > st.batchN {
+		k = st.batchN
+	}
+	st.batch = st.batch[:0]
+	st.batchSeg = seg
+	st.batchStart = nil
+	if seg.deliv != nil {
+		st.batchStart = append([]int(nil), seg.deliv...)
+	}
+	for i := 0; i < k; i++ {
+		st.batch = append(st.batch, seg.buf[seg.off])
+		seg.buf[seg.off] = nil
+		seg.off++
+	}
 	if seg.off == len(seg.buf) {
 		seg.buf = seg.buf[:0]
 		seg.off = 0
 	}
 	wasFull := st.buffered >= st.budgetN
-	st.buffered--
+	st.buffered -= k
+	last := st.batch[k-1]
 	if seg.deliv == nil {
 		seg.deliv = make([]int, st.length)
 	}
-	if b.pos != nil {
-		copy(seg.deliv, b.pos)
+	if last.pos != nil {
+		copy(seg.deliv, last.pos)
 	} else {
-		copy(seg.deliv, b.w)
+		copy(seg.deliv, last.w)
 	}
-	st.delivered++
+	st.delivered += k
 	if st.roomWaiters > 0 {
 		st.roomCond.Broadcast()
 	}
 	if wasFull && st.buffered < st.budgetN {
 		st.workCond.Broadcast() // budget-gated pending cells are claimable again
 	}
+	b := st.batch[0]
+	st.batch[0] = nil
+	st.batchIdx = 1
 	return b
 }
 
 // Next implements Enumerator for the single consumer goroutine. In ordered
 // mode outputs arrive in the canonical serial order; otherwise in
 // per-cell arrival order. The returned word is valid until the following
-// call to Next.
+// call to Next. Words already popped into the consumer's batch are handed
+// out without touching the stream mutex.
 func (st *Stream) Next() (automata.Word, bool) {
+	if st.batchIdx < len(st.batch) && !st.closed.Load() {
+		b := st.batch[st.batchIdx]
+		st.batch[st.batchIdx] = nil
+		st.batchIdx++
+		return st.deliver(b), true
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.opts.Ordered {
@@ -629,7 +742,7 @@ func (st *Stream) nextOrdered() (automata.Word, bool) {
 		}
 		h := st.head
 		if h.pending() > 0 {
-			return st.deliver(st.popLocked(h)), true
+			return st.deliver(st.popBatchLocked(h)), true
 		}
 		switch h.state {
 		case segDone:
@@ -657,7 +770,7 @@ func (st *Stream) nextUnordered() (automata.Word, bool) {
 		allDone := true
 		for s := st.head; s != nil; s = s.next {
 			if s.pending() > 0 {
-				return st.deliver(st.popLocked(s)), true
+				return st.deliver(st.popBatchLocked(s)), true
 			}
 			if s.state == segDone {
 				if prev == nil {
@@ -696,8 +809,13 @@ func (st *Stream) Token() (string, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	f := Frontier{Kind: st.kind, Length: st.length, FP: st.fp}
+	// Words popped into the consumer's batch but not yet handed out are
+	// undelivered: their segment serializes at the last *consumed*
+	// position, so a resume re-emits the batch tail.
+	batchTail := len(st.batch) - st.batchIdx
 	for s := st.head; s != nil; s = s.next {
-		if s.state == segDone && s.pending() == 0 {
+		inBatch := s == st.batchSeg && batchTail > 0
+		if s.state == segDone && s.pending() == 0 && !inBatch {
 			continue
 		}
 		seg := FrontierSeg{
@@ -706,6 +824,23 @@ func (st *Stream) Token() (string, bool) {
 			Ceil:   append([]int(nil), s.shard.ceil...),
 		}
 		switch {
+		case inBatch:
+			// The last consumed word is st.prev (delivered entries are
+			// nil'd in the batch; prev is not pooled until the next
+			// delivery), so the segment resumes just after it.
+			var pos []int
+			if st.batchIdx > 0 && st.prev != nil {
+				if st.prev.pos != nil {
+					pos = st.prev.pos
+				} else {
+					pos = st.prev.w
+				}
+			} else {
+				pos = st.batchStart
+			}
+			if pos != nil {
+				seg.Pos = append([]int(nil), pos...)
+			}
 		case s.deliv != nil:
 			seg.Pos = append([]int(nil), s.deliv...)
 		case s.start != nil:
@@ -725,9 +860,12 @@ func (st *Stream) Err() error {
 }
 
 // Close stops the workers and waits for them to exit. Outputs already
-// buffered are discarded; Next returns false afterwards. Safe to call more
-// than once and after exhaustion.
+// buffered (including the consumer's batch tail) are discarded; Next
+// returns false afterwards, while Token still serializes every
+// undelivered word — so checkpoint-after-Close keeps working. Safe to
+// call more than once and after exhaustion.
 func (st *Stream) Close() {
+	st.closed.Store(true)
 	st.mu.Lock()
 	st.stopLocked()
 	st.mu.Unlock()
@@ -814,10 +952,21 @@ func freshInits(shards []Shard) []initialSeg {
 	return inits
 }
 
+// ensureStreamIndex builds the counting index before workers launch when
+// the scheduler will use it (stealing on, exact sizes not disabled): the
+// forked cell enumerators then all share it, enabling exact victim
+// selection and size-balanced splits.
+func (e *UFAEnumerator) ensureStreamIndex(opts StreamOptions) {
+	if _, stealing := opts.stealThreshold(); stealing && !opts.ProxyVictims {
+		e.EnsureIndex()
+	}
+}
+
 // Stream opens a sharded parallel enumeration of this enumerator's range,
 // sharing its precomputation. The receiver must be fresh (not yet
 // iterated) and must not be used while the stream runs.
 func (e *UFAEnumerator) Stream(opts StreamOptions) *Stream {
+	e.ensureStreamIndex(opts)
 	inits := freshInits(e.Shards(shardTarget(opts)))
 	return newStream(KindUFA, e.fp, e.dag.N, inits, func(s Shard, pos []int) (cellEnum, error) {
 		return e.OpenShardAt(s, pos)
@@ -828,6 +977,7 @@ func (e *UFAEnumerator) Stream(opts StreamOptions) *Stream {
 // previous session's Token, sharing this enumerator's precomputation: the
 // stream emits exactly the frontier's undelivered words.
 func (e *UFAEnumerator) StreamFrom(f Frontier, opts StreamOptions) (*Stream, error) {
+	e.ensureStreamIndex(opts)
 	inits, err := frontierInits(f, KindUFA, e.fp, e.dag.N)
 	if err != nil {
 		return nil, err

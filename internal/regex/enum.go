@@ -1,6 +1,8 @@
 package regex
 
 import (
+	"math/big"
+
 	"repro/internal/automata"
 	"repro/internal/core"
 	"repro/internal/enumerate"
@@ -26,4 +28,21 @@ func Words(pattern string, alpha *automata.Alphabet, n int, opts core.CursorOpti
 		return nil, err
 	}
 	return inst.Enumerate(opts)
+}
+
+// WordAt returns the length-n match at the given 0-based rank of the
+// enumeration order — random access into the match stream through the
+// counting index. Only patterns whose Glushkov automaton is unambiguous
+// support ranked access (core.Unrank's contract); pass
+// CursorOptions.SeekRank to Words to stream from the rank on instead.
+func WordAt(pattern string, alpha *automata.Alphabet, n int, rank *big.Int) (automata.Word, error) {
+	nfa, err := Compile(pattern, alpha)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.New(nfa, n, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Unrank(rank)
 }

@@ -160,6 +160,206 @@ func TestUFASamplerRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestWalkSamplerAgreesWithIndexSampler: the pre-index reference walk and
+// the rank-space sampler draw from the same (uniform) distribution on
+// random UFAs — the contract that lets E17 compare them as equivalent
+// implementations.
+func TestWalkSamplerAgreesWithIndexSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		n := automata.RandomDFA(rng, automata.Binary(), 3+rng.Intn(4), 0.6)
+		length := 3 + rng.Intn(3)
+		idx, err := NewUFASampler(n, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk, err := NewWalkSampler(n, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Count().Cmp(walk.Count()) != 0 {
+			t.Fatalf("trial %d: counts differ: %v vs %v", trial, idx.Count(), walk.Count())
+		}
+		total := idx.Count().Int64()
+		if total == 0 || total > 64 {
+			continue
+		}
+		draws := 400 * int(total)
+		a := map[string]int{}
+		b := map[string]int{}
+		for i := 0; i < draws; i++ {
+			wi, err := idx.Sample(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a[n.Alphabet().FormatWord(wi)]++
+			ww, err := walk.Sample(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[n.Alphabet().FormatWord(ww)]++
+		}
+		if len(a) != int(total) || len(b) != int(total) {
+			t.Fatalf("trial %d: coverage %d/%d of %d", trial, len(a), len(b), total)
+		}
+		for _, counts := range []map[string]int{a, b} {
+			vec := make([]int, 0, len(counts))
+			for _, c := range counts {
+				vec = append(vec, c)
+			}
+			if ok, stat, err := stats.UniformityOK(vec); err != nil || !ok {
+				t.Fatalf("trial %d: not uniform (chi2=%f, err=%v): %v", trial, stat, err, counts)
+			}
+		}
+	}
+}
+
+// TestRankUnrankThroughSampler: the sampler's ranked-access face inverts
+// itself and tracks the language slice.
+func TestRankUnrankThroughSampler(t *testing.T) {
+	n, length := automata.PaperExample()
+	s, err := NewUFASampler(n, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang := map[string]bool{}
+	total := s.Count().Int64()
+	for i := int64(0); i < total; i++ {
+		w, err := s.Unrank(big.NewInt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lang[n.Alphabet().FormatWord(w)] = true
+		r, err := s.Rank(w)
+		if err != nil || r.Cmp(big.NewInt(i)) != 0 {
+			t.Fatalf("Rank(Unrank(%d)) = %v (%v)", i, r, err)
+		}
+	}
+	if len(lang) != int(total) {
+		t.Fatalf("unrank covered %d of %d", len(lang), total)
+	}
+	if _, err := s.Unrank(big.NewInt(total)); err == nil {
+		t.Fatal("Unrank(total) accepted")
+	}
+}
+
+// TestSampleDistinct: draws are distinct witnesses, a full-size draw is
+// the whole language, and oversized requests fail.
+func TestSampleDistinct(t *testing.T) {
+	n, length := automata.PaperExample()
+	s, err := NewUFASampler(n, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	ws, err := s.SampleDistinct(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		f := n.Alphabet().FormatWord(w)
+		if seen[f] {
+			t.Fatalf("duplicate %q in distinct draw", f)
+		}
+		if !n.Accepts(w) {
+			t.Fatalf("non-witness %q", f)
+		}
+		seen[f] = true
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d draws, want 3", len(ws))
+	}
+	// k = |W| returns the whole slice (in some order).
+	all, err := s.SampleDistinct(4, rng)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("full draw: %d words, err %v", len(all), err)
+	}
+	if _, err := s.SampleDistinct(5, rng); err == nil {
+		t.Fatal("oversized distinct draw accepted")
+	}
+	empty := automata.Chain(automata.Binary(), automata.Word{0, 1})
+	se, err := NewUFASampler(empty, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.SampleDistinct(1, rng); err != ErrEmpty {
+		t.Fatalf("empty slice: %v, want ErrEmpty", err)
+	}
+}
+
+// TestSampleManyWorkerEquivalence: the chunked batch is a pure function of
+// (seed, stream, k) — bitwise identical for every worker count.
+func TestSampleManyWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := automata.RandomDFA(rng, automata.Binary(), 16, 0.5)
+	s, err := NewUFASampler(n, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count().Sign() == 0 {
+		t.Skip("empty slice")
+	}
+	const k = 200
+	base, err := s.SampleMany(7, 0xABC, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != k {
+		t.Fatalf("%d draws, want %d", len(base), k)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		got, err := s.SampleMany(7, 0xABC, k, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if n.Alphabet().FormatWord(got[i]) != n.Alphabet().FormatWord(base[i]) {
+				t.Fatalf("workers=%d: draw %d = %q, want %q", workers, i,
+					n.Alphabet().FormatWord(got[i]), n.Alphabet().FormatWord(base[i]))
+			}
+		}
+	}
+}
+
+// TestDrawSessionMatchesSample: a session draw consumes the rng exactly
+// like Sample, so the streams coincide draw for draw, and the session
+// performs no per-draw heap allocations.
+func TestDrawSessionMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := automata.RandomDFA(rng, automata.Binary(), 12, 0.5)
+	s, err := NewUFASampler(n, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count().Sign() == 0 {
+		t.Skip("empty slice")
+	}
+	d := s.NewDrawSession(rand.New(rand.NewSource(99)))
+	ref := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		got, err := d.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Sample(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Alphabet().FormatWord(got) != n.Alphabet().FormatWord(want) {
+			t.Fatalf("draw %d: session %v vs sampler %v", i, got, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := d.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DrawSession.Sample allocates %.1f per draw, want 0", allocs)
+	}
+}
+
 func TestPsiSampleAgreesWithUFASampler(t *testing.T) {
 	n, length := automata.PaperExample()
 	rng := rand.New(rand.NewSource(6))

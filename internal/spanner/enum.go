@@ -1,6 +1,8 @@
 package spanner
 
 import (
+	"math/big"
+
 	"repro/internal/core"
 	"repro/internal/enumerate"
 )
@@ -28,6 +30,48 @@ func (inst *Instance) Enumerate(ci *core.Instance, opts core.CursorOptions) (*Ma
 		return nil, err
 	}
 	return &MappingSession{inst: inst, s: s}, nil
+}
+
+// MappingAt returns the mapping at the given 0-based rank of the
+// enumeration order — random access into ⟦A⟧(d) through the core
+// instance's counting index. Unambiguous encodings only (Corollary 7's
+// class; core.Unrank's contract). RankOf inverts it; pair with
+// CursorOptions.SeekRank to stream from the rank on.
+func (inst *Instance) MappingAt(ci *core.Instance, r *big.Int) (Mapping, error) {
+	w, err := ci.Unrank(r)
+	if err != nil {
+		return nil, err
+	}
+	return inst.DecodeMapping(w)
+}
+
+// RankOf returns the rank of a mapping in the enumeration order, via
+// EncodeMapping and the counting index.
+func (inst *Instance) RankOf(ci *core.Instance, mp Mapping) (*big.Int, error) {
+	w, err := inst.EncodeMapping(mp)
+	if err != nil {
+		return nil, err
+	}
+	return ci.Rank(w)
+}
+
+// SampleDistinctMappings draws k distinct mappings uniformly without
+// replacement (rank-space rejection through the counting index).
+// Unambiguous encodings only; core.ErrEmpty when ⟦A⟧(d) is empty.
+func (inst *Instance) SampleDistinctMappings(ci *core.Instance, k int) ([]Mapping, error) {
+	ws, err := ci.SampleDistinct(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Mapping, len(ws))
+	for i, w := range ws {
+		mp, err := inst.DecodeMapping(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mp
+	}
+	return out, nil
 }
 
 // Next returns the next mapping, or ok=false when the session is exhausted
