@@ -61,10 +61,19 @@ func main() {
 			}
 			tab := bench.ByID(id, *quick)
 			if tab == nil {
-				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
+				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (known: %s)\n",
+					id, strings.Join(bench.IDs(), ", "))
 				os.Exit(2)
 			}
 			tables = append(tables, tab)
+		}
+		// A -only value that names nothing (e.g. "," or whitespace) used
+		// to run zero experiments and exit 0 — indistinguishable from
+		// success in CI logs. Fail loudly instead.
+		if len(tables) == 0 {
+			fmt.Fprintf(os.Stderr, "benchtab: -only %q selects no experiments (known: %s)\n",
+				*only, strings.Join(bench.IDs(), ", "))
+			os.Exit(2)
 		}
 	} else {
 		tables = bench.All(*quick)

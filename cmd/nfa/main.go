@@ -22,6 +22,16 @@
 // that index in O(n) without replaying a cursor, and sample -distinct
 // draws without replacement.
 //
+// Every problem also has a length-RANGE form: passing -lo L -hi H (in
+// place of -n) serves the union of all witness lengths in [L, H] from one
+// shared cross-length index (internal/lengthrange) — count prints the
+// exact union size, enum lists witnesses shortest first (the resume token
+// is an el1:R: range token; -seek is then a global rank into the union),
+// sample draws each length with probability proportional to its exact
+// count, and rank/unrank convert against the global length-lexicographic
+// order. Exact range counting/sampling/ranking is RelationUL-only; range
+// enum works for both classes.
+//
 // -workers bounds the parallelism of the FPRAS build, of batched sampling,
 // and of sharded enumeration (0 = all cores, 1 = serial); it changes
 // wall-clock only, never the output for a fixed seed (enum merges shards
@@ -52,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/exact"
+	"repro/internal/lengthrange"
 )
 
 func main() {
@@ -93,16 +104,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		distinct  = fs.Bool("distinct", false, "sample without replacement (sample; RelationUL)")
 		word      = fs.String("w", "", "witness to rank, in alphabet symbols (rank)")
 		rankStr   = fs.String("r", "", "0-based rank to unrank (unrank)")
+		loF       = fs.Int("lo", -1, "lower witness length of a range form (use with -hi in place of -n)")
+		hiF       = fs.Int("hi", -1, "upper witness length of a range form (use with -lo in place of -n)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
+	// Flags whose zero value is meaningful (-n 0, -w "") need "was it
+	// passed" tracked separately from the value.
+	explicitFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
 	fail := func(msg string) int {
 		fmt.Fprintln(stderr, "nfa: "+msg)
 		return 1
 	}
 	if *file == "" {
 		return fail("missing -f automaton file")
+	}
+	rangeMode := *loF >= 0 || *hiF >= 0
+	if rangeMode {
+		if *loF < 0 || *hiF < 0 || *loF > *hiF {
+			return fail(fmt.Sprintf("bad length range -lo %d -hi %d (need 0 ≤ lo ≤ hi)", *loF, *hiF))
+		}
+		if cmd == "info" {
+			return fail("info has no range form (it takes -n only)")
+		}
+		// -lo/-hi replace -n; silently ignoring an explicit -n would make
+		// the output answer a different question than the user asked.
+		if explicitFlags["n"] {
+			return fail("-n conflicts with -lo/-hi (the range form replaces the single length)")
+		}
 	}
 	f, err := os.Open(*file)
 	if err != nil {
@@ -119,24 +150,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runInfo(stdout, nfa, *n)
 		return 0
 	case "count", "enum", "sample", "rank", "unrank":
-		inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers})
+		length := *n
+		if rangeMode {
+			// The instance length is only the classic single-length API's
+			// parameter; range forms carry [lo, hi] explicitly.
+			length = *hiF
+		}
+		inst, err := core.New(nfa, length, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return fail(err.Error())
 		}
 		switch cmd {
 		case "count":
-			err = runCount(stdout, inst, *exactF)
+			if rangeMode {
+				err = runCountRange(stdout, inst, *loF, *hiF)
+			} else {
+				err = runCount(stdout, inst, *exactF)
+			}
 		case "enum":
 			err = runEnum(stdout, stderr, inst, enumConfig{
 				limit: *limit, workers: *workers, cursor: *cursor, seek: *seek,
 				unordered: *unordered, budget: *budget, steal: *steal, verbose: *verbose,
+				rangeMode: rangeMode, lo: *loF, hi: *hiF,
 			})
 		case "sample":
-			err = runSample(stdout, inst, *count, *workers, *distinct)
+			if rangeMode && *distinct {
+				err = fmt.Errorf("-distinct has no range form yet (draw and deduplicate, or use rank-space rejection per length)")
+			} else if rangeMode {
+				err = runSampleRange(stdout, inst, *loF, *hiF, *count, *workers)
+			} else {
+				err = runSample(stdout, inst, *count, *workers, *distinct)
+			}
 		case "rank":
-			err = runRank(stdout, inst, *word)
+			err = runRank(stdout, inst, *word, explicitFlags["w"], rangeMode, *loF, *hiF)
 		case "unrank":
-			err = runUnrank(stdout, inst, *rankStr)
+			err = runUnrank(stdout, inst, *rankStr, rangeMode, *loF, *hiF)
 		}
 		if err != nil {
 			return fail(err.Error())
@@ -177,15 +225,23 @@ func parseWitness(inst *core.Instance, s string) (automata.Word, error) {
 	return w, nil
 }
 
-func runRank(w io.Writer, inst *core.Instance, witness string) error {
-	if witness == "" {
+func runRank(w io.Writer, inst *core.Instance, witness string, witnessSet, rangeMode bool, lo, hi int) error {
+	// An explicitly passed -w "" is the empty word ε — a legitimate rank
+	// query on ranges that include length 0; only an OMITTED -w is an
+	// error.
+	if witness == "" && !witnessSet {
 		return fmt.Errorf("missing -w witness")
 	}
 	word, err := parseWitness(inst, witness)
 	if err != nil {
 		return err
 	}
-	r, err := inst.Rank(word)
+	var r *big.Int
+	if rangeMode {
+		r, err = inst.RankRange(lo, hi, word)
+	} else {
+		r, err = inst.Rank(word)
+	}
 	if err != nil {
 		return err
 	}
@@ -193,7 +249,7 @@ func runRank(w io.Writer, inst *core.Instance, witness string) error {
 	return nil
 }
 
-func runUnrank(w io.Writer, inst *core.Instance, rankStr string) error {
+func runUnrank(w io.Writer, inst *core.Instance, rankStr string, rangeMode bool, lo, hi int) error {
 	if rankStr == "" {
 		return fmt.Errorf("missing -r rank")
 	}
@@ -201,11 +257,45 @@ func runUnrank(w io.Writer, inst *core.Instance, rankStr string) error {
 	if err != nil {
 		return err
 	}
-	word, err := inst.Unrank(r)
+	var word automata.Word
+	if rangeMode {
+		word, err = inst.UnrankRange(lo, hi, r)
+	} else {
+		word, err = inst.Unrank(r)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, inst.FormatWord(word))
+	return nil
+}
+
+// runCountRange prints the exact size of the union of all lengths in
+// [lo, hi] (RelationUL only — range counting for an ambiguous NFA would
+// imply exact #NFA counting).
+func runCountRange(w io.Writer, inst *core.Instance, lo, hi int) error {
+	total, err := inst.TotalRange(lo, hi)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (exact, %s, lengths %d..%d)\n", total, inst.Class(), lo, hi)
+	return nil
+}
+
+// runSampleRange draws from the union of lengths (each length weighted
+// by its exact count; bitwise identical for every -workers value).
+func runSampleRange(w io.Writer, inst *core.Instance, lo, hi, count, workers int) error {
+	ws, err := inst.SampleManyRange(lo, hi, count, workers)
+	if err == core.ErrEmpty {
+		fmt.Fprintln(w, "⊥ (witness set empty)")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, witness := range ws {
+		fmt.Fprintln(w, inst.FormatWord(witness))
+	}
 	return nil
 }
 
@@ -260,6 +350,8 @@ type enumConfig struct {
 	limit, workers, budget, steal int
 	cursor, seek                  string
 	unordered, verbose            bool
+	rangeMode                     bool
+	lo, hi                        int
 }
 
 func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
@@ -271,7 +363,7 @@ func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 		}
 		seekRank = r
 	}
-	s, err := inst.Enumerate(core.CursorOptions{
+	opts := core.CursorOptions{
 		Cursor:         cfg.cursor,
 		SeekRank:       seekRank,
 		Limit:          cfg.limit,
@@ -279,7 +371,20 @@ func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 		Ordered:        !cfg.unordered, // shards merge back into canonical order by default
 		MergeBudget:    cfg.budget,
 		StealThreshold: cfg.steal,
-	})
+	}
+	var s enumerate.Session
+	var err error
+	switch {
+	case cfg.rangeMode:
+		s, err = inst.EnumerateRange(cfg.lo, cfg.hi, opts)
+	case lengthrange.IsRangeToken(cfg.cursor):
+		// The stderr resume hint prints bare `-cursor el1:R:...`, so a
+		// range token must resume without re-supplying -lo/-hi: the range
+		// comes from the (fingerprint-validated) token itself.
+		s, err = inst.EnumerateRangeFrom(cfg.cursor, opts)
+	default:
+		s, err = inst.Enumerate(opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -354,5 +459,8 @@ func usage(w io.Writer) {
   sample  uniform witnesses (exact or Las Vegas per class; -distinct
           draws without replacement for unambiguous instances)
   rank    witness -> its 0-based index in enumeration order (RelationUL)
-  unrank  0-based index -> witness (RelationUL)`)
+  unrank  0-based index -> witness (RelationUL)
+count/enum/sample/rank/unrank also take -lo L -hi H in place of -n: the
+range form serves the union of all lengths in [L, H] from one shared
+cross-length index, in length-lexicographic order (shortest first).`)
 }

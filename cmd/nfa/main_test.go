@@ -478,3 +478,206 @@ func TestBadInvocations(t *testing.T) {
 		t.Errorf("malformed automaton: exit %d, want 1", code)
 	}
 }
+
+// TestRangeCount: count -lo/-hi prints the exact union size (allFixture:
+// |L_n| = 2^n, so lengths 0..3 hold 15 witnesses).
+func TestRangeCount(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	out, _, code := runNFA(t, "count", "-f", f, "-lo", "0", "-hi", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "15 (exact, RelationUL, lengths 0..3)") {
+		t.Fatalf("range count output: %q", out)
+	}
+	// Ambiguous automata have no exact range count.
+	amb := writeFixture(t, "amb.txt", ambFixture)
+	_, errOut, code := runNFA(t, "count", "-f", amb, "-lo", "1", "-hi", "3")
+	if code == 0 || !strings.Contains(errOut, "RelationUL") {
+		t.Fatalf("range count on RelationNL: exit %d, stderr %q", code, errOut)
+	}
+	// Bad ranges are rejected up front.
+	if _, errOut, code := runNFA(t, "count", "-f", f, "-lo", "4", "-hi", "2"); code == 0 {
+		t.Fatalf("lo > hi accepted: %q", errOut)
+	}
+	if _, errOut, code := runNFA(t, "count", "-f", f, "-lo", "2"); code == 0 {
+		t.Fatalf("-lo without -hi accepted: %q", errOut)
+	}
+	// An explicit -n alongside -lo/-hi would silently answer a different
+	// question; it must be rejected.
+	if _, errOut, code := runNFA(t, "count", "-f", f, "-n", "7", "-lo", "0", "-hi", "3"); code == 0 {
+		t.Fatalf("-n with -lo/-hi accepted: %q", errOut)
+	}
+}
+
+// TestRangeEnumPagination: enum -lo/-hi lists the union shortest first,
+// mints el1:R: tokens, and paginates to exactly the uninterrupted output.
+func TestRangeEnumPagination(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	fullOut, errOut, code := runNFA(t, "enum", "-f", f, "-lo", "1", "-hi", "3", "-limit", "0")
+	if code != 0 {
+		t.Fatalf("full enum exit %d", code)
+	}
+	want := strings.Fields(fullOut)
+	if len(want) != 2+4+8 {
+		t.Fatalf("union size %d, want 14: %v", len(want), want)
+	}
+	if want[0] != "0" || want[len(want)-1] != "111" {
+		t.Fatalf("not length-lex: %v", want)
+	}
+	if !strings.Contains(errOut, "-cursor el1:R:") {
+		t.Fatalf("range enum should mint an el1:R: token: %q", errOut)
+	}
+
+	var got []string
+	cursor := ""
+	for page := 0; ; page++ {
+		if page > len(want)+2 {
+			t.Fatal("range pagination does not terminate")
+		}
+		args := []string{"enum", "-f", f, "-lo", "1", "-hi", "3", "-limit", "3"}
+		if cursor != "" {
+			args = append(args, "-cursor", cursor)
+		}
+		out, errOut, code := runNFA(t, args...)
+		if code != 0 {
+			t.Fatalf("page %d: exit %d, stderr %q", page, code, errOut)
+		}
+		words := strings.Fields(out)
+		got = append(got, words...)
+		const marker = "-cursor "
+		i := strings.Index(errOut, marker)
+		if i < 0 {
+			t.Fatalf("page %d: no resume token on stderr: %q", page, errOut)
+		}
+		cursor = strings.TrimSpace(errOut[i+len(marker):])
+		if len(words) == 0 {
+			break
+		}
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("paginated range enum differs:\n%v\nvs\n%v", got, want)
+	}
+
+	// The stderr hint says `resume with -cursor TOKEN` — following it
+	// verbatim (no -lo/-hi) must work: the range comes from the token.
+	head, errOut2, code := runNFA(t, "enum", "-f", f, "-lo", "1", "-hi", "3", "-limit", "4")
+	if code != 0 {
+		t.Fatalf("head exit %d", code)
+	}
+	i := strings.Index(errOut2, "-cursor ")
+	tok := strings.TrimSpace(errOut2[i+len("-cursor "):])
+	tail, _, code := runNFA(t, "enum", "-f", f, "-cursor", tok, "-limit", "0")
+	if code != 0 {
+		t.Fatalf("bare-token resume exit %d", code)
+	}
+	joined := append(strings.Fields(head), strings.Fields(tail)...)
+	if strings.Join(joined, " ") != strings.Join(want, " ") {
+		t.Fatalf("bare-token resume differs:\n%v\nvs\n%v", joined, want)
+	}
+	// -seek alongside a range cursor is mutually exclusive, exactly as on
+	// the single-length path — never silently dropped.
+	if _, _, code := runNFA(t, "enum", "-f", f, "-cursor", tok, "-seek", "1"); code == 0 {
+		t.Fatal("-seek alongside a range cursor accepted")
+	}
+	// -v on a parallel range session reports the scheduler stats of the
+	// in-flight per-length stream, not "serial session".
+	_, vErr, code := runNFA(t, "enum", "-f", f, "-lo", "1", "-hi", "3", "-limit", "0", "-workers", "2", "-v")
+	if code != 0 {
+		t.Fatalf("-v run exit %d", code)
+	}
+	if !strings.Contains(vErr, "# shards:") || strings.Contains(vErr, "serial session") {
+		t.Fatalf("-v on parallel range session printed no shard stats: %q", vErr)
+	}
+}
+
+// TestRangeEnumParallelAndSeek: -workers keeps the range output bitwise
+// identical, and -seek addresses a global rank across length boundaries.
+func TestRangeEnumParallelAndSeek(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	serial, _, code := runNFA(t, "enum", "-f", f, "-lo", "0", "-hi", "4", "-limit", "0")
+	if code != 0 {
+		t.Fatalf("serial exit %d", code)
+	}
+	parallel, _, code := runNFA(t, "enum", "-f", f, "-lo", "0", "-hi", "4", "-limit", "0", "-workers", "3")
+	if code != 0 {
+		t.Fatalf("parallel exit %d", code)
+	}
+	if parallel != serial {
+		t.Fatalf("parallel range enum differs:\n%q\nvs\n%q", parallel, serial)
+	}
+	// Seek over lengths 1..4 (ε prints as an empty line, so keep it out of
+	// the Fields-based comparison): global rank 3 is the second length-2
+	// word, "01".
+	base, _, code := runNFA(t, "enum", "-f", f, "-lo", "1", "-hi", "4", "-limit", "0")
+	if code != 0 {
+		t.Fatalf("lo=1 serial exit %d", code)
+	}
+	words := strings.Fields(base)
+	out, _, code := runNFA(t, "enum", "-f", f, "-lo", "1", "-hi", "4", "-limit", "0", "-seek", "3")
+	if code != 0 {
+		t.Fatalf("seek exit %d", code)
+	}
+	if got := strings.Fields(out); strings.Join(got, " ") != strings.Join(words[3:], " ") {
+		t.Fatalf("-seek 3 output:\n%v\nwant\n%v", got, words[3:])
+	}
+}
+
+// TestRangeRankUnrankSample: the range forms of rank/unrank invert each
+// other through the CLI, and range sampling emits in-range witnesses
+// deterministically per seed.
+func TestRangeRankUnrankSample(t *testing.T) {
+	f := writeFixture(t, "all.txt", allFixture)
+	// Global order over lengths 0..2: ε 0 1 00 01 10 11 — rank 4 is "01".
+	out, _, code := runNFA(t, "unrank", "-f", f, "-lo", "0", "-hi", "2", "-r", "4")
+	if code != 0 {
+		t.Fatalf("unrank exit %d", code)
+	}
+	if got := strings.TrimSpace(out); got != "01" {
+		t.Fatalf("unrank -r 4 = %q, want 01", got)
+	}
+	out, _, code = runNFA(t, "rank", "-f", f, "-lo", "0", "-hi", "2", "-w", "01")
+	if code != 0 {
+		t.Fatalf("rank exit %d", code)
+	}
+	if got := strings.TrimSpace(out); got != "4" {
+		t.Fatalf("rank -w 01 = %q, want 4", got)
+	}
+	// Out-of-range length rejected.
+	if _, _, code := runNFA(t, "rank", "-f", f, "-lo", "0", "-hi", "2", "-w", "000"); code == 0 {
+		t.Fatal("rank of out-of-range length accepted")
+	}
+	// An explicitly empty -w is ε — rank 0 of a lo=0 range — so the
+	// unrank output above round-trips even at length 0.
+	out, _, code = runNFA(t, "rank", "-f", f, "-lo", "0", "-hi", "2", "-w", "")
+	if code != 0 {
+		t.Fatalf("rank -w \"\" exit %d", code)
+	}
+	if got := strings.TrimSpace(out); got != "0" {
+		t.Fatalf("rank of ε = %q, want 0", got)
+	}
+	// An omitted -w is still an error.
+	if _, _, code := runNFA(t, "rank", "-f", f, "-lo", "0", "-hi", "2"); code == 0 {
+		t.Fatal("omitted -w accepted")
+	}
+	// Sampling: seeded, worker-independent, in-range.
+	a, _, code := runNFA(t, "sample", "-f", f, "-lo", "1", "-hi", "4", "-count", "8", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("sample exit %d", code)
+	}
+	b, _, code := runNFA(t, "sample", "-f", f, "-lo", "1", "-hi", "4", "-count", "8", "-seed", "5", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("parallel sample exit %d", code)
+	}
+	if a != b {
+		t.Fatalf("range sample depends on workers:\n%q\nvs\n%q", a, b)
+	}
+	for _, w := range strings.Fields(a) {
+		if len(w) < 1 || len(w) > 4 {
+			t.Fatalf("sampled out-of-range word %q", w)
+		}
+	}
+	if _, _, code := runNFA(t, "sample", "-f", f, "-lo", "1", "-hi", "4", "-count", "2", "-distinct"); code == 0 {
+		t.Fatal("-distinct range form should be rejected")
+	}
+}

@@ -21,6 +21,23 @@
 // starts an enumeration session at any rank in O(n·log Δ) without
 // replaying a cursor.
 //
+// # Ranged access over a length range
+//
+// Beyond the instance's own witness length, every problem is also served
+// uniformly over ALL lengths n in a caller-chosen range [lo, hi] from one
+// shared cross-length index (internal/lengthrange, built lazily per range
+// and cached): TotalRange counts the union, RankRange/UnrankRange convert
+// between witnesses of any length in the range and their global index in
+// length-lexicographic order (all length-lo words in engine order, then
+// lo+1, …), SampleRange/SampleManyRange draw uniformly from the union
+// (length selected with probability proportional to its exact count, then
+// unranked within), and EnumerateRange streams the union in that same
+// order through chained per-length sessions — resumable via el1:R: range
+// tokens, parallel per length under the work-stealing scheduler, and
+// seekable to any global rank via CursorOptions.SeekRank. Exact ranged
+// access is RelationUL-only (for RelationNL it would imply exact #NFA
+// counting); EnumerateRange alone works for both classes.
+//
 // # Concurrency
 //
 // Instance methods are safe for concurrent use: the lazily built engines
@@ -46,14 +63,19 @@ import (
 	"repro/internal/enumerate"
 	"repro/internal/exact"
 	"repro/internal/fpras"
+	"repro/internal/lengthrange"
 	"repro/internal/sample"
 	"repro/internal/unroll"
 )
 
 // streamULBatch namespaces SampleManyParallel's per-draw RNG streams on the
 // exact-uniform (ClassUL) path; the FPRAS path derives its own inside
-// internal/fpras.
-const streamULBatch = 0xC0DE1
+// internal/fpras. streamULRange namespaces SampleManyRange's streams so
+// single-length and range batches never alias.
+const (
+	streamULBatch = 0xC0DE1
+	streamULRange = 0xC0DE2
+)
 
 // Class labels which complexity class's algorithms an instance gets.
 type Class int
@@ -112,7 +134,16 @@ type Instance struct {
 	est        *fpras.Estimator
 	enc        *automata.BinaryEncoding
 	ufaSampler *sample.UFASampler
+	// rIdx caches cross-length indexes by [lo, hi] (bounded; see
+	// rangeIdxCacheCap), so alternating range queries don't rebuild.
+	rIdx map[[2]int]*lengthrange.RangeIndex
 }
+
+// rangeIdxCacheCap bounds the per-instance range-index cache: indexes
+// are immutable and rebuildable, so eviction (arbitrary victim) only
+// costs a rebuild if a caller cycles through more distinct ranges than
+// this.
+const rangeIdxCacheCap = 4
 
 // New prepares an instance for the witness length `length`. The automaton
 // must be ε-free; it is trimmed and its class detected.
@@ -249,18 +280,22 @@ func (in *Instance) sharedIndex() *countdag.Index {
 	return in.ufaSampler.Index()
 }
 
-// openSeeked opens a RelationUL session positioned at the given rank,
-// seeking through the instance's shared counting index (built and cached
-// on first use — a rank seek is an index consumer, so the build is never
-// thrown away).
-func (in *Instance) openSeeked(rank *big.Int, workers int, sopts enumerate.StreamOptions) (enumerate.Session, error) {
+// openSeekedAt opens a RelationUL session at witness length `length`
+// positioned at the given within-length rank. At the instance's own
+// length it seeks through the shared counting index (built and cached on
+// first use — a rank seek is an index consumer, so the build is never
+// thrown away); at other lengths (range sessions) the enumerator builds
+// its own index on demand.
+func (in *Instance) openSeekedAt(length int, rank *big.Int, workers int, sopts enumerate.StreamOptions) (enumerate.Session, error) {
 	if in.class != ClassUL {
 		return nil, fmt.Errorf("core: rank seek requires an unambiguous instance (RelationUL)")
 	}
-	if _, err := in.ufa(); err != nil {
-		return nil, err
+	if length == in.length {
+		if _, err := in.ufa(); err != nil {
+			return nil, err
+		}
 	}
-	e, err := in.newUFAEnum()
+	e, err := in.newUFAEnumAt(length)
 	if err != nil {
 		return nil, err
 	}
@@ -273,18 +308,21 @@ func (in *Instance) openSeeked(rank *big.Int, workers int, sopts enumerate.Strea
 	return e, nil
 }
 
-// newUFAEnum opens an Algorithm 1 enumerator, attaching the instance's
-// shared counting index when it is already built (enumeration alone does
-// not force the index; rank seeking and parallel streams build their own
-// on demand).
-func (in *Instance) newUFAEnum() (*enumerate.UFAEnumerator, error) {
-	e, err := enumerate.NewUFA(in.n, in.length)
+// newUFAEnumAt opens an Algorithm 1 enumerator for the given witness
+// length, attaching the instance's shared counting index when the length
+// matches and the index is already built (enumeration alone does not
+// force the index; rank seeking and parallel streams build their own on
+// demand).
+func (in *Instance) newUFAEnumAt(length int) (*enumerate.UFAEnumerator, error) {
+	e, err := enumerate.NewUFA(in.n, length)
 	if err != nil {
 		return nil, err
 	}
-	if idx := in.sharedIndex(); idx != nil {
-		if err := e.AttachIndex(idx); err != nil {
-			return nil, err
+	if length == in.length {
+		if idx := in.sharedIndex(); idx != nil {
+			if err := e.AttachIndex(idx); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return e, nil
@@ -400,6 +438,15 @@ func (in *Instance) Enumerate(opts CursorOptions) (enumerate.Session, error) {
 }
 
 func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
+	return in.openSessionAt(in.length, opts)
+}
+
+// openSessionAt is openSession generalized over the witness length: the
+// instance's own length for Enumerate, any length in a range for the
+// per-length sessions an EnumerateRange chain opens. Cursor lengths are
+// validated against `length` (fingerprint before any length-sized
+// precomputation, on every resume path).
+func (in *Instance) openSessionAt(length int, opts CursorOptions) (enumerate.Session, error) {
 	sopts := enumerate.StreamOptions{
 		Workers:        opts.Workers,
 		Shards:         opts.Shards,
@@ -415,7 +462,7 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 		if opts.Cursor != "" {
 			return nil, fmt.Errorf("core: SeekRank and Cursor are mutually exclusive")
 		}
-		return in.openSeeked(opts.SeekRank, opts.Workers, sopts)
+		return in.openSeekedAt(length, opts.SeekRank, opts.Workers, sopts)
 	}
 	if opts.Cursor != "" {
 		// A frontier token (multi-cell position of a parallel session)
@@ -426,8 +473,8 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 			if err != nil {
 				return nil, err
 			}
-			if f.Length != in.length {
-				return nil, fmt.Errorf("core: cursor length %d does not match instance length %d", f.Length, in.length)
+			if f.Length != length {
+				return nil, fmt.Errorf("core: cursor length %d does not match session length %d", f.Length, length)
 			}
 			if f.Kind != kind {
 				return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", f.Kind, in.class)
@@ -444,8 +491,8 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		if c.Length != in.length {
-			return nil, fmt.Errorf("core: cursor length %d does not match instance length %d", c.Length, in.length)
+		if c.Length != length {
+			return nil, fmt.Errorf("core: cursor length %d does not match session length %d", c.Length, length)
 		}
 		if c.Kind == enumerate.KindUFARank {
 			// A rank token seeks through the counting index instead of
@@ -457,7 +504,7 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 			if c.Rank == nil {
 				return nil, fmt.Errorf("core: rank cursor carries no rank")
 			}
-			return in.openSeeked(c.Rank, opts.Workers, sopts)
+			return in.openSeekedAt(length, c.Rank, opts.Workers, sopts)
 		}
 		if c.Kind != kind {
 			return nil, fmt.Errorf("core: cursor kind %q does not match instance class %s", c.Kind, in.class)
@@ -477,24 +524,293 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 	}
 	if opts.Workers > 1 {
 		if in.class == ClassUL {
-			e, err := in.newUFAEnum()
+			e, err := in.newUFAEnumAt(length)
 			if err != nil {
 				return nil, err
 			}
 			return e.Stream(sopts), nil
 		}
-		return enumerate.NewNFAStream(in.n, in.length, sopts)
+		return enumerate.NewNFAStream(in.n, length, sopts)
 	}
 	if in.class == ClassUL {
-		return in.newUFAEnum()
+		return in.newUFAEnumAt(length)
 	}
-	return enumerate.NewNFA(in.n, in.length)
+	return enumerate.NewNFA(in.n, length)
 }
 
 // EnumerateFrom is Enumerate resuming from a serialized token — the
 // pagination entry point: enumerate a page, keep the token, reopen later.
 func (in *Instance) EnumerateFrom(token string) (enumerate.Session, error) {
 	return in.Enumerate(CursorOptions{Cursor: token})
+}
+
+// rangeIndex lazily builds (and caches) the shared cross-length counting
+// index over [lo, hi] — one backward big.Int sweep serving TotalRange,
+// RankRange/UnrankRange, range sampling and global rank seeks, however
+// many consumers. RelationUL only: exact ranged access for an ambiguous
+// NFA would imply exact #NFA counting, which is #P-hard.
+func (in *Instance) rangeIndex(lo, hi int) (*lengthrange.RangeIndex, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: ranged access over a length range requires an unambiguous instance (RelationUL)")
+	}
+	if lo < 0 || lo > hi {
+		return nil, fmt.Errorf("core: bad length range [%d, %d]", lo, hi)
+	}
+	key := [2]int{lo, hi}
+	in.mu.Lock()
+	if ri, ok := in.rIdx[key]; ok {
+		in.mu.Unlock()
+		return ri, nil
+	}
+	in.mu.Unlock()
+	// Build outside the lock: the sweep is O(hi·m·Δ) big.Int work, and
+	// holding mu across it would stall every concurrent Sample/Rank on
+	// the instance. A racing builder just loses to the first writer (the
+	// indexes are deterministic, so either copy is correct).
+	workers := in.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ri, err := lengthrange.Build(in.n, lo, hi, workers)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if existing, ok := in.rIdx[key]; ok {
+		return existing, nil
+	}
+	if in.rIdx == nil {
+		in.rIdx = make(map[[2]int]*lengthrange.RangeIndex, rangeIdxCacheCap)
+	}
+	if len(in.rIdx) >= rangeIdxCacheCap {
+		for k := range in.rIdx { // arbitrary victim; see rangeIdxCacheCap
+			delete(in.rIdx, k)
+			break
+		}
+	}
+	in.rIdx[key] = ri
+	return ri, nil
+}
+
+// TotalRange returns |⋃_{n∈[lo,hi]} L_n| exactly, from the shared
+// cross-length index. RelationUL only.
+func (in *Instance) TotalRange(lo, hi int) (*big.Int, error) {
+	ri, err := in.rangeIndex(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return ri.TotalRange(), nil
+}
+
+// RankRange returns the global 0-based index of the witness w in the
+// length-lexicographic enumeration order over [lo, hi] (len(w) must lie
+// in the range), or an error wrapping countdag.ErrNotMember when w is
+// not a witness. RelationUL only.
+func (in *Instance) RankRange(lo, hi int, w automata.Word) (*big.Int, error) {
+	ri, err := in.rangeIndex(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return ri.RankRange(w)
+}
+
+// UnrankRange returns the witness at the given global 0-based rank of
+// the length-lexicographic order over [lo, hi] — random access into the
+// union of all lengths. RelationUL only.
+func (in *Instance) UnrankRange(lo, hi int, r *big.Int) (automata.Word, error) {
+	ri, err := in.rangeIndex(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return ri.UnrankRange(r)
+}
+
+// SampleRange draws one witness uniformly from the union of all lengths
+// in [lo, hi] (each length selected with probability proportional to its
+// exact count), consuming the instance's internal RNG stream like
+// Sample. RelationUL only; ErrEmpty when the whole range is empty.
+func (in *Instance) SampleRange(lo, hi int) (automata.Word, error) {
+	ri, err := in.rangeIndex(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	w, err := ri.Sample(in.rng)
+	in.mu.Unlock()
+	if err == lengthrange.ErrEmpty {
+		return nil, ErrEmpty
+	}
+	return w, err
+}
+
+// SampleManyRange draws k independent uniform witnesses from the union
+// of lengths in [lo, hi] across up to `workers` goroutines (0 selects
+// Options.Workers, which itself defaults to GOMAXPROCS). Like
+// SampleManyParallel, draws come from fixed-size chunks with
+// seed-derived RNG streams, so the batch is a function of (Options, lo,
+// hi, k) alone — bitwise identical for every worker count. RelationUL
+// only.
+func (in *Instance) SampleManyRange(lo, hi, k, workers int) ([]automata.Word, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	ri, err := in.rangeIndex(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = in.opts.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	ws, err := ri.SampleMany(in.seed, streamULRange, k, workers)
+	if err == lengthrange.ErrEmpty {
+		return nil, ErrEmpty
+	}
+	return ws, err
+}
+
+// EnumerateRange opens a session over the union of all lengths n in
+// [lo, hi], emitted in length-lexicographic order (all length-lo
+// witnesses in the engine's order for that length, then lo+1, and so
+// on) by chaining per-length sessions — each carrying the full engine
+// contract, so Workers/Ordered/MergeBudget/StealThreshold parallelize
+// every length under the work-stealing scheduler. Both classes
+// enumerate; RelationUL sessions additionally support
+// CursorOptions.SeekRank as a GLOBAL rank into the whole range (resolved
+// through the shared cross-length index). Every session is resumable:
+// Token mints an el1:R: envelope around the in-flight per-length token,
+// and CursorOptions.Cursor accepts it back — the token's range must
+// equal the requested [lo, hi], and both the envelope and the inner
+// token are fingerprint-validated before any length-sized
+// precomputation.
+func (in *Instance) EnumerateRange(lo, hi int, opts CursorOptions) (enumerate.Session, error) {
+	if lo < 0 || lo > hi {
+		return nil, fmt.Errorf("core: bad length range [%d, %d]", lo, hi)
+	}
+	fp := enumerate.Fingerprint(in.n)
+	// seekIdx is set by the SeekRank branch below: with the cross-length
+	// index already in hand, the seek factory derives the decision vector
+	// from its shared tables and positions the enumerator by replay,
+	// instead of letting UFAEnumerator.SeekRank run a second per-length
+	// counting sweep over numbers the range index already holds.
+	var seekIdx *lengthrange.RangeIndex
+	factory := func(length int, cursor string, seek *big.Int) (enumerate.Session, error) {
+		if seek != nil && seekIdx != nil && in.class == ClassUL {
+			return in.openRangeSeeked(seekIdx, length, seek, opts)
+		}
+		return in.openSessionAt(length, CursorOptions{
+			Cursor:         cursor,
+			SeekRank:       seek,
+			Workers:        opts.Workers,
+			Shards:         opts.Shards,
+			Ordered:        opts.Ordered,
+			MergeBudget:    opts.MergeBudget,
+			StealThreshold: opts.StealThreshold,
+		})
+	}
+	var s enumerate.Session
+	var err error
+	switch {
+	case opts.SeekRank != nil && opts.Cursor != "":
+		return nil, fmt.Errorf("core: SeekRank and Cursor are mutually exclusive")
+	case opts.SeekRank != nil:
+		ri, rerr := in.rangeIndex(lo, hi)
+		if rerr != nil {
+			return nil, rerr
+		}
+		seekIdx = ri
+		grand := ri.TotalRange()
+		r := opts.SeekRank
+		if r.Sign() < 0 || r.Cmp(grand) > 0 {
+			return nil, fmt.Errorf("core: seek rank %v out of range [0, %v]", r, grand)
+		}
+		if r.Cmp(grand) == 0 {
+			s = lengthrange.ExhaustedRangeSession(lo, hi, fp)
+		} else {
+			n, within, serr := ri.SplitRank(r)
+			if serr != nil {
+				return nil, serr
+			}
+			s, err = lengthrange.NewRangeSessionAt(lo, hi, n, within, fp, factory)
+		}
+	case opts.Cursor != "":
+		c, perr := lengthrange.ParseRangeToken(opts.Cursor)
+		if perr != nil {
+			return nil, perr
+		}
+		if c.Lo != lo || c.Hi != hi {
+			return nil, fmt.Errorf("core: cursor range [%d, %d] does not match requested range [%d, %d]", c.Lo, c.Hi, lo, hi)
+		}
+		s, err = lengthrange.ResumeRangeSession(c, fp, factory)
+	default:
+		s, err = lengthrange.NewRangeSession(lo, hi, fp, factory)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Limit > 0 {
+		s = &limitedSession{Session: s, left: opts.Limit}
+	}
+	return s, nil
+}
+
+// openRangeSeeked opens a session at `length` positioned at the given
+// within-length rank (the next word emitted has that rank), deriving the
+// decision vector from the cross-length index's shared tables and
+// replaying it — O(n·m) validation, no countdag build. Parallel sessions
+// re-shard the suffix like openSeekedAt (the stream builds its own index
+// for exact steal sizing, as every parallel UFA stream does).
+func (in *Instance) openRangeSeeked(ri *lengthrange.RangeIndex, length int, seek *big.Int, opts CursorOptions) (enumerate.Session, error) {
+	e, err := enumerate.NewUFA(in.n, length)
+	if err != nil {
+		return nil, err
+	}
+	positioned := e
+	if seek.Sign() > 0 {
+		// Position = the word at rank seek−1 was emitted.
+		prev := new(big.Int).Sub(seek, big.NewInt(1))
+		choices, err := ri.UnrankChoicesAt(length, prev)
+		if err != nil {
+			return nil, err
+		}
+		positioned, err = e.OpenShardAt(e.Shards(1)[0], choices)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Workers > 1 {
+		return positioned.StreamFrom(enumerate.SuffixFrontier(positioned.Cursor()), enumerate.StreamOptions{
+			Workers:        opts.Workers,
+			Shards:         opts.Shards,
+			Ordered:        opts.Ordered,
+			MergeBudget:    opts.MergeBudget,
+			StealThreshold: opts.StealThreshold,
+		})
+	}
+	return positioned, nil
+}
+
+// EnumerateRangeFrom is EnumerateRange resuming from an el1:R: token,
+// taking the length range from the token itself (after its fingerprint
+// is validated against the instance's automaton); opts tunes the session
+// like EnumerateRange (opts.Cursor is replaced by the token, and a
+// non-nil SeekRank is rejected as mutually exclusive, exactly as on the
+// single-length path). Services resuming fully untrusted tokens should
+// prefer EnumerateRange with their own [lo, hi] bound — the fingerprint
+// is a checksum, not a MAC.
+func (in *Instance) EnumerateRangeFrom(token string, opts CursorOptions) (enumerate.Session, error) {
+	c, err := lengthrange.ParseRangeToken(token)
+	if err != nil {
+		return nil, err
+	}
+	opts.Cursor = token
+	return in.EnumerateRange(c.Lo, c.Hi, opts)
 }
 
 // limitedSession caps a session's output count, forwarding everything else.

@@ -29,6 +29,48 @@ func (p *Product) Enumerate(ci *core.Instance, opts core.CursorOptions) (*PathSe
 	return &PathSession{p: p, s: s}, nil
 }
 
+// EnumerateRange opens a path enumeration session over ALL path lengths
+// n in [lo, hi] — shortest paths first, each length in its engine order —
+// through core's cross-length session chain (resumable via el1:R: range
+// tokens, parallel per length under the work-stealing scheduler). This is
+// the natural "paths up to length N" RPQ workload served from one
+// session.
+func (p *Product) EnumerateRange(ci *core.Instance, lo, hi int, opts core.CursorOptions) (*PathSession, error) {
+	s, err := ci.EnumerateRange(lo, hi, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PathSession{p: p, s: s}, nil
+}
+
+// PathAtRange returns the path at the given global 0-based rank of the
+// length-lexicographic order over [lo, hi] — random access into the
+// union of all path lengths through the shared cross-length index.
+// Unambiguous products only (core.UnrankRange's contract).
+func (p *Product) PathAtRange(ci *core.Instance, lo, hi int, r *big.Int) (Path, error) {
+	w, err := ci.UnrankRange(lo, hi, r)
+	if err != nil {
+		return nil, err
+	}
+	return p.WordToPath(w), nil
+}
+
+// SampleRangePaths draws k uniform paths from the union of all lengths
+// in [lo, hi] (each length weighted by its exact path count; bitwise
+// identical for every worker count). Unambiguous products only;
+// core.ErrEmpty when no path of any in-range length exists.
+func (p *Product) SampleRangePaths(ci *core.Instance, lo, hi, k, workers int) ([]Path, error) {
+	ws, err := ci.SampleManyRange(lo, hi, k, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Path, len(ws))
+	for i, w := range ws {
+		out[i] = p.WordToPath(w)
+	}
+	return out, nil
+}
+
 // PathAt returns the path at the given 0-based rank of the enumeration
 // order — random access into ⟦Q⟧_n(G, u, v) through the core instance's
 // counting index. Unambiguous products only (core.Unrank's contract);

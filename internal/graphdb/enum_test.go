@@ -2,6 +2,7 @@ package graphdb
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"repro/internal/automata"
@@ -97,6 +98,87 @@ func TestPathSessionMatchesOracle(t *testing.T) {
 	for i := range full {
 		if paged[i] != full[i] {
 			t.Fatalf("page output %d = %s, want %s", i, paged[i], full[i])
+		}
+	}
+}
+
+// TestPathRangeSession: EnumerateRange serves "all paths of length lo..hi"
+// from one session — per length exactly the AllPaths oracle — and
+// PathAtRange/SampleRangePaths random-access and sample the same union.
+func TestPathRangeSession(t *testing.T) {
+	labels := automata.NewAlphabet("a", "b")
+	g := NewGraph(4, labels)
+	a := labels.MustSymbol("a")
+	b := labels.MustSymbol("b")
+	g.AddEdge(0, a, 1)
+	g.AddEdge(1, b, 2)
+	g.AddEdge(2, a, 3)
+	g.AddEdge(1, a, 3)
+	g.AddEdge(3, b, 1)
+	q, err := NewRPQ("a(a|b)*", labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := BuildProduct(g, q, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1, 6
+	ci, err := core.New(prod.N, hi, core.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := prod.EnumerateRange(ci, lo, hi, core.CursorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	lens := map[int]int{}
+	for {
+		p, ok := ps.Next()
+		if !ok {
+			break
+		}
+		if _, valid := g.ValidPath(p, 0, 3); !valid {
+			t.Fatalf("range session yielded invalid path %v", p)
+		}
+		got = append(got, fmt.Sprint(p))
+		lens[len(p)]++
+	}
+	if err := ps.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+	want := 0
+	for n := lo; n <= hi; n++ {
+		oracle := AllPaths(g, q, 0, 3, n)
+		if lens[n] != len(oracle) {
+			t.Fatalf("length %d: session yielded %d paths, oracle %d", n, lens[n], len(oracle))
+		}
+		want += len(oracle)
+	}
+	if len(got) != want {
+		t.Fatalf("range session yielded %d paths, oracle union %d", len(got), want)
+	}
+	if ci.Class() != core.ClassUL {
+		return // ranked access needs an unambiguous product
+	}
+	for i := range got {
+		p, err := prod.PathAtRange(ci, lo, hi, big.NewInt(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(p) != got[i] {
+			t.Fatalf("PathAtRange(%d) = %v, enumeration %v", i, p, got[i])
+		}
+	}
+	paths, err := prod.SampleRangePaths(ci, lo, hi, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if _, valid := g.ValidPath(p, 0, 3); !valid || len(p) < lo || len(p) > hi {
+			t.Fatalf("sampled invalid range path %v", p)
 		}
 	}
 }

@@ -1,0 +1,546 @@
+// Package lengthrange builds one shared ranked counting index over ALL
+// witness lengths n in [lo, hi] of an unambiguous automaton — the
+// cross-length sharing the per-instance countdag cannot do (one
+// countdag.Index is bound to a single n; serving a length range used to
+// mean hi−lo+1 independent backward sweeps).
+//
+// # Why one backward sweep suffices
+//
+// The per-vertex tables of the length-n counting DAG (internal/countdag)
+// depend only on the state and the REMAINING length, not on n and the
+// layer separately: at vertex (t, q) of the length-n DAG every successor
+// of an alive vertex is automatically forward-reachable, so the pruned
+// out-edge list — the edges (a, p) with at least one accepting completion
+// of length n−t−1 from p, in the DAG's decision order (successor state
+// ascending, then symbol ascending) — and its cumulative big.Int prefix
+// sums are a function of (q, r) with r = n−t alone. Build therefore runs
+// ONE backward sweep from the longest length hi, materializing cum[r][q]
+// for r in 1..hi (layer-parallel on the par primitives, bitwise identical
+// for any worker count), and every length n in [lo, hi] is served by the
+// slice of tables it needs: its start vector is cum[n][start], its total
+// is comp[n][start], and an unrank descent for length n reads cum[n],
+// cum[n−1], …, cum[1]. Per-length answers are bitwise identical to a
+// countdag.Index built for that length (asserted by the equivalence
+// tests), at roughly the build cost of the single longest length instead
+// of the sum over all of them.
+//
+// # The ranked API over the union of lengths
+//
+// Rank-space is length-lexicographic: all length-lo words first (in the
+// countdag enumeration order of that length), then lo+1, and so on — the
+// order EnumerateRange emits. TotalRange is the union cardinality,
+// RankRange/UnrankRange convert between witnesses of any length in the
+// range and their global index, and Sample draws one uniform global rank
+// — which first selects a length with probability proportional to its
+// exact count, then unranks within it — so the union is sampled exactly
+// uniformly. SampleMany fans fixed-size chunks of draw sessions across
+// workers with per-chunk seed-derived RNG streams (bitwise identical for
+// every worker count), and a DrawSession performs zero heap allocations
+// per draw.
+//
+// # Memory model and sharing contract
+//
+// Build freezes the index before returning: afterwards every method only
+// reads, so a RangeIndex is safe for unbounded concurrent use with no
+// locking. As in countdag, accessors may return pointers into the frozen
+// tables (TotalAt, CumTotals) — callers MUST NOT mutate a returned
+// *big.Int; methods that compute fresh values (RankRange, UnrankRange,
+// RankAt, UnrankAt, Sample) return values the caller owns.
+//
+// Unambiguity is the caller's contract (core verifies it once at
+// instance construction): on an ambiguous automaton the index counts
+// accepting RUNS, so ranks and counts overshoot the language.
+//
+// The resumable cross-length enumeration session and its el1:R: token
+// format live in session.go.
+package lengthrange
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"repro/internal/automata"
+	"repro/internal/bitset"
+	"repro/internal/countdag"
+	"repro/internal/par"
+	"repro/internal/sample"
+	"repro/internal/unroll"
+)
+
+// ErrEmpty is returned by the samplers when the whole range is empty —
+// the paper's ⊥ answer.
+var ErrEmpty = errors.New("lengthrange: witness set is empty over the range")
+
+var (
+	zero = big.NewInt(0)
+	one  = big.NewInt(1)
+)
+
+// RangeIndex is the frozen cross-length counting index. See the package
+// comment for the memory model and sharing contract.
+type RangeIndex struct {
+	src    *automata.NFA
+	lo, hi int
+
+	// comp[r][q] = number of accepting completions of length exactly r
+	// from state q (comp[0][q] = 1 iff q is final) — the shared suffix
+	// counts every length's subtree counts are slices of.
+	comp [][]*big.Int
+	// edges[r][q] lists the pruned out-edges of a vertex at state q with
+	// remaining length r (nil when comp[r][q] = 0): the edges (a, p) with
+	// comp[r−1][p] > 0, ordered by (p asc, a asc) — exactly the decision
+	// order of the length-n counting DAG at layer n−r. cum[r][q] holds
+	// the aligned cumulative prefix sums (len(edges)+1 entries).
+	edges [][][]unroll.OutEdge
+	cum   [][][]*big.Int
+
+	// totals[i] = |L_{lo+i}|; cumTotals[i] = Σ_{j<i} totals[j], with the
+	// grand total at cumTotals[len(totals)].
+	totals    []*big.Int
+	cumTotals []*big.Int
+}
+
+// Build computes the shared index for all lengths in [lo, hi], fanning
+// each remaining-length layer's states across up to `workers` goroutines
+// (≤ 1 = serial; the result is bitwise identical for every worker count —
+// each state's sums accumulate in its frozen edge order and write only to
+// its own slots). The automaton must be ε-free; unambiguity is the
+// caller's contract.
+func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
+	if nfa.HasEpsilon() {
+		return nil, fmt.Errorf("lengthrange: automaton has ε-transitions")
+	}
+	if lo < 0 || lo > hi {
+		return nil, fmt.Errorf("lengthrange: bad length range [%d, %d]", lo, hi)
+	}
+	m := nfa.NumStates()
+	sigma := nfa.Alphabet().Size()
+	x := &RangeIndex{src: nfa, lo: lo, hi: hi}
+
+	// Static out-edges per state, sorted into the counting DAG's decision
+	// order (successor state ascending, then symbol ascending). Successor
+	// lists are sorted and duplicate-free, so the order is unambiguous.
+	sorted := make([][]unroll.OutEdge, m)
+	for q := 0; q < m; q++ {
+		var out []unroll.OutEdge
+		for a := 0; a < sigma; a++ {
+			for _, p := range nfa.Successors(q, a) {
+				out = append(out, unroll.OutEdge{Symbol: a, To: p})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].To != out[j].To {
+				return out[i].To < out[j].To
+			}
+			return out[i].Symbol < out[j].Symbol
+		})
+		sorted[q] = out
+	}
+
+	// One backward sweep from the longest length: layer r's prefix sums
+	// read only comp[r−1], and comp[r][q] is the last entry of cum[r][q].
+	x.comp = make([][]*big.Int, hi+1)
+	x.edges = make([][][]unroll.OutEdge, hi+1)
+	x.cum = make([][][]*big.Int, hi+1)
+	base := make([]*big.Int, m)
+	for q := 0; q < m; q++ {
+		if nfa.IsFinal(q) {
+			base[q] = one
+		} else {
+			base[q] = zero
+		}
+	}
+	x.comp[0] = base
+	for r := 1; r <= hi; r++ {
+		prev := x.comp[r-1]
+		cnt := make([]*big.Int, m)
+		layerEdges := make([][]unroll.OutEdge, m)
+		layerCum := make([][]*big.Int, m)
+		par.ForEachIndexed(m, workers, func(q int) {
+			var pruned []unroll.OutEdge
+			var cum []*big.Int
+			acc := new(big.Int)
+			for _, e := range sorted[q] {
+				sub := prev[e.To]
+				if sub.Sign() == 0 {
+					continue
+				}
+				if pruned == nil {
+					pruned = make([]unroll.OutEdge, 0, len(sorted[q]))
+					cum = append(make([]*big.Int, 0, len(sorted[q])+1), zero)
+				}
+				pruned = append(pruned, e)
+				acc.Add(acc, sub)
+				cum = append(cum, new(big.Int).Set(acc))
+			}
+			if pruned == nil {
+				cnt[q] = zero
+				return
+			}
+			layerEdges[q] = pruned
+			layerCum[q] = cum
+			cnt[q] = cum[len(cum)-1]
+		})
+		x.comp[r] = cnt
+		x.edges[r] = layerEdges
+		x.cum[r] = layerCum
+	}
+
+	// Per-length start-vector slices: totals and their running sums, the
+	// spine of the length-lexicographic rank space.
+	start := nfa.Start()
+	x.totals = make([]*big.Int, hi-lo+1)
+	x.cumTotals = make([]*big.Int, hi-lo+2)
+	x.cumTotals[0] = zero
+	acc := new(big.Int)
+	for i := range x.totals {
+		x.totals[i] = x.comp[lo+i][start]
+		acc.Add(acc, x.totals[i])
+		x.cumTotals[i+1] = new(big.Int).Set(acc)
+	}
+	return x, nil
+}
+
+// Lo returns the smallest length the index covers.
+func (x *RangeIndex) Lo() int { return x.lo }
+
+// Hi returns the largest length the index covers.
+func (x *RangeIndex) Hi() int { return x.hi }
+
+// Automaton returns the automaton the index was built on.
+func (x *RangeIndex) Automaton() *automata.NFA { return x.src }
+
+// TotalRange returns |⋃_{n∈[lo,hi]} L_n| — the size of the whole
+// length-lexicographic rank space. The caller owns the copy.
+func (x *RangeIndex) TotalRange() *big.Int {
+	return new(big.Int).Set(x.cumTotals[len(x.totals)])
+}
+
+// TotalAt returns |L_n| for one length in the range. Shared; do not
+// mutate.
+func (x *RangeIndex) TotalAt(n int) (*big.Int, error) {
+	if n < x.lo || n > x.hi {
+		return nil, fmt.Errorf("lengthrange: length %d outside [%d, %d]", n, x.lo, x.hi)
+	}
+	return x.totals[n-x.lo], nil
+}
+
+// FirstRankOf returns the global rank of the first length-n word — the
+// offset of length n's span in the length-lexicographic order. The caller
+// owns the copy.
+func (x *RangeIndex) FirstRankOf(n int) (*big.Int, error) {
+	if n < x.lo || n > x.hi {
+		return nil, fmt.Errorf("lengthrange: length %d outside [%d, %d]", n, x.lo, x.hi)
+	}
+	return new(big.Int).Set(x.cumTotals[n-x.lo]), nil
+}
+
+// UnrankAt returns the word at rank r (0-based) WITHIN length n — bitwise
+// identical to countdag.Unrank on the length-n index. The caller owns the
+// result; r is not modified.
+func (x *RangeIndex) UnrankAt(n int, r *big.Int) (automata.Word, error) {
+	if n < x.lo || n > x.hi {
+		return nil, fmt.Errorf("lengthrange: length %d outside [%d, %d]", n, x.lo, x.hi)
+	}
+	if r.Sign() < 0 || r.Cmp(x.totals[n-x.lo]) >= 0 {
+		return nil, fmt.Errorf("lengthrange: rank %v out of range [0, %v) at length %d", r, x.totals[n-x.lo], n)
+	}
+	w := make(automata.Word, n)
+	rem := new(big.Int).Set(r)
+	if err := x.descend(rem, w, nil); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// UnrankChoicesAt returns the decision vector of the word at rank r
+// (0-based) within length n: choices[t] indexes the pruned out-edge list
+// at step t — exactly the per-layer decision indices of the length-n
+// counting DAG, so the vector positions an Algorithm 1 enumerator
+// (enumerate.OpenShardAt / a KindUFA cursor) without building that
+// length's countdag index. The caller owns the result.
+func (x *RangeIndex) UnrankChoicesAt(n int, r *big.Int) ([]int, error) {
+	if n < x.lo || n > x.hi {
+		return nil, fmt.Errorf("lengthrange: length %d outside [%d, %d]", n, x.lo, x.hi)
+	}
+	if r.Sign() < 0 || r.Cmp(x.totals[n-x.lo]) >= 0 {
+		return nil, fmt.Errorf("lengthrange: rank %v out of range [0, %v) at length %d", r, x.totals[n-x.lo], n)
+	}
+	w := make(automata.Word, n)
+	choices := make([]int, n)
+	rem := new(big.Int).Set(r)
+	if err := x.descend(rem, w, choices); err != nil {
+		return nil, err
+	}
+	return choices, nil
+}
+
+// descend is the shared unrank walk: w's length selects the start table,
+// and at each step the prefix sums of the remaining length are
+// binary-searched for the subtree containing rem, consuming rem as
+// scratch. choices, when non-nil (len(w) entries), records the edge
+// index taken at each step. Allocation-free given caller-owned buffers.
+func (x *RangeIndex) descend(rem *big.Int, w automata.Word, choices []int) error {
+	q := x.src.Start()
+	n := len(w)
+	for r := n; r >= 1; r-- {
+		edges := x.edges[r][q]
+		cum := x.cum[r][q]
+		// The subtree of edge i owns ranks [cum[i], cum[i+1]).
+		i := sort.Search(len(edges), func(i int) bool { return cum[i+1].Cmp(rem) > 0 })
+		if i == len(edges) {
+			return fmt.Errorf("lengthrange: inconsistent prefix sums at remaining length %d", r)
+		}
+		rem.Sub(rem, cum[i])
+		w[n-r] = edges[i].Symbol
+		if choices != nil {
+			choices[n-r] = i
+		}
+		q = edges[i].To
+	}
+	return nil
+}
+
+// RankAt returns the rank of w within its own length's span (len(w) must
+// lie in the range) — bitwise identical to countdag.Rank on that length's
+// index — or an error wrapping countdag.ErrNotMember when w is not a
+// witness. For a UFA the accepting run is unique, so it is reconstructed
+// forward (reachable sets along w, pruned by the completion counts) and
+// then backward from the accepting final state.
+func (x *RangeIndex) RankAt(w automata.Word) (*big.Int, error) {
+	n := len(w)
+	if n < x.lo || n > x.hi {
+		return nil, fmt.Errorf("lengthrange: word length %d outside [%d, %d] (%w)", n, x.lo, x.hi, countdag.ErrNotMember)
+	}
+	sigma := x.src.Alphabet().Size()
+	for i, a := range w {
+		if a < 0 || a >= sigma {
+			return nil, fmt.Errorf("lengthrange: symbol %d at position %d out of range (%w)", a, i, countdag.ErrNotMember)
+		}
+	}
+	if n == 0 {
+		if x.comp[0][x.src.Start()].Sign() == 0 {
+			return nil, fmt.Errorf("lengthrange: ε is not accepted (%w)", countdag.ErrNotMember)
+		}
+		return new(big.Int), nil
+	}
+	m := x.src.NumStates()
+	// Forward: reach[t] = states reachable via w[:t+1] that still have an
+	// accepting completion of the remaining length (the pruned aliveness
+	// of the length-n DAG).
+	reach := make([]*bitset.Set, n)
+	cur := bitset.New(m)
+	for _, p := range x.src.Successors(x.src.Start(), w[0]) {
+		if x.comp[n-1][p].Sign() > 0 {
+			cur.Add(p)
+		}
+	}
+	reach[0] = cur
+	for t := 1; t < n; t++ {
+		next := bitset.New(m)
+		rem := n - t - 1
+		cur.ForEach(func(q int) {
+			for _, p := range x.src.Successors(q, w[t]) {
+				if x.comp[rem][p].Sign() > 0 {
+					next.Add(p)
+				}
+			}
+		})
+		reach[t] = next
+		cur = next
+	}
+	// The accepting final state of w's unique run, then the unique
+	// backward predecessor chain.
+	path := make([]int, n+1)
+	path[0] = x.src.Start()
+	final := -1
+	reach[n-1].ForEach(func(p int) {
+		if x.src.IsFinal(p) && final < 0 {
+			final = p
+		}
+	})
+	if final < 0 {
+		return nil, fmt.Errorf("lengthrange: no accepting run (%w)", countdag.ErrNotMember)
+	}
+	path[n] = final
+	for t := n - 1; t >= 1; t-- {
+		prev := -1
+		tgt := path[t+1]
+		reach[t-1].ForEach(func(p int) {
+			if prev >= 0 {
+				return
+			}
+			for _, s := range x.src.Successors(p, w[t]) {
+				if s == tgt {
+					prev = p
+					return
+				}
+			}
+		})
+		if prev < 0 {
+			return nil, fmt.Errorf("lengthrange: broken run reconstruction at position %d (%w)", t, countdag.ErrNotMember)
+		}
+		path[t] = prev
+	}
+	// Sum the prefix weight of the chosen edge at every step.
+	rk := new(big.Int)
+	for t := 0; t < n; t++ {
+		r := n - t
+		edges := x.edges[r][path[t]]
+		idx := -1
+		for j, e := range edges {
+			if e.To == path[t+1] && e.Symbol == w[t] {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("lengthrange: run leaves the pruned tables at position %d (%w)", t, countdag.ErrNotMember)
+		}
+		rk.Add(rk, x.cum[r][path[t]][idx])
+	}
+	return rk, nil
+}
+
+// RankRange returns the global index of w in the length-lexicographic
+// order over the whole range: the spans of all shorter lengths, plus w's
+// rank within its own length. The caller owns the result.
+func (x *RangeIndex) RankRange(w automata.Word) (*big.Int, error) {
+	within, err := x.RankAt(w)
+	if err != nil {
+		return nil, err
+	}
+	return within.Add(within, x.cumTotals[len(w)-x.lo]), nil
+}
+
+// UnrankRange returns the witness at the given global rank of the
+// length-lexicographic order. The caller owns the result; r is not
+// modified.
+func (x *RangeIndex) UnrankRange(r *big.Int) (automata.Word, error) {
+	n, rem, err := x.splitRank(r, new(big.Int))
+	if err != nil {
+		return nil, err
+	}
+	w := make(automata.Word, n)
+	if err := x.descend(rem, w, nil); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SplitRank resolves a global rank into (length, rank within that
+// length). The caller owns both results.
+func (x *RangeIndex) SplitRank(r *big.Int) (n int, within *big.Int, err error) {
+	return x.splitRank(r, new(big.Int))
+}
+
+// splitRank writes the within-length remainder into rem (scratch the
+// caller provides) and returns the selected length.
+func (x *RangeIndex) splitRank(r, rem *big.Int) (int, *big.Int, error) {
+	grand := x.cumTotals[len(x.totals)]
+	if r.Sign() < 0 || r.Cmp(grand) >= 0 {
+		return 0, nil, fmt.Errorf("lengthrange: rank %v out of range [0, %v)", r, grand)
+	}
+	// The span of length lo+i owns ranks [cumTotals[i], cumTotals[i+1]).
+	i := sort.Search(len(x.totals), func(i int) bool { return x.cumTotals[i+1].Cmp(r) > 0 })
+	rem.Sub(r, x.cumTotals[i])
+	return x.lo + i, rem, nil
+}
+
+// Sample draws one witness uniformly from the union of all lengths in the
+// range: one uniform global rank (so each length is selected with
+// probability exactly |L_n|/TotalRange), then one unrank descent within
+// it. ErrEmpty when the whole range is empty. Safe for concurrent use as
+// long as each call brings its own rng; batch callers should prefer a
+// DrawSession or SampleMany.
+func (x *RangeIndex) Sample(rng *rand.Rand) (automata.Word, error) {
+	grand := x.cumTotals[len(x.totals)]
+	if grand.Sign() == 0 {
+		return nil, ErrEmpty
+	}
+	return x.UnrankRange(sample.RandBig(rng, grand))
+}
+
+// sampleChunk is the number of draws one seed-derived RNG stream covers
+// in SampleMany: fixed (not worker-dependent) so the batch is identical
+// for every worker count — the same chunking discipline as
+// sample.UFASampler.SampleMany.
+const sampleChunk = 64
+
+// SampleMany draws k independent uniform witnesses from the range across
+// up to `workers` goroutines (≤ 1 = serial). Chunks of sampleChunk
+// consecutive draws share one RNG stream derived from (seed, stream,
+// chunk), so the batch depends on (seed, stream, k) only — bitwise
+// identical for every worker count.
+func (x *RangeIndex) SampleMany(seed int64, stream uint64, k, workers int) ([]automata.Word, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if x.cumTotals[len(x.totals)].Sign() == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]automata.Word, k)
+	chunks := (k + sampleChunk - 1) / sampleChunk
+	par.ForEachIndexed(chunks, workers, func(c int) {
+		d := x.NewDrawSession(par.StreamRNG(seed, stream, c, 0))
+		lo, hi := c*sampleChunk, (c+1)*sampleChunk
+		if hi > k {
+			hi = k
+		}
+		for i := lo; i < hi; i++ {
+			w, err := d.Sample()
+			if err != nil {
+				// The grand total is positive, so Sample cannot fail;
+				// guard against index corruption anyway.
+				panic(err)
+			}
+			out[i] = append(automata.Word(nil), w...)
+		}
+	})
+	return out, nil
+}
+
+// DrawSession is a single-goroutine range-sampling stream with reusable
+// scratch: Sample performs zero heap allocations per draw (the returned
+// word aliases the session buffer and is only valid until the next call).
+type DrawSession struct {
+	x   *RangeIndex
+	rng *rand.Rand
+	r   big.Int
+	buf []byte
+	w   automata.Word
+}
+
+// NewDrawSession wraps rng with per-session scratch for allocation-free
+// repeated draws. The session must not be shared between goroutines.
+func (x *RangeIndex) NewDrawSession(rng *rand.Rand) *DrawSession {
+	return &DrawSession{
+		x:   x,
+		rng: rng,
+		buf: make([]byte, (x.cumTotals[len(x.totals)].BitLen()+7)/8),
+		w:   make(automata.Word, x.hi),
+	}
+}
+
+// Sample draws one uniform witness from the range. The returned word
+// aliases the session's buffer (sliced to the drawn length) and is only
+// valid until the next call — copy to retain.
+func (d *DrawSession) Sample() (automata.Word, error) {
+	grand := d.x.cumTotals[len(d.x.totals)]
+	if grand.Sign() == 0 {
+		return nil, ErrEmpty
+	}
+	sample.RandBigInto(d.rng, grand, &d.r, d.buf)
+	n, _, err := d.x.splitRank(&d.r, &d.r)
+	if err != nil {
+		return nil, err
+	}
+	w := d.w[:n]
+	if err := d.x.descend(&d.r, w, nil); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

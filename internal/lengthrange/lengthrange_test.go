@@ -1,0 +1,417 @@
+package lengthrange
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/countdag"
+	"repro/internal/exact"
+	"repro/internal/sample"
+	"repro/internal/stats"
+	"repro/internal/unroll"
+)
+
+// perLengthIndex builds the existing single-length engine's index — the
+// reference every range answer must be bitwise identical to.
+func perLengthIndex(t *testing.T, n *automata.NFA, length int) *countdag.Index {
+	t.Helper()
+	dag, err := unroll.Build(n, length, unroll.Options{PruneBackward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return countdag.Build(dag, 1)
+}
+
+// TestRangeMatchesCountdagPerLength: for every length n in the range,
+// TotalAt, UnrankAt and RankAt are bitwise identical to a countdag.Index
+// built for that single length — the per-length equivalence contract of
+// the shared tables.
+func TestRangeMatchesCountdagPerLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		nfa := automata.RandomDFA(rng, automata.Binary(), 2+rng.Intn(6), 0.5)
+		lo, hi := rng.Intn(3), 4+rng.Intn(5)
+		ri, err := Build(nfa, lo, hi, 1+rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := lo; n <= hi; n++ {
+			idx := perLengthIndex(t, nfa, n)
+			total, err := ri.TotalAt(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total.Cmp(idx.Total()) != 0 {
+				t.Fatalf("trial %d n=%d: TotalAt %v, countdag %v", trial, n, total, idx.Total())
+			}
+			if total.Cmp(exact.CountUFA(automata.Trim(nfa), n)) != 0 {
+				t.Fatalf("trial %d n=%d: TotalAt %v disagrees with exact.CountUFA", trial, n, total)
+			}
+			limit := total.Int64()
+			if limit > 64 {
+				limit = 64
+			}
+			for i := int64(0); i < limit; i++ {
+				r := big.NewInt(i)
+				got, err := ri.UnrankAt(n, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := idx.Unrank(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nfa.Alphabet().FormatWord(got) != nfa.Alphabet().FormatWord(want) {
+					t.Fatalf("trial %d n=%d rank %d: range %q, countdag %q",
+						trial, n, i, nfa.Alphabet().FormatWord(got), nfa.Alphabet().FormatWord(want))
+				}
+				gotRank, err := ri.RankAt(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRank, err := idx.Rank(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotRank.Cmp(wantRank) != 0 || gotRank.Cmp(r) != 0 {
+					t.Fatalf("trial %d n=%d: RankAt(UnrankAt(%d)) = %v (countdag %v)", trial, n, i, gotRank, wantRank)
+				}
+			}
+			if _, err := ri.UnrankAt(n, new(big.Int).Set(total)); err == nil && total.Sign() >= 0 {
+				t.Fatalf("trial %d n=%d: UnrankAt(total) accepted", trial, n)
+			}
+		}
+	}
+}
+
+// TestRangeBuildWorkerEquivalence: the shared sweep is bitwise identical
+// for every worker count.
+func TestRangeBuildWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	nfa := automata.RandomDFA(rng, automata.Binary(), 24, 0.5)
+	base, err := Build(nfa, 2, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		ri, err := Build(nfa, 2, 12, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.TotalRange().Cmp(base.TotalRange()) != 0 {
+			t.Fatalf("workers=%d: TotalRange %v, serial %v", workers, ri.TotalRange(), base.TotalRange())
+		}
+		for n := 2; n <= 12; n++ {
+			a, _ := ri.TotalAt(n)
+			b, _ := base.TotalAt(n)
+			if a.Cmp(b) != 0 {
+				t.Fatalf("workers=%d n=%d: %v vs %v", workers, n, a, b)
+			}
+		}
+		for _, i := range []int64{0, 1, 7, 100} {
+			r := big.NewInt(i)
+			if r.Cmp(base.TotalRange()) >= 0 {
+				continue
+			}
+			a, err1 := ri.UnrankRange(r)
+			b, err2 := base.UnrankRange(r)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if nfa.Alphabet().FormatWord(a) != nfa.Alphabet().FormatWord(b) {
+				t.Fatalf("workers=%d rank %d: %q vs %q", workers, i,
+					nfa.Alphabet().FormatWord(a), nfa.Alphabet().FormatWord(b))
+			}
+		}
+	}
+}
+
+// TestRangeLengthLexRank: the global rank space is exactly the
+// length-lexicographic concatenation of the per-length spans, and
+// RankRange/UnrankRange invert each other across all of it.
+func TestRangeLengthLexRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 8; trial++ {
+		nfa := automata.RandomDFA(rng, automata.Binary(), 2+rng.Intn(5), 0.6)
+		lo, hi := rng.Intn(2), 3+rng.Intn(4)
+		ri, err := Build(nfa, lo, hi, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grand := ri.TotalRange()
+		// Grand total = Σ per-length totals; spans start at the running sums.
+		sum := new(big.Int)
+		for n := lo; n <= hi; n++ {
+			first, err := ri.FirstRankOf(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Cmp(sum) != 0 {
+				t.Fatalf("trial %d: FirstRankOf(%d) = %v, want %v", trial, n, first, sum)
+			}
+			total, _ := ri.TotalAt(n)
+			sum.Add(sum, total)
+		}
+		if sum.Cmp(grand) != 0 {
+			t.Fatalf("trial %d: Σ totals %v != TotalRange %v", trial, sum, grand)
+		}
+		limit := grand.Int64()
+		if limit > 300 {
+			limit = 300
+		}
+		prevLen := -1
+		for i := int64(0); i < limit; i++ {
+			w, err := ri.UnrankRange(big.NewInt(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w) < prevLen {
+				t.Fatalf("trial %d: rank %d has length %d after length %d (not length-lex)", trial, i, len(w), prevLen)
+			}
+			prevLen = len(w)
+			if !nfa.Accepts(w) {
+				t.Fatalf("trial %d: UnrankRange(%d) = %q is not a witness", trial, i, nfa.Alphabet().FormatWord(w))
+			}
+			r, err := ri.RankRange(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Int64() != i {
+				t.Fatalf("trial %d: RankRange(UnrankRange(%d)) = %v", trial, i, r)
+			}
+		}
+		if _, err := ri.UnrankRange(grand); err == nil && grand.Sign() >= 0 {
+			t.Fatalf("trial %d: UnrankRange(grand) accepted", trial)
+		}
+		if _, err := ri.RankRange(make(automata.Word, hi+1)); err == nil {
+			t.Fatalf("trial %d: RankRange of out-of-range length accepted", trial)
+		}
+	}
+}
+
+// TestRangeSamplerUniform: the range sampler is uniform over the union —
+// checked with the shared stats helpers three ways: uniformity over the
+// full support, the length marginal against the exact per-length counts,
+// and within-length uniformity for each length.
+func TestRangeSamplerUniform(t *testing.T) {
+	// Σ* over lengths 0..4: totals 1, 2, 4, 8, 16 — a non-degenerate
+	// length marginal on a 31-word union.
+	nfa := automata.All(automata.Binary())
+	lo, hi := 0, 4
+	ri, err := Build(nfa, lo, hi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand := ri.TotalRange().Int64()
+	if grand != 31 {
+		t.Fatalf("TotalRange = %d, want 31", grand)
+	}
+	// Support = the whole union, per length.
+	perLength := make(map[int][]string)
+	var support []string
+	for n := lo; n <= hi; n++ {
+		words := exact.LanguageSlice(nfa, n)
+		perLength[n] = words
+		support = append(support, words...)
+	}
+	if int64(len(support)) != grand {
+		t.Fatalf("support %d != TotalRange %v", len(support), grand)
+	}
+	rng := rand.New(rand.NewSource(34))
+	draws := map[string]int{}
+	lenCounts := make([]int, hi-lo+1)
+	trials := 2000 * len(support)
+	if trials > 40000 {
+		trials = 40000
+	}
+	for i := 0; i < trials; i++ {
+		w, err := ri.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		draws[nfa.Alphabet().FormatWord(w)]++
+		lenCounts[len(w)-lo]++
+	}
+	// Whole-union uniformity.
+	if err := stats.UniformOverSupport(draws, support); err != nil {
+		t.Fatalf("union not uniform: %v", err)
+	}
+	// Length marginal ∝ exact per-length counts.
+	weights := make([]float64, hi-lo+1)
+	for n := lo; n <= hi; n++ {
+		total, _ := ri.TotalAt(n)
+		weights[n-lo] = float64(total.Int64())
+	}
+	if ok, stat, err := stats.GoodnessOK(lenCounts, weights); err != nil || !ok {
+		t.Fatalf("length marginal off (chi2=%f, err=%v): counts %v, weights %v", stat, err, lenCounts, weights)
+	}
+	// Within-length uniformity, length by length.
+	for n := lo; n <= hi; n++ {
+		if len(perLength[n]) < 2 {
+			continue
+		}
+		sub := map[string]int{}
+		for _, w := range perLength[n] {
+			if c := draws[w]; c > 0 {
+				sub[w] = c
+			}
+		}
+		if err := stats.UniformOverSupport(sub, perLength[n]); err != nil {
+			t.Fatalf("length %d not uniform within its span: %v", n, err)
+		}
+	}
+}
+
+// TestRangeSampleManyWorkerEquivalence: the chunked batch is a pure
+// function of (seed, stream, k) — bitwise identical for every worker
+// count, like sample.SampleMany.
+func TestRangeSampleManyWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	nfa := automata.RandomDFA(rng, automata.Binary(), 16, 0.5)
+	ri, err := Build(nfa, 3, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.TotalRange().Sign() == 0 {
+		t.Skip("empty range")
+	}
+	const k = 200
+	base, err := ri.SampleMany(7, 0xABC, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != k {
+		t.Fatalf("%d draws, want %d", len(base), k)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		got, err := ri.SampleMany(7, 0xABC, k, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if nfa.Alphabet().FormatWord(got[i]) != nfa.Alphabet().FormatWord(base[i]) {
+				t.Fatalf("workers=%d: draw %d = %q, want %q", workers, i,
+					nfa.Alphabet().FormatWord(got[i]), nfa.Alphabet().FormatWord(base[i]))
+			}
+		}
+	}
+}
+
+// TestRangeDrawSessionZeroAlloc: a session draw consumes the rng exactly
+// like Sample and performs zero heap allocations per draw — the contract
+// that keeps range serving alloc-free in steady state.
+func TestRangeDrawSessionZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	nfa := automata.RandomDFA(rng, automata.Binary(), 12, 0.5)
+	ri, err := Build(nfa, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.TotalRange().Sign() == 0 {
+		t.Skip("empty range")
+	}
+	d := ri.NewDrawSession(rand.New(rand.NewSource(99)))
+	ref := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		got, err := d.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ri.Sample(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nfa.Alphabet().FormatWord(got) != nfa.Alphabet().FormatWord(want) {
+			t.Fatalf("draw %d: session %q vs sampler %q", i,
+				nfa.Alphabet().FormatWord(got), nfa.Alphabet().FormatWord(want))
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := d.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DrawSession.Sample allocates %.1f per draw, want 0", allocs)
+	}
+}
+
+// TestRangeEmptyAndDegenerate: empty unions answer ⊥ everywhere, and a
+// single-length range degenerates to the per-length engine.
+func TestRangeEmptyAndDegenerate(t *testing.T) {
+	empty := automata.Chain(automata.Binary(), automata.Word{0, 1})
+	ri, err := Build(empty, 3, 6, 1) // the chain accepts only at length 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.TotalRange().Sign() != 0 {
+		t.Fatalf("TotalRange = %v, want 0", ri.TotalRange())
+	}
+	if _, err := ri.Sample(rand.New(rand.NewSource(1))); err != ErrEmpty {
+		t.Fatalf("Sample on empty range: %v, want ErrEmpty", err)
+	}
+	if _, err := ri.SampleMany(1, 2, 3, 2); err != ErrEmpty {
+		t.Fatalf("SampleMany on empty range: %v, want ErrEmpty", err)
+	}
+	if _, err := ri.NewDrawSession(rand.New(rand.NewSource(1))).Sample(); err != ErrEmpty {
+		t.Fatalf("DrawSession on empty range: %v, want ErrEmpty", err)
+	}
+	// Single-length range == the per-length index.
+	single, err := Build(empty, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.TotalRange().Int64() != 1 {
+		t.Fatalf("TotalRange = %v, want 1", single.TotalRange())
+	}
+	w, err := single.UnrankRange(big.NewInt(0))
+	if err != nil || empty.Alphabet().FormatWord(w) != "01" {
+		t.Fatalf("UnrankRange(0) = %q (%v), want 01", empty.Alphabet().FormatWord(w), err)
+	}
+	// ε handling: length 0 included.
+	all := automata.All(automata.Binary())
+	ri0, err := Build(all, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri0.TotalRange().Int64() != 1+2+4 {
+		t.Fatalf("Σ* range total = %v, want 7", ri0.TotalRange())
+	}
+	w0, err := ri0.UnrankRange(big.NewInt(0))
+	if err != nil || len(w0) != 0 {
+		t.Fatalf("rank 0 should be ε, got %q (%v)", all.Alphabet().FormatWord(w0), err)
+	}
+	r, err := ri0.RankRange(automata.Word{})
+	if err != nil || r.Sign() != 0 {
+		t.Fatalf("RankRange(ε) = %v (%v), want 0", r, err)
+	}
+	// Bad build parameters are rejected.
+	if _, err := Build(all, -1, 2, 1); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, err := Build(all, 3, 2, 1); err == nil {
+		t.Fatal("lo > hi accepted")
+	}
+	eps := automata.New(automata.Binary(), 2)
+	eps.AddEpsilon(0, 1)
+	if _, err := Build(eps, 0, 2, 1); err == nil {
+		t.Fatal("ε-automaton accepted")
+	}
+}
+
+// TestRandBigIntoExported: the exported zero-alloc entropy core matches
+// RandBig draw for draw (it is the same code path).
+func TestRandBigIntoExported(t *testing.T) {
+	a, b := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+	max := big.NewInt(1000)
+	out := new(big.Int)
+	buf := make([]byte, 2)
+	for i := 0; i < 100; i++ {
+		sample.RandBigInto(a, max, out, buf)
+		if want := sample.RandBig(b, max); out.Cmp(want) != 0 {
+			t.Fatalf("draw %d: %v vs %v", i, out, want)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package lengthrange
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/enumerate"
+)
+
+// KindRange is the cursor kind byte of a cross-length range session
+// token. The wire format extends the el1: namespace of
+// internal/enumerate:
+//
+//	el1:R:<base64url payload>
+//
+// with payload uvarint(fingerprint) ∘ uvarint(lo) ∘ uvarint(hi) ∘
+// uvarint(cur) ∘ state byte ∘ inner token bytes. The fingerprint is
+// enumerate.Fingerprint of the automaton (NOT length-bound — the
+// envelope spans lengths; each embedded inner token still carries its
+// own length-bound fingerprint). cur is the length the session is
+// positioned in; the state byte is 'd' (the whole range is drained, no
+// inner token) or 'm' (mid-range: the rest of the payload is the inner
+// session's own resume token at length cur, verbatim — a serial cursor,
+// a rank cursor or a multi-cell frontier token, each resuming under its
+// own validation discipline). Parse-time validation bounds every claimed
+// count by the remaining payload and the range invariants lo ≤ cur ≤ hi,
+// and resume paths check the envelope fingerprint and the inner token's
+// embedded length against cur BEFORE any length-sized precomputation —
+// the same fingerprint-first discipline the enumerate tokens follow (a
+// checksum, not a MAC: callers resuming fully untrusted tokens should
+// bound lo/hi against their own configuration, as core does by requiring
+// the envelope range to equal the requested one).
+const KindRange byte = 'R'
+
+// tokenPrefix mirrors the enumerate wire-format version tag.
+const tokenPrefix = "el1"
+
+// Cursor state bytes, shared with the enumerate cursor vocabulary.
+const (
+	stateMid  byte = 'm'
+	stateDone byte = 'd'
+)
+
+// RangeCursor is a decoded cross-length session position.
+type RangeCursor struct {
+	// FP is enumerate.Fingerprint of the automaton the session ran on.
+	FP uint32
+	// Lo, Hi delimit the session's length range; Cur is the length the
+	// session is positioned in (Hi for a done session).
+	Lo, Hi, Cur int
+	// Done marks a fully drained range; Inner is empty iff Done.
+	Done bool
+	// Inner is the resume token of the in-flight per-length session.
+	Inner string
+}
+
+// Token serializes the cursor; see KindRange for the format.
+func (c RangeCursor) Token() string {
+	buf := make([]byte, 0, 16+len(c.Inner))
+	buf = binary.AppendUvarint(buf, uint64(c.FP))
+	buf = binary.AppendUvarint(buf, uint64(c.Lo))
+	buf = binary.AppendUvarint(buf, uint64(c.Hi))
+	buf = binary.AppendUvarint(buf, uint64(c.Cur))
+	if c.Done {
+		buf = append(buf, stateDone)
+	} else {
+		buf = append(buf, stateMid)
+		buf = append(buf, c.Inner...)
+	}
+	return tokenPrefix + ":" + string(KindRange) + ":" + base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// IsRangeToken reports whether the token claims the range kind, so
+// callers can route it here instead of enumerate.ParseToken.
+func IsRangeToken(token string) bool {
+	return strings.HasPrefix(token, tokenPrefix+":"+string(KindRange)+":")
+}
+
+// ParseRangeToken decodes a range session token, validating everything
+// that can be checked without the automaton: format, the lo ≤ cur ≤ hi
+// invariants, state byte, and the presence shape of the inner token. The
+// inner token itself is validated when the per-length session reopens
+// (fingerprint before precomputation).
+func ParseRangeToken(token string) (RangeCursor, error) {
+	var c RangeCursor
+	parts := strings.Split(token, ":")
+	if len(parts) != 3 || parts[0] != tokenPrefix || parts[1] != string(KindRange) {
+		return c, fmt.Errorf("lengthrange: malformed range token (want %s:%c:<payload>)", tokenPrefix, KindRange)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil {
+		return c, fmt.Errorf("lengthrange: bad range token payload: %v", err)
+	}
+	fp, k := binary.Uvarint(raw)
+	if k <= 0 || fp > math.MaxUint32 {
+		return c, fmt.Errorf("lengthrange: bad range token fingerprint")
+	}
+	raw = raw[k:]
+	c.FP = uint32(fp)
+	uv := func(what string) (int, error) {
+		v, k := binary.Uvarint(raw)
+		if k <= 0 || v > math.MaxInt32 {
+			return 0, fmt.Errorf("lengthrange: bad range token %s", what)
+		}
+		raw = raw[k:]
+		return int(v), nil
+	}
+	if c.Lo, err = uv("lower length"); err != nil {
+		return c, err
+	}
+	if c.Hi, err = uv("upper length"); err != nil {
+		return c, err
+	}
+	if c.Cur, err = uv("current length"); err != nil {
+		return c, err
+	}
+	if c.Lo > c.Hi || c.Cur < c.Lo || c.Cur > c.Hi {
+		return c, fmt.Errorf("lengthrange: inconsistent range token bounds lo=%d cur=%d hi=%d", c.Lo, c.Cur, c.Hi)
+	}
+	if len(raw) == 0 {
+		return c, fmt.Errorf("lengthrange: truncated range token (missing state)")
+	}
+	state := raw[0]
+	raw = raw[1:]
+	switch state {
+	case stateDone:
+		c.Done = true
+		if len(raw) != 0 {
+			return c, fmt.Errorf("lengthrange: trailing bytes after done-state range token")
+		}
+	case stateMid:
+		if len(raw) == 0 {
+			return c, fmt.Errorf("lengthrange: mid-state range token carries no inner token")
+		}
+		c.Inner = string(raw)
+	default:
+		return c, fmt.Errorf("lengthrange: unknown range token state %q", state)
+	}
+	return c, nil
+}
+
+// SessionFactory opens one per-length enumeration session for a
+// RangeSession: a fresh session at `length` when cursor is empty and
+// seek is nil, a resumed one when cursor carries a token (whose embedded
+// length the factory must validate against `length` before any
+// length-sized precomputation — core.Instance wires this to its own
+// session opener, which already enforces exactly that), or a session
+// positioned at the 0-based within-length rank when seek is non-nil.
+type SessionFactory func(length int, cursor string, seek *big.Int) (enumerate.Session, error)
+
+// RangeSession enumerates the union of L_n for n in [lo, hi] in
+// length-lexicographic order — all length-lo words in their engine
+// order, then lo+1, and so on — by chaining per-length sessions from a
+// SessionFactory; each per-length session carries the full engine
+// contract (work-stealing parallel streams included), so a parallel
+// range session reuses the steal scheduler within every length. It
+// implements enumerate.Session: Token serializes the position as an
+// el1:R: envelope around the in-flight per-length token, and resuming
+// (ResumeRangeSession) continues bitwise where the session stopped. A
+// RangeSession is for one goroutine.
+type RangeSession struct {
+	lo, hi int
+	fp     uint32
+	open   SessionFactory
+	cur    int
+	s      enumerate.Session
+	err    error
+	done   bool
+	// closedTok preserves the session's position across Close: every
+	// other Session implementation still answers Token after Close (a
+	// serial enumerator's Close is a no-op; a Stream serializes its real
+	// frontier), so the range envelope must not degrade to a done token
+	// just because the inner session was released.
+	closedTok string
+	closedOK  bool
+	closed    bool
+}
+
+// NewRangeSession opens a fresh session over [lo, hi] starting at the
+// first length-lo word. fp is enumerate.Fingerprint of the automaton
+// (embedded in resume tokens).
+func NewRangeSession(lo, hi int, fp uint32, open SessionFactory) (*RangeSession, error) {
+	return NewRangeSessionAt(lo, hi, lo, nil, fp, open)
+}
+
+// NewRangeSessionAt opens a session over [lo, hi] positioned at length
+// `start` (skipping all shorter lengths); when seek is non-nil the
+// per-length session additionally starts at that 0-based rank within the
+// start length — together the two place the session at any global rank.
+func NewRangeSessionAt(lo, hi, start int, seek *big.Int, fp uint32, open SessionFactory) (*RangeSession, error) {
+	if lo < 0 || lo > hi {
+		return nil, fmt.Errorf("lengthrange: bad length range [%d, %d]", lo, hi)
+	}
+	if start < lo || start > hi {
+		return nil, fmt.Errorf("lengthrange: start length %d outside [%d, %d]", start, lo, hi)
+	}
+	s, err := open(start, "", seek)
+	if err != nil {
+		return nil, err
+	}
+	return &RangeSession{lo: lo, hi: hi, fp: fp, open: open, cur: start, s: s}, nil
+}
+
+// ExhaustedRangeSession returns a drained session over [lo, hi] — the
+// resume target of a done-state token, and the session a seek to
+// TotalRange opens.
+func ExhaustedRangeSession(lo, hi int, fp uint32) *RangeSession {
+	return &RangeSession{lo: lo, hi: hi, fp: fp, cur: hi, done: true}
+}
+
+// ResumeRangeSession reopens a session from a parsed range cursor. The
+// envelope fingerprint must match fp (checked before the factory runs,
+// so a cross-automaton token buys no precomputation); bounding the
+// cursor's lo/hi against an expected range is the caller's job — core
+// requires them to equal the requested range.
+func ResumeRangeSession(c RangeCursor, fp uint32, open SessionFactory) (*RangeSession, error) {
+	if c.FP != fp {
+		return nil, fmt.Errorf("lengthrange: range token fingerprint %08x does not match automaton (%08x)", c.FP, fp)
+	}
+	if c.Done {
+		return ExhaustedRangeSession(c.Lo, c.Hi, fp), nil
+	}
+	s, err := open(c.Cur, c.Inner, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &RangeSession{lo: c.Lo, hi: c.Hi, fp: fp, open: open, cur: c.Cur, s: s}, nil
+}
+
+// Next implements enumerate.Session: it drains the current length's
+// session and advances to the next length until the range is exhausted.
+func (rs *RangeSession) Next() (automata.Word, bool) {
+	for !rs.done {
+		if w, ok := rs.s.Next(); ok {
+			return w, true
+		}
+		if err := rs.s.Err(); err != nil {
+			rs.err = err
+			rs.s.Close()
+			rs.done = true
+			break
+		}
+		rs.s.Close()
+		rs.cur++
+		if rs.cur > rs.hi {
+			// Keep the (closed) last inner session: Unwrap still reaches
+			// its scheduler stats after the drain.
+			rs.done = true
+			break
+		}
+		s, err := rs.open(rs.cur, "", nil)
+		if err != nil {
+			rs.err = err
+			rs.done = true
+			break
+		}
+		rs.s = s
+	}
+	return nil, false
+}
+
+// Token implements enumerate.Session: the el1:R: envelope around the
+// current per-length session's own resume token. A session that ended in
+// an error answers ok=false — a done-state token would claim the range
+// was fully drained, and resuming it would silently skip the lengths the
+// failure cut off.
+func (rs *RangeSession) Token() (string, bool) {
+	if rs.err != nil {
+		return "", false
+	}
+	if rs.closed {
+		return rs.closedTok, rs.closedOK
+	}
+	return rs.token()
+}
+
+// token serializes the live position (the pre-Close path).
+func (rs *RangeSession) token() (string, bool) {
+	if rs.done || rs.s == nil {
+		return RangeCursor{FP: rs.fp, Lo: rs.lo, Hi: rs.hi, Cur: rs.hi, Done: true}.Token(), true
+	}
+	inner, ok := rs.s.Token()
+	if !ok {
+		return "", false
+	}
+	return RangeCursor{FP: rs.fp, Lo: rs.lo, Hi: rs.hi, Cur: rs.cur, Inner: inner}.Token(), true
+}
+
+// Err implements enumerate.Session.
+func (rs *RangeSession) Err() error { return rs.err }
+
+// Close implements enumerate.Session, closing the in-flight per-length
+// session. The session's position token is captured first, so Token
+// keeps answering the true resume point after Close. Safe to call more
+// than once.
+func (rs *RangeSession) Close() {
+	if rs.closed {
+		return
+	}
+	if rs.err == nil {
+		rs.closedTok, rs.closedOK = rs.token()
+	}
+	rs.closed = true
+	if rs.s != nil {
+		// Closed but retained: a Stream's Stats stay readable after
+		// Close, and Unwrap must keep reaching them.
+		rs.s.Close()
+	}
+	rs.done = true
+}
+
+// Unwrap exposes the most recent per-length session — kept across
+// length advances, drain and Close — so enumerate.SessionStats can
+// reach the scheduler statistics of a parallel range stream (those of
+// the last length's stream; earlier lengths' streams are released as
+// the chain advances).
+func (rs *RangeSession) Unwrap() enumerate.Session { return rs.s }
+
+// Length returns the witness length the session is currently positioned
+// in (the length of the next word, unless the session is exhausted).
+func (rs *RangeSession) Length() int { return rs.cur }

@@ -30,6 +30,41 @@ func Words(pattern string, alpha *automata.Alphabet, n int, opts core.CursorOpti
 	return inst.Enumerate(opts)
 }
 
+// WordsRange opens an enumeration session over ALL matches whose length
+// lies in [lo, hi], emitted shortest first (length-lexicographic order)
+// through core's cross-length session chain — the "matches up to length
+// N" workload served from one resumable session (el1:R: tokens; parallel
+// per length when opts.Workers > 1). Both classes enumerate; ranked
+// options (opts.SeekRank as a global rank) need an unambiguous Glushkov
+// automaton.
+func WordsRange(pattern string, alpha *automata.Alphabet, lo, hi int, opts core.CursorOptions) (enumerate.Session, error) {
+	nfa, err := Compile(pattern, alpha)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.New(nfa, hi, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return inst.EnumerateRange(lo, hi, opts)
+}
+
+// WordAtRange returns the match at the given global 0-based rank of the
+// length-lexicographic order over [lo, hi] — random access into the
+// union of all match lengths through the shared cross-length index.
+// Unambiguous patterns only (core.UnrankRange's contract).
+func WordAtRange(pattern string, alpha *automata.Alphabet, lo, hi int, rank *big.Int) (automata.Word, error) {
+	nfa, err := Compile(pattern, alpha)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.New(nfa, hi, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return inst.UnrankRange(lo, hi, rank)
+}
+
 // WordAt returns the length-n match at the given 0-based rank of the
 // enumeration order — random access into the match stream through the
 // counting index. Only patterns whose Glushkov automaton is unambiguous

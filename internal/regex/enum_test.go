@@ -1,6 +1,7 @@
 package regex
 
 import (
+	"math/big"
 	"testing"
 
 	"repro/internal/automata"
@@ -69,6 +70,92 @@ func TestWordsSessionAndResume(t *testing.T) {
 	for i := range full {
 		if par[i] != full[i] {
 			t.Fatalf("parallel output %d = %q, want %q", i, par[i], full[i])
+		}
+	}
+}
+
+// TestWordsRangeAndWordAtRange: the range session emits all matches of
+// lengths lo..hi shortest-first, WordAtRange random-accesses the same
+// order, and the el1:R: token resumes across the pattern recompile.
+func TestWordsRangeAndWordAtRange(t *testing.T) {
+	alpha := automata.NewAlphabet("0", "1")
+	const pattern = "0(0|1)*1"
+	lo, hi := 2, 5
+
+	s, err := WordsRange(pattern, alpha, lo, hi, core.CursorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []string
+	for {
+		w, ok := s.Next()
+		if !ok {
+			break
+		}
+		full = append(full, alpha.FormatWord(w))
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// 0…1 with k free middle bits for k = 0..3: 1+2+4+8 = 15 matches.
+	if len(full) != 15 {
+		t.Fatalf("range enumerated %d words: %v", len(full), full)
+	}
+	prevLen := 0
+	for i, w := range full {
+		if ok, err := Match(pattern, alpha, w); err != nil || !ok {
+			t.Fatalf("non-matching word %q (err %v)", w, err)
+		}
+		if len(w) < prevLen {
+			t.Fatalf("word %d %q shorter than its predecessor (not length-lex)", i, w)
+		}
+		prevLen = len(w)
+		got, err := WordAtRange(pattern, alpha, lo, hi, big.NewInt(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alpha.FormatWord(got) != w {
+			t.Fatalf("WordAtRange(%d) = %q, enumeration %q", i, alpha.FormatWord(got), w)
+		}
+	}
+
+	// Pause after 6 words; resume through a fresh WordsRange call.
+	head, err := WordsRange(pattern, alpha, lo, hi, core.CursorOptions{Limit: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		w, ok := head.Next()
+		if !ok {
+			break
+		}
+		got = append(got, alpha.FormatWord(w))
+	}
+	tok, ok := head.Token()
+	head.Close()
+	if !ok {
+		t.Fatal("range session not resumable")
+	}
+	tail, err := WordsRange(pattern, alpha, lo, hi, core.CursorOptions{Cursor: tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		w, ok := tail.Next()
+		if !ok {
+			break
+		}
+		got = append(got, alpha.FormatWord(w))
+	}
+	tail.Close()
+	if len(got) != len(full) {
+		t.Fatalf("resumed run yielded %d words, want %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("resume mismatch at %d: %q vs %q", i, got[i], full[i])
 		}
 	}
 }

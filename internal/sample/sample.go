@@ -65,13 +65,15 @@ func RandBig(rng *rand.Rand, max *big.Int) *big.Int {
 	}
 	out := new(big.Int)
 	buf := make([]byte, (max.BitLen()+7)/8)
-	randBigInto(rng, max, out, buf)
+	RandBigInto(rng, max, out, buf)
 	return out
 }
 
-// randBigInto is the allocation-free core of RandBig: it fills out with a
+// RandBigInto is the allocation-free core of RandBig: it fills out with a
 // uniform value in [0, max) using buf (len ≥ ⌈max.BitLen()/8⌉) as scratch.
-func randBigInto(rng *rand.Rand, max, out *big.Int, buf []byte) {
+// Exported for sampling sessions outside this package (the lengthrange
+// draw session) that need zero-allocation repeated draws.
+func RandBigInto(rng *rand.Rand, max, out *big.Int, buf []byte) {
 	bits := max.BitLen()
 	bytes := (bits + 7) / 8
 	buf = buf[:bytes]
@@ -189,7 +191,7 @@ func (s *UFASampler) SampleDistinct(k int, rng *rand.Rand) ([]automata.Word, err
 	r := new(big.Int)
 	buf := make([]byte, (total.BitLen()+7)/8)
 	for len(out) < k {
-		randBigInto(rng, total, r, buf)
+		RandBigInto(rng, total, r, buf)
 		key := string(r.Bytes())
 		if _, dup := seen[key]; dup {
 			continue
@@ -273,7 +275,7 @@ func (d *DrawSession) Sample() (automata.Word, error) {
 	if total.Sign() == 0 {
 		return nil, ErrEmpty
 	}
-	randBigInto(d.rng, total, &d.r, d.buf)
+	RandBigInto(d.rng, total, &d.r, d.buf)
 	if err := d.s.idx.UnrankInto(&d.r, d.w); err != nil {
 		return nil, err
 	}

@@ -66,23 +66,11 @@ func TestUFASamplerPaperExample(t *testing.T) {
 		}
 		counts[n.Alphabet().FormatWord(w)]++
 	}
-	want := map[string]bool{"aaa": true, "aab": true, "bba": true, "bbb": true}
-	var vec []int
-	for k, c := range counts {
-		if !want[k] {
-			t.Fatalf("sampled non-witness %q", k)
-		}
-		vec = append(vec, c)
-	}
-	if len(vec) != 4 {
-		t.Fatalf("only %d of 4 witnesses sampled: %v", len(vec), counts)
-	}
-	ok, stat, err := stats.UniformityOK(vec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !ok {
-		t.Fatalf("sampler not uniform: chi2 = %f, counts = %v", stat, counts)
+	// The shared spot check: support containment, full coverage and
+	// chi-square uniformity in one call (stats.UniformOverSupport is the
+	// same helper the lengthrange and oracle suites use).
+	if err := stats.UniformOverSupport(counts, []string{"aaa", "aab", "bba", "bbb"}); err != nil {
+		t.Fatalf("sampler not uniform over the paper language: %v", err)
 	}
 }
 
@@ -117,26 +105,19 @@ func TestUFASamplerMatchesExactCountsOnRandomDFAs(t *testing.T) {
 			}
 			seen[n.Alphabet().FormatWord(w)]++
 		}
-		langSet := map[string]bool{}
-		for _, s := range lang {
-			langSet[s] = true
-		}
-		for k := range seen {
-			if !langSet[k] {
-				t.Fatalf("sampled non-witness %q", k)
+		if draws >= 100*len(lang) {
+			if err := stats.UniformOverSupport(seen, lang); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
 			}
-		}
-		if len(lang) >= 2 && draws >= 100*len(lang) {
-			vec := make([]int, 0, len(lang))
-			for _, w := range lang {
-				vec = append(vec, seen[w])
+		} else {
+			langSet := map[string]bool{}
+			for _, s := range lang {
+				langSet[s] = true
 			}
-			ok, stat, err := stats.UniformityOK(vec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !ok {
-				t.Fatalf("trial %d: not uniform (chi2=%f): %v", trial, stat, seen)
+			for k := range seen {
+				if !langSet[k] {
+					t.Fatalf("sampled non-witness %q", k)
+				}
 			}
 		}
 	}
@@ -199,16 +180,10 @@ func TestWalkSamplerAgreesWithIndexSampler(t *testing.T) {
 			}
 			b[n.Alphabet().FormatWord(ww)]++
 		}
-		if len(a) != int(total) || len(b) != int(total) {
-			t.Fatalf("trial %d: coverage %d/%d of %d", trial, len(a), len(b), total)
-		}
+		lang := exact.LanguageSlice(n, length)
 		for _, counts := range []map[string]int{a, b} {
-			vec := make([]int, 0, len(counts))
-			for _, c := range counts {
-				vec = append(vec, c)
-			}
-			if ok, stat, err := stats.UniformityOK(vec); err != nil || !ok {
-				t.Fatalf("trial %d: not uniform (chi2=%f, err=%v): %v", trial, stat, err, counts)
+			if err := stats.UniformOverSupport(counts, lang); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
 			}
 		}
 	}
@@ -372,19 +347,8 @@ func TestPsiSampleAgreesWithUFASampler(t *testing.T) {
 		}
 		counts[n.Alphabet().FormatWord(w)]++
 	}
-	if len(counts) != 4 {
-		t.Fatalf("ψ-sampler missed witnesses: %v", counts)
-	}
-	vec := make([]int, 0, 4)
-	for _, c := range counts {
-		vec = append(vec, c)
-	}
-	ok, stat, err := stats.UniformityOK(vec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !ok {
-		t.Fatalf("ψ-sampler not uniform: chi2 = %f %v", stat, counts)
+	if err := stats.UniformOverSupport(counts, []string{"aaa", "aab", "bba", "bbb"}); err != nil {
+		t.Fatalf("ψ-sampler not uniform over the paper language: %v", err)
 	}
 }
 

@@ -32,6 +32,53 @@ func (inst *Instance) Enumerate(ci *core.Instance, opts core.CursorOptions) (*Ma
 	return &MappingSession{inst: inst, s: s}, nil
 }
 
+// EnumerateRange opens a mapping enumeration session over all encoding
+// lengths n in [lo, hi] through core's cross-length session chain
+// (resumable via el1:R: range tokens, parallel per length under the
+// work-stealing scheduler). For a fixed document exactly one encoding
+// length is populated, so the range form's value here is serving many
+// instance configurations through one uniform session shape; decoding
+// still requires each witness to be a valid ref-word encoding.
+func (inst *Instance) EnumerateRange(ci *core.Instance, lo, hi int, opts core.CursorOptions) (*MappingSession, error) {
+	s, err := ci.EnumerateRange(lo, hi, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &MappingSession{inst: inst, s: s}, nil
+}
+
+// MappingAtRange returns the mapping at the given global 0-based rank of
+// the length-lexicographic order over [lo, hi] — the range form of
+// MappingAt, through the shared cross-length index. Unambiguous
+// encodings only.
+func (inst *Instance) MappingAtRange(ci *core.Instance, lo, hi int, r *big.Int) (Mapping, error) {
+	w, err := ci.UnrankRange(lo, hi, r)
+	if err != nil {
+		return nil, err
+	}
+	return inst.DecodeMapping(w)
+}
+
+// SampleRangeMappings draws k uniform mappings from the union of
+// encoding lengths in [lo, hi] (bitwise identical for every worker
+// count). Unambiguous encodings only; core.ErrEmpty when the union is
+// empty.
+func (inst *Instance) SampleRangeMappings(ci *core.Instance, lo, hi, k, workers int) ([]Mapping, error) {
+	ws, err := ci.SampleManyRange(lo, hi, k, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Mapping, len(ws))
+	for i, w := range ws {
+		mp, err := inst.DecodeMapping(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mp
+	}
+	return out, nil
+}
+
 // MappingAt returns the mapping at the given 0-based rank of the
 // enumeration order — random access into ⟦A⟧(d) through the core
 // instance's counting index. Unambiguous encodings only (Corollary 7's

@@ -1,6 +1,8 @@
 package spanner
 
 import (
+	"math/big"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -158,4 +160,70 @@ func TestMappingSessionMatchesOracle(t *testing.T) {
 		t.Fatal("serial mapping session must not claim scheduler stats")
 	}
 	serialMS.Close()
+}
+
+// TestMappingRangeSession: the range form over [Length, Length] (a
+// document pins exactly one encoding length) serves the same mappings as
+// the single-length session, mints el1:R: tokens, and the ranged
+// accessors agree with the enumeration order.
+func TestMappingRangeSession(t *testing.T) {
+	a, doc := evaFixture(t)
+	inst, err := BuildInstance(a, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := core.New(inst.N, inst.Length, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := inst.Length, inst.Length
+	ms, err := inst.EnumerateRange(ci, lo, hi, core.CursorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		mp, ok := ms.Next()
+		if !ok {
+			break
+		}
+		got = append(got, mp.Format(a.Vars))
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	tok, ok := ms.Token()
+	ms.Close()
+	if !ok || !strings.HasPrefix(tok, "el1:R:") {
+		t.Fatalf("range session token %q (ok=%v)", tok, ok)
+	}
+	oracle := AllMappings(a, doc)
+	if len(got) != len(oracle) {
+		t.Fatalf("range session yielded %d mappings, oracle %d", len(got), len(oracle))
+	}
+	if ci.Class() != core.ClassUL {
+		return
+	}
+	for i := range got {
+		mp, err := inst.MappingAtRange(ci, lo, hi, big.NewInt(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp.Format(a.Vars) != got[i] {
+			t.Fatalf("MappingAtRange(%d) = %s, enumeration %s", i, mp.Format(a.Vars), got[i])
+		}
+	}
+	mps, err := inst.SampleRangeMappings(ci, lo, hi, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, mp := range oracle {
+		valid[mp.Format(a.Vars)] = true
+	}
+	for _, mp := range mps {
+		if !valid[mp.Format(a.Vars)] {
+			t.Fatalf("sampled unknown mapping %s", mp.Format(a.Vars))
+		}
+	}
 }

@@ -64,6 +64,110 @@ func UniformityOK(counts []int) (bool, float64, error) {
 	return stat <= ChiSquareCritical999(dof), stat, nil
 }
 
+// ChiSquareExpected computes the chi-square statistic of observed counts
+// against an arbitrary expected distribution given as non-negative
+// weights (normalized internally; they need not sum to 1), with k−1
+// degrees of freedom. Categories with zero weight must have zero counts.
+func ChiSquareExpected(counts []int, weights []float64) (stat float64, dof int, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 categories, got %d", k)
+	}
+	if len(weights) != k {
+		return 0, 0, fmt.Errorf("stats: %d weights for %d categories", len(weights), k)
+	}
+	total, wsum := 0, 0.0
+	for i, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		if weights[i] < 0 {
+			return 0, 0, fmt.Errorf("stats: negative weight %g", weights[i])
+		}
+		total += c
+		wsum += weights[i]
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("stats: zero total count")
+	}
+	if wsum == 0 {
+		return 0, 0, fmt.Errorf("stats: zero total weight")
+	}
+	for i, c := range counts {
+		expected := float64(total) * weights[i] / wsum
+		if expected == 0 {
+			if c != 0 {
+				return 0, 0, fmt.Errorf("stats: %d observations in zero-weight category %d", c, i)
+			}
+			dof-- // a structurally empty category carries no freedom
+			continue
+		}
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	dof += k - 1
+	if dof < 1 {
+		return 0, 0, fmt.Errorf("stats: no degrees of freedom left")
+	}
+	return stat, dof, nil
+}
+
+// GoodnessOK draws the conclusion of a chi-square goodness-of-fit test
+// against the given expected weights at the 99.9% level: true means
+// "consistent with the expected distribution".
+func GoodnessOK(counts []int, weights []float64) (bool, float64, error) {
+	stat, dof, err := ChiSquareExpected(counts, weights)
+	if err != nil {
+		return false, 0, err
+	}
+	return stat <= ChiSquareCritical999(dof), stat, nil
+}
+
+// UniformOverSupport is the shared sampler spot check the generator test
+// suites run (internal/sample, internal/lengthrange, the oracle
+// differential suite): given a histogram of formatted draws and the
+// exact support set the sampler claims to be uniform over, it verifies
+// that no draw fell outside the support, that every support element was
+// hit, and that the counts pass the chi-square uniformity test at the
+// 99.9% level. A nil error means "consistent with uniform over exactly
+// this support".
+func UniformOverSupport(draws map[string]int, support []string) error {
+	if len(support) == 0 {
+		if len(draws) != 0 {
+			return fmt.Errorf("stats: %d draws from an empty support", len(draws))
+		}
+		return nil
+	}
+	inSupport := make(map[string]bool, len(support))
+	for _, s := range support {
+		inSupport[s] = true
+	}
+	for k := range draws {
+		if !inSupport[k] {
+			return fmt.Errorf("stats: draw %q outside the support", k)
+		}
+	}
+	vec := make([]int, 0, len(support))
+	for _, s := range support {
+		c, hit := draws[s]
+		if !hit {
+			return fmt.Errorf("stats: support element %q never drawn", s)
+		}
+		vec = append(vec, c)
+	}
+	if len(vec) < 2 {
+		return nil // a single-element support is trivially uniform
+	}
+	ok, stat, err := UniformityOK(vec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("stats: draws not uniform over the support (chi2 = %f, dof = %d)", stat, len(vec)-1)
+	}
+	return nil
+}
+
 // TotalVariation returns the total variation distance between the empirical
 // distribution of counts and the uniform distribution over the same
 // categories, a number in [0, 1].

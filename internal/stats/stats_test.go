@@ -120,3 +120,64 @@ func TestRelErr(t *testing.T) {
 		t.Fatalf("RelErr = %f", RelErr(90, 100))
 	}
 }
+
+func TestChiSquareExpected(t *testing.T) {
+	// Matching proportions pass; grossly mismatched ones fail.
+	ok, _, err := GoodnessOK([]int{100, 200, 400}, []float64{1, 2, 4})
+	if err != nil || !ok {
+		t.Fatalf("proportional counts rejected (ok=%v, err=%v)", ok, err)
+	}
+	ok, _, err = GoodnessOK([]int{400, 200, 100}, []float64{1, 2, 4})
+	if err != nil || ok {
+		t.Fatalf("inverted counts accepted (ok=%v, err=%v)", ok, err)
+	}
+	// Zero-weight categories must be empty and cost a degree of freedom.
+	if _, _, err := ChiSquareExpected([]int{5, 0, 5}, []float64{1, 0, 1}); err != nil {
+		t.Fatalf("legal zero-weight category rejected: %v", err)
+	}
+	if _, _, err := ChiSquareExpected([]int{5, 1, 5}, []float64{1, 0, 1}); err == nil {
+		t.Fatal("observations in a zero-weight category accepted")
+	}
+	// Degenerate inputs error instead of dividing by zero.
+	for _, tc := range []struct {
+		counts  []int
+		weights []float64
+	}{
+		{[]int{1}, []float64{1}},
+		{[]int{1, 2}, []float64{1}},
+		{[]int{0, 0}, []float64{1, 1}},
+		{[]int{1, 2}, []float64{0, 0}},
+		{[]int{-1, 2}, []float64{1, 1}},
+		{[]int{1, 2}, []float64{-1, 1}},
+		{[]int{3, 0}, []float64{1, 0}},
+	} {
+		if _, _, err := ChiSquareExpected(tc.counts, tc.weights); err == nil {
+			t.Fatalf("degenerate input %v/%v accepted", tc.counts, tc.weights)
+		}
+	}
+}
+
+func TestUniformOverSupport(t *testing.T) {
+	support := []string{"a", "b", "c", "d"}
+	if err := UniformOverSupport(map[string]int{"a": 250, "b": 260, "c": 245, "d": 248}, support); err != nil {
+		t.Fatalf("near-uniform draws rejected: %v", err)
+	}
+	if err := UniformOverSupport(map[string]int{"a": 900, "b": 30, "c": 40, "d": 30}, support); err == nil {
+		t.Fatal("skewed draws accepted")
+	}
+	if err := UniformOverSupport(map[string]int{"a": 10, "x": 1}, []string{"a"}); err == nil {
+		t.Fatal("out-of-support draw accepted")
+	}
+	if err := UniformOverSupport(map[string]int{"a": 10, "b": 10}, support); err == nil {
+		t.Fatal("missing support element accepted")
+	}
+	if err := UniformOverSupport(map[string]int{}, nil); err != nil {
+		t.Fatalf("empty draws over empty support rejected: %v", err)
+	}
+	if err := UniformOverSupport(map[string]int{"a": 1}, nil); err == nil {
+		t.Fatal("draws from empty support accepted")
+	}
+	if err := UniformOverSupport(map[string]int{"a": 7}, []string{"a"}); err != nil {
+		t.Fatalf("singleton support rejected: %v", err)
+	}
+}
