@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -26,6 +27,23 @@ import (
 
 	"repro/internal/bench"
 )
+
+// errWriter tracks the first write failure so table rendering (whose
+// Fprint helpers do not return errors) still surfaces a broken stdout as
+// a non-zero exit instead of silently truncating the artifact.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
 
 // report is the JSON artifact shape: enough metadata to compare runs
 // across commits and machines.
@@ -45,9 +63,14 @@ func main() {
 		jsonPath = flag.String("json", "", "write the tables as JSON to this file")
 	)
 	flag.Parse()
+	stdout := &errWriter{w: os.Stdout}
 	if *list {
 		for _, id := range bench.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
+		}
+		if stdout.err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: writing output: %v\n", stdout.err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -79,7 +102,7 @@ func main() {
 		tables = bench.All(*quick)
 	}
 	for _, tab := range tables {
-		tab.Fprint(os.Stdout)
+		tab.Fprint(stdout)
 	}
 	elapsed := time.Since(start)
 	if *jsonPath != "" {
@@ -101,5 +124,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("total: %s\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "total: %s\n", elapsed.Round(time.Millisecond))
+	if stdout.err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: writing output: %v\n", stdout.err)
+		os.Exit(1)
+	}
 }

@@ -108,6 +108,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hiF       = fs.Int("hi", -1, "upper witness length of a range form (use with -lo in place of -n)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			// -h / -help is a successful outcome, not a usage error.
+			return 0
+		}
 		return 2
 	}
 	// Flags whose zero value is meaningful (-n 0, -w "") need "was it
@@ -266,8 +270,8 @@ func runUnrank(w io.Writer, inst *core.Instance, rankStr string, rangeMode bool,
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, inst.FormatWord(word))
-	return nil
+	_, err = fmt.Fprintln(w, inst.FormatWord(word))
+	return err
 }
 
 // runCountRange prints the exact size of the union of all lengths in
@@ -294,7 +298,9 @@ func runSampleRange(w io.Writer, inst *core.Instance, lo, hi, count, workers int
 		return err
 	}
 	for _, witness := range ws {
-		fmt.Fprintln(w, inst.FormatWord(witness))
+		if _, err := fmt.Fprintln(w, inst.FormatWord(witness)); err != nil {
+			return fmt.Errorf("writing witness: %w", err)
+		}
 	}
 	return nil
 }
@@ -395,7 +401,11 @@ func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 		if !ok {
 			break
 		}
-		fmt.Fprintln(w, inst.FormatWord(word))
+		// A failed write (broken pipe under `nfa enum | head`) must stop
+		// the enumeration instead of burning through the whole language.
+		if _, err := fmt.Fprintln(w, inst.FormatWord(word)); err != nil {
+			return fmt.Errorf("writing witness: %w", err)
+		}
 		count++
 	}
 	if err := s.Err(); err != nil {
@@ -445,7 +455,9 @@ func runSample(w io.Writer, inst *core.Instance, count, workers int, distinct bo
 		return err
 	}
 	for _, witness := range ws {
-		fmt.Fprintln(w, inst.FormatWord(witness))
+		if _, err := fmt.Fprintln(w, inst.FormatWord(witness)); err != nil {
+			return fmt.Errorf("writing witness: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,97 @@
+// Command nfalint runs the repo's static-analysis suite (internal/analysis)
+// over the given package patterns and reports every invariant violation as
+//
+//	file:line:col: [analyzer] message
+//
+// Exit status: 0 when the tree is clean, 1 when there are findings, 2 on
+// usage or load errors. -json FILE additionally archives the full report
+// (findings, suppressions, analyzer ids) for CI artifacts; -list prints the
+// suite and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nfalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonPath := fs.String("json", "", "also write the full report as JSON to `file`")
+	list := fs.Bool("list", false, "list the analyzers and the contracts they enforce, then exit")
+	only := fs.String("only", "", "run a single `analyzer` instead of the whole suite")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: nfalint [-json file] [-only analyzer] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s contract: %s\n", "", a.Contract)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		a := analysis.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(stderr, "nfalint: unknown analyzer %q (see -list)\n", *only)
+			return 2
+		}
+		analyzers = []*analysis.Analyzer{a}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "nfalint: %v\n", err)
+		return 2
+	}
+	rep := analysis.RunPackages(pkgs, analyzers)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "nfalint: encoding report: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "nfalint: %v\n", err)
+			return 2
+		}
+	}
+
+	for _, f := range rep.Findings {
+		if _, err := fmt.Fprintln(stdout, f.String()); err != nil {
+			fmt.Fprintf(stderr, "nfalint: %v\n", err)
+			return 2
+		}
+	}
+	if n := len(rep.Findings); n > 0 {
+		fmt.Fprintf(stderr, "nfalint: %d finding(s) across %d package(s)\n", n, len(rep.Packages))
+		return 1
+	}
+	fmt.Fprintf(stderr, "nfalint: clean — %d package(s), %d analyzer(s), %d suppression(s)\n",
+		len(rep.Packages), len(analyzers), len(rep.Suppressed))
+	return 0
+}

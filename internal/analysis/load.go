@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPkg is the slice of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct {
+		Err string
+	}
+}
+
+// chainImporter resolves imports during type checking: packages of this
+// repo come from the loader's own source-checked cache (deps are checked
+// first, so they are always present), everything else (the standard
+// library) from the toolchain's compiled export data.
+type chainImporter struct {
+	repo map[string]*types.Package
+	std  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.repo[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// Load enumerates the packages matching the patterns (plus their in-repo
+// dependencies, dependencies first) with `go list`, parses them, and
+// type-checks them from source. dir is where `go list` runs — the module
+// root or any directory inside it. Standard-library packages are imported
+// from compiled export data, never analyzed.
+func Load(dir string, patterns ...string) ([]*Pkg, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,Standard,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := &chainImporter{repo: map[string]*types.Package{}, std: importer.Default()}
+	var pkgs []*Pkg
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		p, err := check(fset, imp, lp.ImportPath, lp.Name, files)
+		if err != nil {
+			return nil, err
+		}
+		imp.repo[lp.ImportPath] = p.Types
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %s", strings.Join(patterns, " "))
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses every non-test .go file of one directory as a single
+// package and type-checks it against the standard library — how the
+// analyzer test corpora under testdata/ are loaded (those directories are
+// invisible to the go tool by design).
+func LoadDir(dir string) (*Pkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := &chainImporter{repo: map[string]*types.Package{}, std: importer.Default()}
+	return check(fset, imp, dir, "", files)
+}
+
+// check parses and type-checks one package. An empty name is taken from
+// the first file's package clause.
+func check(fset *token.FileSet, imp types.Importer, path, name string, filenames []string) (*Pkg, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	if name == "" {
+		name = files[0].Name.Name
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Pkg{Path: path, Name: name, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var lockheldAnalyzer = &Analyzer{
+	Name:     "lockheld",
+	Doc:      "access to a `// guarded by <mu>` field on a path that does not hold the mutex",
+	Contract: "scheduler/session structs document their mutex discipline per field; helpers that assume the lock carry the *Locked name suffix",
+	Run:      runLockheld,
+}
+
+// lockheldPattern extracts the guard expression from a field comment:
+// `// guarded by mu` (a sibling field) or `// guarded by Stream.mu` (a
+// mutex on another struct, for satellite structs like scheduler segments).
+var lockheldPattern = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// lockGuard is one resolved annotation: the guarded field and the mutex
+// that protects it.
+type lockGuard struct {
+	field types.Object // the guarded struct field
+	mu    types.Object // the protecting mutex field
+	spec  string       // the annotation text, for messages
+}
+
+// runLockheld is a conservative intra-procedural check: within each
+// function, lock/unlock calls and guarded-field accesses are ordered by
+// source position and replayed linearly. An access is clean when the guard
+// is held at that point, when the enclosing function carries the *Locked
+// suffix (caller holds it, by convention), or when the accessed value was
+// freshly allocated in the same function (not yet shared). Function
+// literals are separate contexts: they generally run on other goroutines,
+// so they never inherit the enclosing function's lock state.
+func runLockheld(p *Pkg) []Finding {
+	guards, out := lockheldGuards(p)
+	if len(guards) == 0 {
+		return out
+	}
+	muVars := map[types.Object]bool{}
+	for _, g := range guards {
+		muVars[g.mu] = true
+	}
+	for _, fd := range funcDecls(p) {
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			continue
+		}
+		out = append(out, lockheldFunc(p, fd, guards, muVars)...)
+	}
+	return out
+}
+
+// lockheldGuards resolves every `guarded by` annotation in the package.
+// Unresolvable annotations are findings: ground truth the checker cannot
+// see is worse than none.
+func lockheldGuards(p *Pkg) (map[types.Object]*lockGuard, []Finding) {
+	// First index every struct type declaration by name.
+	type structDecl struct {
+		st *ast.StructType
+	}
+	structs := map[string]*structDecl{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				structs[ts.Name.Name] = &structDecl{st: st}
+			}
+			return true
+		})
+	}
+	fieldVar := func(st *ast.StructType, name string) types.Object {
+		for _, fl := range st.Fields.List {
+			for _, id := range fl.Names {
+				if id.Name == name {
+					return p.Info.Defs[id]
+				}
+			}
+		}
+		return nil
+	}
+	guards := map[types.Object]*lockGuard{}
+	var bad []Finding
+	for tname, sd := range structs {
+		for _, fl := range sd.st.Fields.List {
+			spec := ""
+			for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+				if cg == nil {
+					continue
+				}
+				if m := lockheldPattern.FindStringSubmatch(cg.Text()); m != nil {
+					spec = m[1]
+				}
+			}
+			if spec == "" {
+				continue
+			}
+			var mu types.Object
+			if owner, muName, ok := strings.Cut(spec, "."); ok {
+				if osd := structs[owner]; osd != nil {
+					mu = fieldVar(osd.st, muName)
+				}
+			} else {
+				mu = fieldVar(sd.st, spec)
+			}
+			if mu == nil {
+				bad = append(bad, p.finding("lockheld", fl.Pos(),
+					"cannot resolve guard %q on %s — name a mutex field (mu) or Type.mu", spec, tname))
+				continue
+			}
+			for _, id := range fl.Names {
+				if fv := p.Info.Defs[id]; fv != nil {
+					guards[fv] = &lockGuard{field: fv, mu: mu, spec: spec}
+				}
+			}
+		}
+	}
+	return guards, bad
+}
+
+// lkEvent is one position-ordered step of the linear replay.
+type lkEvent struct {
+	pos       token.Pos
+	kind      int // 0 = lock, 1 = unlock, 2 = field access
+	mu        types.Object
+	guard     *lockGuard
+	base      *ast.Ident // root of the access chain (nil when not a plain ident)
+	fieldName string
+	inFuncLit bool
+}
+
+// lockheldFunc replays one function.
+func lockheldFunc(p *Pkg, fd *ast.FuncDecl, guards map[types.Object]*lockGuard, muVars map[types.Object]bool) []Finding {
+	// Fresh locals: values allocated in this function have not escaped, so
+	// constructors may initialize guarded fields lock-free. Freshness flows
+	// through plain local copies (tail = seg), hence the fixpoint.
+	fresh := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				freshRHS := isFreshAlloc(rhs)
+				if rid, ok := ast.Unparen(rhs).(*ast.Ident); ok && !freshRHS {
+					if o := objOf(p.Info, rid); o != nil && fresh[o] {
+						freshRHS = true
+					}
+				}
+				if freshRHS {
+					if o := objOf(p.Info, id); o != nil && !fresh[o] {
+						fresh[o] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	deferred := map[*ast.CallExpr]bool{}
+	skipUnlock := unlocksBeforeReturn(fd.Body)
+	var funcLits []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			deferred[x.Call] = true
+		case *ast.FuncLit:
+			funcLits = append(funcLits, x)
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, fl := range funcLits {
+			if fl.Body.Pos() <= pos && pos < fl.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	var events []lkEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var kind int
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				kind = 0
+			case "Unlock", "RUnlock":
+				kind = 1
+			default:
+				return true
+			}
+			muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := p.Info.Selections[muSel]
+			if s == nil || !muVars[s.Obj()] {
+				return true
+			}
+			if kind == 1 && (deferred[x] || skipUnlock[x.Pos()]) {
+				// A deferred unlock holds to function end; an unlock
+				// immediately followed by return exits the path.
+				return true
+			}
+			events = append(events, lkEvent{pos: x.Pos(), kind: kind, mu: s.Obj(), inFuncLit: inLit(x.Pos())})
+		case *ast.SelectorExpr:
+			s := p.Info.Selections[x]
+			if s == nil {
+				return true
+			}
+			g, ok := guards[s.Obj()]
+			if !ok {
+				return true
+			}
+			events = append(events, lkEvent{
+				pos: x.Pos(), kind: 2, guard: g,
+				base: rootIdent(x.X), fieldName: x.Sel.Name, inFuncLit: inLit(x.Pos()),
+			})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[types.Object]int{}
+	var out []Finding
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			if !ev.inFuncLit {
+				held[ev.mu]++
+			}
+		case 1:
+			if !ev.inFuncLit && held[ev.mu] > 0 {
+				held[ev.mu]--
+			}
+		case 2:
+			if ev.base != nil {
+				if o := objOf(p.Info, ev.base); o != nil && fresh[o] {
+					continue
+				}
+			}
+			if !ev.inFuncLit && held[ev.guard.mu] > 0 {
+				continue
+			}
+			where := fd.Name.Name
+			if ev.inFuncLit {
+				where += " (inside a func literal, which does not inherit the caller's lock)"
+			}
+			out = append(out, p.finding("lockheld", ev.pos,
+				"%s is guarded by %s, but %s does not hold it on this path (lock it, or rename the helper with a Locked suffix)",
+				ev.fieldName, ev.guard.spec, where))
+		}
+	}
+	return out
+}
+
+// isFreshAlloc matches &T{...}, T{...} and new(T).
+func isFreshAlloc(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// unlocksBeforeReturn finds Unlock calls whose immediately following
+// sibling statement is a return: they end an exiting path (early error
+// return, or the final unlock-then-return), so the linear replay must not
+// treat the code AFTER the branch as unlocked.
+func unlocksBeforeReturn(body *ast.BlockStmt) map[token.Pos]bool {
+	skip := map[token.Pos]bool{}
+	scan := func(list []ast.Stmt) {
+		for i, st := range list {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok || i+1 >= len(list) {
+				continue
+			}
+			if _, ok := list[i+1].(*ast.ReturnStmt); !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+					skip[call.Pos()] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			scan(x.List)
+		case *ast.CaseClause:
+			scan(x.Body)
+		case *ast.CommClause:
+			scan(x.Body)
+		}
+		return true
+	})
+	return skip
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var retainAnalyzer = &Analyzer{
+	Name:     "retain",
+	Doc:      "enumerator-owned buffer (a Next result, valid only until the next call) escaping an exported API without a copy",
+	Contract: "session contract: words returned by Next alias the session buffer — exported wrappers must copy (append(Word(nil), w...) / slices.Clone) before retaining or returning",
+	Run:      runRetain,
+}
+
+// runRetain checks every exported function except Next itself: Next
+// methods deliberately pass the aliased buffer through (that IS the
+// contract, restated in their doc comments), and unexported helpers are the
+// callee's private business. An exported wrapper, however, is an API
+// boundary: whatever it returns or stores outlives the call, so a value
+// that flows from a Next result must be copied before it escapes.
+func runRetain(p *Pkg) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		if !fd.Name.IsExported() || fd.Name.Name == "Next" {
+			continue
+		}
+		out = append(out, retainFunc(p, fd)...)
+	}
+	return out
+}
+
+// isNextCall matches x.Next() for any receiver.
+func isNextCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Next"
+}
+
+// retainLaunders reports whether e copies its (possibly tainted) input
+// rather than aliasing it: append(dst, w...) spreads elements,
+// slices.Clone/copy duplicate, and conversions to string snapshot.
+func retainLaunders(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "append":
+		return call.Ellipsis != token.NoPos
+	case "Clone", "copy", "string":
+		return true
+	}
+	return false
+}
+
+// retainFunc taints locals holding Next results, then flags escapes:
+// returning a tainted value, appending the slice header itself (no ...) to
+// an accumulator, assigning through a selector/index/star (a store that
+// outlives the frame), or sending on a channel.
+func retainFunc(p *Pkg, fd *ast.FuncDecl) []Finding {
+	tainted := map[token.Pos]bool{}
+	taintObj := func(id *ast.Ident) bool {
+		o := objOf(p.Info, id)
+		if o == nil || id.Name == "_" || tainted[o.Pos()] {
+			return false
+		}
+		tainted[o.Pos()] = true
+		return true
+	}
+	identTainted := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		o := objOf(p.Info, id)
+		return o != nil && tainted[o.Pos()]
+	}
+	// exprTainted: the expression evaluates to an aliased buffer. A call
+	// expression breaks the chain when it launders (copies); Next calls
+	// start it.
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return identTainted(x)
+		case *ast.CallExpr:
+			if retainLaunders(x) {
+				return false
+			}
+			if isNextCall(x) {
+				return true
+			}
+			// append(dst, w) without ... keeps the alias in the result.
+			if calleeName(x) == "append" {
+				for _, a := range x.Args {
+					if exprTainted(a) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.SliceExpr:
+			return exprTainted(x.X) // w[1:] still aliases
+		}
+		return false
+	}
+
+	// Fixpoint taint propagation through plain assignments and the
+	// (w, ok := sess.Next()) tuple form.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) == 2 && isNextCall(as.Rhs[0]) {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && taintObj(id) {
+					changed = true
+				}
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if exprTainted(rhs) && taintObj(id) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	flag := func(pos token.Pos, how string) {
+		out = append(out, p.finding("retain", pos,
+			"%s in exported %s retains a Next result that aliases the session buffer — copy it first (append(Word(nil), w...) or slices.Clone)",
+			how, fd.Name.Name))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if exprTainted(r) {
+					flag(r.Pos(), "return")
+				}
+			}
+		case *ast.SendStmt:
+			if exprTainted(x.Value) {
+				flag(x.Value.Pos(), "channel send")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue // local rebinding, handled by taint
+				}
+				// x.field = w, m[k] = w, *p = w: stores that outlive the frame.
+				if exprTainted(x.Rhs[i]) {
+					flag(x.Rhs[i].Pos(), "store")
+				}
+			}
+		case *ast.CallExpr:
+			// append(acc, w) without ... captures the slice header; flag it
+			// here only when the result feeds an accumulator (an assignment
+			// is also caught above via exprTainted on the RHS) — the direct
+			// diagnostic reads better at the append site.
+			if calleeName(x) == "append" && x.Ellipsis == token.NoPos {
+				for _, a := range x.Args[1:] {
+					if identTainted(a) {
+						flag(a.Pos(), "append of the slice header")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean asserts the shipped tree passes its own suite — the same
+// gate CI runs via cmd/nfalint. Every new invariant violation (or stale
+// ignore pragma) fails this test locally before it fails CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunPackages(pkgs, nil)
+	for _, f := range rep.Findings {
+		t.Errorf("%s", f.String())
+	}
+	if len(rep.Packages) < 10 {
+		t.Errorf("suite saw only %d packages — loader lost most of the repo", len(rep.Packages))
+	}
+	for _, s := range rep.Suppressed {
+		t.Logf("suppressed: %s:%d [%s] %s (reason: %s)", s.File, s.Line, s.Analyzer, s.Message, s.Reason)
+	}
+}

@@ -1,0 +1,60 @@
+// Corpus for the bigmut analyzer: local stand-ins for the countdag Index
+// and lengthrange RangeIndex accessors (the analyzer keys on receiver type
+// and method names, so the corpus needs no repo imports).
+package bigmut
+
+import "math/big"
+
+type Index struct{ total *big.Int }
+
+func (ix *Index) Total() *big.Int                 { return ix.total }
+func (ix *Index) Count(layer, state int) *big.Int { return ix.total }
+func (ix *Index) EdgeCum(layer, state int) []*big.Int {
+	return []*big.Int{ix.total}
+}
+func (ix *Index) SubtreeSpan(path []int) (*big.Int, *big.Int, error) {
+	return new(big.Int), ix.total, nil
+}
+
+type RangeIndex struct{ t *big.Int }
+
+func (r *RangeIndex) TotalAt(n int) *big.Int { return r.t }
+func (r *RangeIndex) TotalRange() *big.Int   { return new(big.Int).Set(r.t) }
+
+func direct(ix *Index) {
+	ix.Total().Add(ix.Total(), big.NewInt(1)) // want bigmut "mutates a shared count"
+}
+
+func viaLocal(ix *Index) {
+	t := ix.Count(0, 1)
+	t.Sub(t, big.NewInt(1)) // want bigmut "mutates a shared count"
+}
+
+func viaTuple(ix *Index) {
+	first, count, _ := ix.SubtreeSpan(nil)
+	first.Add(first, big.NewInt(1)) // ok: the first result is caller-owned
+	count.Add(count, big.NewInt(1)) // want bigmut "mutates a shared count"
+}
+
+func viaSlice(ix *Index) {
+	cum := ix.EdgeCum(0, 1)
+	cum[0].SetInt64(7) // want bigmut "mutates a shared count"
+}
+
+func rangeIdx(r *RangeIndex) {
+	r.TotalAt(3).Neg(r.TotalAt(3)) // want bigmut "mutates a shared count"
+	owned := r.TotalRange()
+	owned.Add(owned, big.NewInt(1)) // ok: TotalRange returns an owned copy
+}
+
+func cleanCopy(ix *Index) *big.Int {
+	c := new(big.Int).Set(ix.Total())
+	c.Add(c, big.NewInt(1)) // ok: mutating the copy
+	return c
+}
+
+func reassignedTaint(ix *Index) {
+	t := ix.Total()
+	u := t
+	u.Lsh(u, 2) // want bigmut "mutates a shared count"
+}

@@ -1,0 +1,63 @@
+// Corpus for the detrand analyzer: wall-clock reads, the global math/rand
+// generator, and map-order iteration feeding output.
+package detrand
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want detrand "time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want detrand "time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want detrand "global math/rand"
+}
+
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicit deterministic source
+	return r.Intn(10)
+}
+
+func mapChan(m map[int]int, ch chan int) {
+	for _, v := range m { // want detrand "sends on a channel"
+		ch <- v
+	}
+}
+
+func mapAppendUnsorted(m map[int]int) []int {
+	var out []int
+	for k := range m { // want detrand "never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapAppendSorted(m map[int]int) []int {
+	var out []int
+	for k := range m { // ok: sorted before use
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sliceRangeOK(s []int, ch chan int) {
+	for _, v := range s { // ok: slice order is deterministic
+		ch <- v
+	}
+}
+
+func mapLocalAccumOK(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // ok: sum is order-insensitive
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,67 @@
+// Corpus for the fpfirst analyzer: parse/decode/resume functions must
+// validate (fingerprint or claim-vs-payload bound) before any length-sized
+// allocation or Build call.
+package fpfirst
+
+import (
+	"errors"
+	"strings"
+)
+
+type dag struct{}
+
+func Build(n int) *dag { return &dag{} }
+
+func fingerprintOf(raw []byte) uint32 {
+	var h uint32
+	for _, b := range raw {
+		h = h*31 + uint32(b)
+	}
+	return h
+}
+
+func ParseBad(raw []byte, claimed int, fp uint32) (*dag, error) {
+	buf := make([]byte, claimed) // want fpfirst "unvalidated token data"
+	d := Build(claimed)          // want fpfirst "before token validation"
+	if fingerprintOf(raw) != fp {
+		return nil, errors.New("bad fp")
+	}
+	_ = buf
+	return d, nil
+}
+
+func ParseGood(raw []byte, claimed int, fp uint32) (*dag, error) {
+	if fingerprintOf(raw) != fp {
+		return nil, errors.New("bad fp")
+	}
+	buf := make([]byte, claimed) // ok: fingerprint checked above
+	_ = buf
+	return Build(claimed), nil
+}
+
+func ParseBounded(raw []byte, claimed int) ([]byte, error) {
+	if claimed > len(raw) {
+		return nil, errors.New("claim exceeds payload")
+	}
+	return make([]byte, claimed), nil // ok: bounded by payload bytes
+}
+
+func DecodeNever(claimed int) []int {
+	return make([]int, claimed) // want fpfirst "unvalidated token data"
+}
+
+func ParseSplit(s string, claimed int) []byte {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 { // a shape check against a constant is NOT validation
+		return nil
+	}
+	return make([]byte, claimed) // want fpfirst "unvalidated token data"
+}
+
+func DecodePayloadSized(raw []byte, width int) []byte {
+	return make([]byte, 0, len(raw)/width) // ok: payload-bounded arithmetic
+}
+
+func helper(claimed int) []byte {
+	return make([]byte, claimed) // ok: not a parse/decode/resume path
+}

@@ -1,0 +1,80 @@
+// Corpus for the lockheld analyzer: `guarded by` annotations, the *Locked
+// naming convention, fresh-value and early-return handling, and func
+// literals as separate lock contexts.
+package lockheld
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type Cell struct {
+	val int // guarded by Counter.mu
+}
+
+type Broken struct {
+	x int // guarded by nosuch; want lockheld "cannot resolve guard"
+}
+
+func (c *Counter) GoodLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) BadDirect() int {
+	return c.n // want lockheld "does not hold"
+}
+
+func (c *Counter) bumpLocked() { c.n++ } // ok: Locked suffix, caller holds mu
+
+func (c *Counter) BadAfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n-- // want lockheld "does not hold"
+}
+
+func (c *Counter) EarlyReturn(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return -1
+	}
+	v := c.n // ok: still held on the fallthrough path
+	c.mu.Unlock()
+	return v
+}
+
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 7 // ok: freshly allocated, not yet shared
+	return c
+}
+
+func NewCounterVia() *Counter {
+	c := &Counter{}
+	d := c
+	d.n = 9 // ok: freshness flows through the local copy
+	return d
+}
+
+func (c *Counter) BadGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want lockheld "func literal"
+	}()
+}
+
+func crossStruct(c *Counter, cell *Cell) {
+	c.mu.Lock()
+	cell.val = c.n // ok: Counter.mu held covers Cell.val too
+	c.mu.Unlock()
+}
+
+func crossStructBad(cell *Cell) {
+	cell.val++ // want lockheld "does not hold"
+}

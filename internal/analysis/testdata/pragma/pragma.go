@@ -1,0 +1,31 @@
+// Corpus for the ignore-pragma lifecycle: a justified pragma suppresses,
+// and malformed / unknown-analyzer / unused pragmas are findings.
+package pragma
+
+import "math/big"
+
+type Index struct{ t *big.Int }
+
+func (ix *Index) Total() *big.Int { return ix.t }
+
+func suppressed(ix *Index) {
+	//nfalint:ignore bigmut corpus exercises suppression on the next line
+	ix.Total().SetInt64(1) // ok: suppressed above
+}
+
+func suppressedWildcard(ix *Index) {
+	ix.Total().SetInt64(2) //nfalint:ignore * wildcard suppression on the same line
+}
+
+func unsuppressed(ix *Index) {
+	ix.Total().SetInt64(3) // want bigmut "mutates a shared count"
+}
+
+//nfalint:ignore bogus not a real analyzer; want pragma "unknown analyzer"
+
+/* want pragma "malformed ignore pragma" */ //nfalint:ignore bigmut
+
+func clean() {
+	//nfalint:ignore bigmut nothing to silence here; want pragma "unused ignore pragma"
+	_ = 0
+}

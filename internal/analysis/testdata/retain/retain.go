@@ -1,0 +1,75 @@
+// Corpus for the retain analyzer: Next results alias the session buffer;
+// exported functions must copy before returning, storing, or sending them.
+package retain
+
+type Session struct{ buf []int }
+
+// Next passes the aliased buffer through — that IS the session contract,
+// so Next itself is exempt.
+func (s *Session) Next() ([]int, bool) {
+	return s.buf, true
+}
+
+type Result struct{ Word []int }
+
+func First(s *Session) []int {
+	w, ok := s.Next()
+	if !ok {
+		return nil
+	}
+	return w // want retain "aliases the session buffer"
+}
+
+func FirstCopy(s *Session) []int {
+	w, _ := s.Next()
+	return append([]int(nil), w...) // ok: elements copied
+}
+
+func Collect(s *Session, k int) [][]int {
+	var out [][]int
+	for i := 0; i < k; i++ {
+		w, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, w) // want retain "append of the slice header"
+	}
+	return out // want retain "aliases the session buffer"
+}
+
+func CollectCopy(s *Session, k int) [][]int {
+	var out [][]int
+	for i := 0; i < k; i++ {
+		w, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, append([]int(nil), w...)) // ok
+	}
+	return out
+}
+
+func Store(s *Session, r *Result) {
+	w, _ := s.Next()
+	r.Word = w // want retain "store"
+}
+
+func Send(s *Session, ch chan []int) {
+	w, _ := s.Next()
+	ch <- w // want retain "channel send"
+}
+
+func Count(s *Session) int {
+	w, _ := s.Next()
+	return len(w) // ok: only derived data escapes
+}
+
+func Tail(s *Session) []int {
+	w, _ := s.Next()
+	return w[1:] // want retain "aliases the session buffer"
+}
+
+func leakPrivately(s *Session) []int {
+	w, _ := s.Next()
+	return w // ok: unexported helper — its callers own the copy decision
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeName returns the bare name of the called function or method
+// ("Build" for unroll.Build and x.Build alike), or "" when the callee is
+// not a named function (a call of a function-typed expression).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// recvNamed returns the named type (pointers dereferenced) of an
+// expression, or nil.
+func recvNamed(info *types.Info, e ast.Expr) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isBigIntOrFloat reports whether t is *math/big.Int or *math/big.Float
+// (or the value forms).
+func isBigIntOrFloat(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "math/big" {
+		return false
+	}
+	return obj.Name() == "Int" || obj.Name() == "Float"
+}
+
+// pkgNameOf returns the imported package a selector's base resolves to
+// ("time" for time.Now), or "" when the base is not a package name.
+func pkgNameOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// rootIdent walks to the base identifier of a selector/index/star chain
+// (st for st.head.next, seg for seg.buf[i]), or nil when the base is not a
+// plain identifier (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(p *Pkg) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the name of a method's receiver type ("" for plain
+// functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// isSliceType reports whether t is (or aliases) a slice type.
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

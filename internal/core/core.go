@@ -130,13 +130,13 @@ type Instance struct {
 	// mu guards the internal RNG and the lazily built engines below; the
 	// engines themselves are safe for concurrent use once built.
 	mu         sync.Mutex
-	rng        *rand.Rand
-	est        *fpras.Estimator
-	enc        *automata.BinaryEncoding
-	ufaSampler *sample.UFASampler
+	rng        *rand.Rand               // guarded by mu
+	est        *fpras.Estimator         // guarded by mu
+	enc        *automata.BinaryEncoding // guarded by mu
+	ufaSampler *sample.UFASampler       // guarded by mu
 	// rIdx caches cross-length indexes by [lo, hi] (bounded; see
 	// rangeIdxCacheCap), so alternating range queries don't rebuild.
-	rIdx map[[2]int]*lengthrange.RangeIndex
+	rIdx map[[2]int]*lengthrange.RangeIndex // guarded by mu
 }
 
 // rangeIdxCacheCap bounds the per-instance range-index cache: indexes
@@ -875,10 +875,19 @@ func (in *Instance) Sample() (automata.Word, error) {
 	if err != nil {
 		return nil, err
 	}
-	if in.enc != nil {
-		return in.enc.DecodeWord(w)
+	if enc := in.encoding(); enc != nil {
+		return enc.DecodeWord(w)
 	}
 	return w, nil
+}
+
+// encoding returns the instance's binary re-encoding (nil when the source
+// alphabet is already binary). It is built together with the estimator, so
+// callers must run estimator() first.
+func (in *Instance) encoding() *automata.BinaryEncoding {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.enc
 }
 
 // SampleMany draws k independent uniform witnesses sequentially from the
@@ -926,12 +935,13 @@ func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) 
 		if err != nil {
 			return nil, err
 		}
-		if in.enc == nil {
+		enc := in.encoding()
+		if enc == nil {
 			return ws, nil
 		}
 		out := make([]automata.Word, k)
 		for i, w := range ws {
-			dec, err := in.enc.DecodeWord(w)
+			dec, err := enc.DecodeWord(w)
 			if err != nil {
 				return nil, err
 			}

@@ -193,28 +193,28 @@ type segment struct {
 	shard Shard
 	start []int // resume-after position for the first open (nil = cell start)
 
-	state segState
-	buf   []*wordBuf // produced, not yet delivered
-	off   int        // buf[:off] already delivered (popped front)
+	state segState   // guarded by Stream.mu
+	buf   []*wordBuf // produced, not yet delivered; guarded by Stream.mu
+	off   int        // buf[:off] already delivered (popped front); guarded by Stream.mu
 
-	deliv    []int // position of the last popped word (nil until first)
-	produced int   // words produced in total (stats)
-	since    int   // words produced since open/last split (steal pacing)
-	steals   int   // successful splits of this cell
-	spills   int   // times this cell was suspended or had its buffer dropped
-	stealReq bool  // an idle worker asked the owner to split
+	deliv    []int // position of the last popped word (nil until first); guarded by Stream.mu
+	produced int   // words produced in total (stats); guarded by Stream.mu
+	since    int   // words produced since open/last split (steal pacing); guarded by Stream.mu
+	steals   int   // successful splits of this cell; guarded by Stream.mu
+	spills   int   // times this cell was suspended or had its buffer dropped; guarded by Stream.mu
+	stealReq bool  // an idle worker asked the owner to split; guarded by Stream.mu
 	// remaining is the exact number of words the cell's enumerator has
 	// yet to produce (UFA cells with a counting index; nil = unknown, the
 	// since proxy is used instead). Set when the cell is (re)opened,
 	// decremented per committed word, recomputed after a split — all
-	// under the stream mutex.
+	// guarded by Stream.mu.
 	remaining *big.Int
 
-	next *segment
+	next *segment // canonical-order link; guarded by Stream.mu
 }
 
 // pending reports how many buffered words await delivery.
-func (s *segment) pending() int { return len(s.buf) - s.off }
+func (s *segment) pendingLocked() int { return len(s.buf) - s.off }
 
 // resumePosLocked is the cell's spill cursor: the position after which
 // production must resume when the cell is (re)opened — the last buffered
@@ -223,7 +223,7 @@ func (s *segment) pending() int { return len(s.buf) - s.off }
 // no enumerator at all: this cursor plus the shard descriptor (with its
 // ceiling) is the cell's entire persistent state.
 func (s *segment) resumePosLocked() []int {
-	if s.pending() > 0 {
+	if s.pendingLocked() > 0 {
 		b := s.buf[len(s.buf)-1]
 		if b.pos != nil {
 			return append([]int(nil), b.pos...)
@@ -288,20 +288,20 @@ type Stream struct {
 	roomCond *sync.Cond // producers wait: budget room, spillable cell, stop
 	consCond *sync.Cond // consumer waits: words buffered, cell done, stop
 
-	head     *segment // first not-fully-delivered segment (canonical order)
-	all      []*segment
-	buffered int
-	peak     int
-	nextID   int
-	stopped  bool
-	err      error
+	head     *segment   // first not-fully-delivered segment (canonical order); guarded by mu
+	all      []*segment // guarded by mu
+	buffered int        // guarded by mu
+	peak     int        // guarded by mu
+	nextID   int        // guarded by mu
+	stopped  bool       // guarded by mu
+	err      error      // guarded by mu
 
-	delivered  int
-	steals     int
-	softSpills int
-	hardSpills int
+	delivered  int // guarded by mu
+	steals     int // guarded by mu
+	softSpills int // guarded by mu
+	hardSpills int // guarded by mu
 
-	roomWaiters int
+	roomWaiters int // guarded by mu
 
 	group par.Group
 	pool  sync.Pool
@@ -630,7 +630,7 @@ func (st *Stream) insertAfterLocked(victim *segment, s Shard) {
 func (st *Stream) spillableLocked(self *segment) *segment {
 	var last *segment
 	for s := st.head; s != nil; s = s.next {
-		if s != self && s != st.head && s.pending() > 0 && (s.state == segSuspended || s.state == segDone) {
+		if s != self && s != st.head && s.pendingLocked() > 0 && (s.state == segSuspended || s.state == segDone) {
 			last = s
 		}
 	}
@@ -647,7 +647,7 @@ func (st *Stream) dropBufferLocked(seg *segment) {
 	for _, b := range seg.buf[seg.off:] {
 		st.pool.Put(b)
 	}
-	st.buffered -= seg.pending()
+	st.buffered -= seg.pendingLocked()
 	seg.buf = seg.buf[:0]
 	seg.off = 0
 	seg.state = segPending
@@ -672,7 +672,7 @@ func (st *Stream) resumeLocked(seg *segment) {
 // after them, and Token accounts for the not-yet-consumed tail (see
 // Token).
 func (st *Stream) popBatchLocked(seg *segment) *wordBuf {
-	k := seg.pending()
+	k := seg.pendingLocked()
 	if k > st.batchN {
 		k = st.batchN
 	}
@@ -730,18 +730,18 @@ func (st *Stream) Next() (automata.Word, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.opts.Ordered {
-		return st.nextOrdered()
+		return st.nextOrderedLocked()
 	}
-	return st.nextUnordered()
+	return st.nextUnorderedLocked()
 }
 
-func (st *Stream) nextOrdered() (automata.Word, bool) {
+func (st *Stream) nextOrderedLocked() (automata.Word, bool) {
 	for {
 		if st.stopped || st.head == nil {
 			return nil, false
 		}
 		h := st.head
-		if h.pending() > 0 {
+		if h.pendingLocked() > 0 {
 			return st.deliver(st.popBatchLocked(h)), true
 		}
 		switch h.state {
@@ -759,7 +759,7 @@ func (st *Stream) nextOrdered() (automata.Word, bool) {
 	}
 }
 
-func (st *Stream) nextUnordered() (automata.Word, bool) {
+func (st *Stream) nextUnorderedLocked() (automata.Word, bool) {
 	for {
 		if st.stopped {
 			return nil, false
@@ -769,7 +769,7 @@ func (st *Stream) nextUnordered() (automata.Word, bool) {
 		var prev *segment
 		allDone := true
 		for s := st.head; s != nil; s = s.next {
-			if s.pending() > 0 {
+			if s.pendingLocked() > 0 {
 				return st.deliver(st.popBatchLocked(s)), true
 			}
 			if s.state == segDone {
@@ -815,7 +815,7 @@ func (st *Stream) Token() (string, bool) {
 	batchTail := len(st.batch) - st.batchIdx
 	for s := st.head; s != nil; s = s.next {
 		inBatch := s == st.batchSeg && batchTail > 0
-		if s.state == segDone && s.pending() == 0 && !inBatch {
+		if s.state == segDone && s.pendingLocked() == 0 && !inBatch {
 			continue
 		}
 		seg := FrontierSeg{

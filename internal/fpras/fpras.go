@@ -193,7 +193,7 @@ type Estimator struct {
 	// rng backs the convenience methods Sample/SampleWitness; mu serializes
 	// it. Parallel callers should prefer SampleWith or SampleN.
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 
 	empty bool
 }
@@ -234,7 +234,7 @@ const memoShards = 16
 
 type memoShard struct {
 	mu sync.RWMutex
-	m  map[uint64][]*memoEntry
+	m  map[uint64][]*memoEntry // guarded by mu
 }
 
 type memoEntry struct {

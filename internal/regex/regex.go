@@ -202,6 +202,7 @@ func (p *parser) parseAtom() (node, error) {
 		return p.parseClass()
 	case '.':
 		p.pos++
+		//nfalint:ignore fpfirst sized by the alphabet from compile options, not by a claim in the pattern
 		syms := make([]automata.Symbol, alphaSize(p.alpha))
 		for i := range syms {
 			syms[i] = i
