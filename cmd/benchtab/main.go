@@ -1,5 +1,5 @@
 // Command benchtab regenerates the experiment tables of DESIGN.md /
-// EXPERIMENTS.md (F1 and E1–E17): the empirical validation of every
+// EXPERIMENTS.md (F1 and E1–E19): the empirical validation of every
 // theorem of the paper on this implementation.
 //
 // Usage:
@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -58,7 +59,7 @@ type report struct {
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		only     = flag.String("only", "", "run a subset of experiment ids, comma-separated (e.g. E4 or E1,E15)")
+		only     = flag.String("only", "", "run a subset of experiment ids, comma-separated (e.g. E4, E19, or E1,E15)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonPath = flag.String("json", "", "write the tables as JSON to this file")
 	)
@@ -85,7 +86,7 @@ func main() {
 			tab := bench.ByID(id, *quick)
 			if tab == nil {
 				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (known: %s)\n",
-					id, strings.Join(bench.IDs(), ", "))
+					id, strings.Join(knownIDs(), ", "))
 				os.Exit(2)
 			}
 			tables = append(tables, tab)
@@ -95,7 +96,7 @@ func main() {
 		// success in CI logs. Fail loudly instead.
 		if len(tables) == 0 {
 			fmt.Fprintf(os.Stderr, "benchtab: -only %q selects no experiments (known: %s)\n",
-				*only, strings.Join(bench.IDs(), ", "))
+				*only, strings.Join(knownIDs(), ", "))
 			os.Exit(2)
 		}
 	} else {
@@ -129,4 +130,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtab: writing output: %v\n", stdout.err)
 		os.Exit(1)
 	}
+}
+
+// knownIDs is the experiment list for error messages, sorted so the
+// output is stable regardless of how the registry enumerates (the
+// detrand standard, applied here even though cmds are exempt).
+func knownIDs() []string {
+	ids := append([]string(nil), bench.IDs()...)
+	sort.Strings(ids)
+	return ids
 }

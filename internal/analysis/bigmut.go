@@ -50,7 +50,11 @@ var bigmutAnalyzer = &Analyzer{
 // runBigmut flags calls to mutating big.Int/big.Float methods whose
 // receiver flows (intra-procedurally) from a shared-count accessor: direct
 // chains (x.Total().Add(…)), locals (t := x.Total(); t.Add(…)), tuple
-// results, and elements of shared slices (x.EdgeCum(…)[i].Add(…)).
+// results, elements of shared slices (x.EdgeCum(…)[i].Add(…)), and range
+// variables over them (for _, c := range x.EdgeCum(…)). The contract is
+// unchanged by the two-tier layout: a word-tier index materializes its
+// big.Int tables lazily, but what the accessors hand out is still the
+// frozen backing store, never a caller-owned copy.
 func runBigmut(p *Pkg) []Finding {
 	var out []Finding
 	for _, fd := range funcDecls(p) {
@@ -129,6 +133,15 @@ func bigmutFunc(p *Pkg, fd *ast.FuncDecl) []Finding {
 	for changed := true; changed; {
 		changed = false
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				// Ranging over a shared slice taints the element variable.
+				if rs.Value != nil && exprShared(rs.X) {
+					if id, ok := rs.Value.(*ast.Ident); ok && taintObj(id) {
+						changed = true
+					}
+				}
+				return true
+			}
 			as, ok := n.(*ast.AssignStmt)
 			if !ok {
 				return true

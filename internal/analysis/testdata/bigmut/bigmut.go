@@ -1,18 +1,40 @@
 // Corpus for the bigmut analyzer: local stand-ins for the countdag Index
 // and lengthrange RangeIndex accessors (the analyzer keys on receiver type
-// and method names, so the corpus needs no repo imports).
+// and method names, so the corpus needs no repo imports). The Index
+// stand-in mirrors the real two-tier layout: a word-tier count is
+// materialized into big.Int form lazily (sync.Once), and the accessors
+// hand out that lazily-built backing store — still frozen-aliasing, so
+// mutating what they return must be flagged exactly as before.
 package bigmut
 
-import "math/big"
+import (
+	"math/big"
+	"sync"
+)
 
-type Index struct{ total *big.Int }
+type Index struct {
+	utotal uint64
+	once   sync.Once
+	total  *big.Int
+}
 
-func (ix *Index) Total() *big.Int                 { return ix.total }
-func (ix *Index) Count(layer, state int) *big.Int { return ix.total }
+// materialize builds the big.Int mirror of the word-tier count on first
+// use, the shape countdag uses on its fast tier.
+func (ix *Index) materialize() {
+	ix.once.Do(func() { ix.total = new(big.Int).SetUint64(ix.utotal) })
+}
+
+func (ix *Index) Total() *big.Int { ix.materialize(); return ix.total }
+func (ix *Index) Count(layer, state int) *big.Int {
+	ix.materialize()
+	return ix.total
+}
 func (ix *Index) EdgeCum(layer, state int) []*big.Int {
+	ix.materialize()
 	return []*big.Int{ix.total}
 }
 func (ix *Index) SubtreeSpan(path []int) (*big.Int, *big.Int, error) {
+	ix.materialize()
 	return new(big.Int), ix.total, nil
 }
 
@@ -39,6 +61,20 @@ func viaTuple(ix *Index) {
 func viaSlice(ix *Index) {
 	cum := ix.EdgeCum(0, 1)
 	cum[0].SetInt64(7) // want bigmut "mutates a shared count"
+}
+
+func viaRange(ix *Index) {
+	for _, c := range ix.EdgeCum(0, 1) {
+		c.Add(c, big.NewInt(1)) // want bigmut "mutates a shared count"
+	}
+}
+
+func viaRangeLocal(ix *Index) {
+	cum := ix.EdgeCum(0, 1)
+	for i, c := range cum {
+		_ = i
+		c.SetInt64(9) // want bigmut "mutates a shared count"
+	}
 }
 
 func rangeIdx(r *RangeIndex) {

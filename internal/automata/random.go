@@ -1,7 +1,9 @@
 package automata
 
 import (
+	"math/big"
 	"math/rand"
+	"strconv"
 )
 
 // This file holds the instance generators used by tests and the benchmark
@@ -261,6 +263,38 @@ func All(alpha *Alphabet) *NFA {
 		n.AddTransition(0, a, 0)
 	}
 	return n
+}
+
+// OverflowBoundary returns a single-state deterministic (hence trivially
+// unambiguous) automaton over a fresh sigma-letter alphabet accepting every
+// word, together with the straddle length: the least n such that the
+// witness count sigma^n no longer fits in a uint64. Counting indexes built
+// at or across the straddle must abandon the word-sized fast tier, while
+// indexes that stop one short of it stay word-sized, so the family pins
+// the exact 2^64 boundary for the cross-tier differential suites. The
+// closed forms make external checks cheap: the length-n slice counts
+// sigma^n, and the rank of a word is its value read as an n-digit
+// base-sigma numeral (symbol i is digit i).
+func OverflowBoundary(sigma int) (*NFA, int) {
+	if sigma < 2 {
+		panic("automata: OverflowBoundary needs an alphabet of at least two symbols")
+	}
+	names := make([]string, sigma)
+	for i := range names {
+		names[i] = "s" + strconv.Itoa(i)
+	}
+	n := All(NewAlphabet(names...))
+	// Straddle length: least n with sigma^n >= 2^64, found by exact
+	// big.Int growth rather than float logs (4^32 == 2^64 exactly).
+	wordCap := new(big.Int).Lsh(big.NewInt(1), 64)
+	pow := big.NewInt(1)
+	base := big.NewInt(int64(sigma))
+	straddle := 0
+	for pow.Cmp(wordCap) < 0 {
+		pow.Mul(pow, base)
+		straddle++
+	}
+	return n, straddle
 }
 
 // PaperExample returns the 7-state unambiguous NFA of Figure 1 of the

@@ -1,0 +1,56 @@
+package automata
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestOverflowBoundaryStraddle(t *testing.T) {
+	wordCap := new(big.Int).Lsh(big.NewInt(1), 64)
+	for _, tc := range []struct {
+		sigma, want int
+	}{
+		{2, 64}, // 2^64 is the first power past uint64
+		{3, 41},
+		{4, 32}, // 4^32 == 2^64 exactly
+		{10, 20},
+	} {
+		n, straddle := OverflowBoundary(tc.sigma)
+		if straddle != tc.want {
+			t.Errorf("sigma=%d: straddle = %d, want %d", tc.sigma, straddle, tc.want)
+		}
+		if n.Alphabet().Size() != tc.sigma {
+			t.Errorf("sigma=%d: alphabet size = %d", tc.sigma, n.Alphabet().Size())
+		}
+		if !IsUnambiguous(n) {
+			t.Errorf("sigma=%d: OverflowBoundary automaton is ambiguous", tc.sigma)
+		}
+		// Defining property of the straddle: sigma^(straddle-1) fits a
+		// word, sigma^straddle does not.
+		base := big.NewInt(int64(tc.sigma))
+		below := new(big.Int).Exp(base, big.NewInt(int64(straddle-1)), nil)
+		at := new(big.Int).Exp(base, big.NewInt(int64(straddle)), nil)
+		if below.Cmp(wordCap) >= 0 || at.Cmp(wordCap) < 0 {
+			t.Errorf("sigma=%d: straddle %d does not bracket 2^64", tc.sigma, straddle)
+		}
+		// The language is Sigma^*: counts are exactly sigma^n.
+		for _, length := range []int{0, 1, 5} {
+			want := new(big.Int).Exp(base, big.NewInt(int64(length)), nil)
+			if got := CountPaths(n, length); got.Cmp(want) != 0 {
+				t.Errorf("sigma=%d n=%d: CountPaths = %v, want %v", tc.sigma, length, got, want)
+			}
+		}
+		if !n.Accepts(Word{0, tc.sigma - 1, 0}) {
+			t.Errorf("sigma=%d: automaton rejects a word", tc.sigma)
+		}
+	}
+}
+
+func TestOverflowBoundaryRejectsUnary(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OverflowBoundary(1) did not panic")
+		}
+	}()
+	OverflowBoundary(1)
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/countdag"
+	"repro/internal/lengthrange"
+	"repro/internal/sample"
+	"repro/internal/unroll"
+)
+
+// E19TierComparison measures the two-tier arithmetic claim: on the
+// word-sized E17/E18 workload families the uint64 fast tier (flat arena
+// prefix sums, word-comparison descents) against the same code with the
+// big.Int tier forced through the tierKnob, on per-draw time (session
+// mode), range build time and allocations — with every draw stream and
+// total verified bitwise identical across tiers. A third family
+// (automata.OverflowBoundary, counts sigma^n straddling 2^64) is built
+// deliberately overflowing to confirm the fallback engages on its own and
+// still serves exact ranked access across the 2^64 boundary.
+func E19TierComparison(quick bool) *Table {
+	t := &Table{
+		ID:     "E19",
+		Title:  "Two-tier arithmetic: uint64 fast tier vs forced big.Int on the same workloads",
+		Header: []string{"family", "tier", "time", "allocs", "vs fast", "check"},
+	}
+	states, depth, draws := 64, 20, 200000
+	lo, hi := 5, 20
+	if quick {
+		states, depth, draws = 32, 16, 50000
+		lo, hi = 4, 12
+	}
+	rng := rand.New(rand.NewSource(17))
+	dfa := automata.RandomDFA(rng, automata.Binary(), states, 0.5)
+
+	measure := func(f func()) (time.Duration, uint64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return d, after.Mallocs - before.Mallocs
+	}
+	tierName := func(word bool) string {
+		if word {
+			return "uint64"
+		}
+		return "big.Int"
+	}
+
+	// Family 1: E17 sampler workload, session draws on both tiers.
+	prev := countdag.ForceBigTier(false)
+	defer countdag.ForceBigTier(prev)
+	sampleRun := func(forced bool) (time.Duration, uint64, []string, bool) {
+		countdag.ForceBigTier(forced)
+		defer countdag.ForceBigTier(false)
+		s, err := sample.NewUFASampler(dfa, depth)
+		if err != nil {
+			panic(err)
+		}
+		d := s.NewDrawSession(rand.New(rand.NewSource(19)))
+		probe := make([]string, 0, 64)
+		dur, allocs := measure(func() {
+			for i := 0; i < draws; i++ {
+				w, err := d.Sample()
+				if err != nil {
+					panic(err)
+				}
+				if i < cap(probe) {
+					probe = append(probe, dfa.Alphabet().FormatWord(w))
+				}
+			}
+		})
+		return dur, allocs, probe, s.Index().WordTier()
+	}
+	fastDur, fastAllocs, fastProbe, fastWord := sampleRun(false)
+	bigDur, bigAllocs, bigProbe, bigWord := sampleRun(true)
+	check := "streams bitwise ="
+	if fmt.Sprint(fastProbe) != fmt.Sprint(bigProbe) {
+		check = "STREAMS DIVERGE!"
+	}
+	if !fastWord || bigWord {
+		check = "TIER SELECTION WRONG!"
+	}
+	perDraw := func(d time.Duration) string {
+		return fmt.Sprintf("%.0fns/draw", float64(d.Nanoseconds())/float64(draws))
+	}
+	t.AddRow("E17 session draws", tierName(fastWord), perDraw(fastDur), fmt.Sprint(fastAllocs), "1.00x", check)
+	t.AddRow("E17 session draws", tierName(bigWord), perDraw(bigDur), fmt.Sprint(bigAllocs),
+		fmt.Sprintf("%.2fx time", float64(bigDur)/float64(fastDur)), "forced")
+
+	// Family 2: E18 range build on both tiers.
+	buildRun := func(forced bool) (time.Duration, uint64, *lengthrange.RangeIndex) {
+		countdag.ForceBigTier(forced)
+		defer countdag.ForceBigTier(false)
+		var ri *lengthrange.RangeIndex
+		dur, allocs := measure(func() {
+			var err error
+			ri, err = lengthrange.Build(dfa, lo, hi, 1)
+			if err != nil {
+				panic(err)
+			}
+		})
+		return dur, allocs, ri
+	}
+	fbDur, fbAllocs, fastIdx := buildRun(false)
+	bbDur, bbAllocs, bigIdx := buildRun(true)
+	check = "totals bitwise ="
+	if fastIdx.TotalRange().Cmp(bigIdx.TotalRange()) != 0 {
+		check = "TOTALS DIVERGE!"
+	} else {
+		for n := lo; n <= hi; n++ {
+			a, err1 := fastIdx.TotalAt(n)
+			b, err2 := bigIdx.TotalAt(n)
+			if err1 != nil || err2 != nil || a.Cmp(b) != 0 {
+				check = "TOTALS DIVERGE!"
+				break
+			}
+		}
+	}
+	if !fastIdx.WordTier() || bigIdx.WordTier() {
+		check = "TIER SELECTION WRONG!"
+	}
+	t.AddRow("E18 range build", tierName(fastIdx.WordTier()), ms(fbDur), fmt.Sprint(fbAllocs), "1.00x", check)
+	t.AddRow("E18 range build", tierName(bigIdx.WordTier()), ms(bbDur), fmt.Sprint(bbAllocs),
+		fmt.Sprintf("%.2fx allocs", float64(bbAllocs)/float64(fbAllocs)), "forced")
+
+	// Family 3: deliberately overflowing counts (sigma^n across 2^64).
+	// The fallback must engage without the knob, and ranked access must
+	// stay exact across the boundary.
+	over, straddle := automata.OverflowBoundary(4)
+	dag, err := unroll.Build(over, straddle, unroll.Options{PruneBackward: true})
+	if err != nil {
+		panic(err)
+	}
+	oDur, oAllocs := measure(func() { countdag.Build(dag, 1) })
+	oIdx := countdag.Build(dag, 1)
+	wantTotal := new(big.Int).Exp(big.NewInt(4), big.NewInt(int64(straddle)), nil)
+	check = fmt.Sprintf("total = 4^%d", straddle)
+	if oIdx.WordTier() {
+		check = "NO FALLBACK!"
+	} else if oIdx.Total().Cmp(wantTotal) != 0 {
+		check = "TOTAL WRONG!"
+	}
+	t.AddRow(fmt.Sprintf("overflow n=%d", straddle), tierName(oIdx.WordTier()), ms(oDur), fmt.Sprint(oAllocs), "-", check)
+
+	oRange, err := lengthrange.Build(over, straddle-2, straddle, 1)
+	if err != nil {
+		panic(err)
+	}
+	boundary := new(big.Int).Lsh(big.NewInt(1), 64)
+	check = "rank/unrank exact at 2^64"
+	if oRange.WordTier() {
+		check = "NO FALLBACK!"
+	} else if w, err := oRange.UnrankRange(boundary); err != nil {
+		check = "err:" + err.Error()
+	} else if r, err := oRange.RankRange(w); err != nil || r.Cmp(boundary) != 0 {
+		check = "RANK/UNRANK MISMATCH!"
+	}
+	t.AddRow(fmt.Sprintf("overflow range %d..%d", straddle-2, straddle),
+		tierName(oRange.WordTier()), "-", "-", "-", check)
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("m=%d states depth=%d, %d session draws; range %d..%d; overflow family sigma=4 straddle=%d", states, depth, draws, lo, hi, straddle),
+		"acceptance: forced big >= 2x per-draw time and >= 2x build allocs vs fast tier; all cross-tier answers bitwise identical; overflow family falls back without the knob")
+	return t
+}

@@ -8,8 +8,7 @@
 //
 //   - exact counting: Total() is |L_n(N)| (Proposition 14);
 //   - uniform generation: a draw is one uniform rank plus one Unrank walk,
-//     O(n·log Δ) big.Int comparisons against frozen prefix sums
-//     (internal/sample);
+//     O(n·log Δ) comparisons against frozen prefix sums (internal/sample);
 //   - ranked random access: Rank and Unrank convert between witnesses and
 //     their index in the enumeration order of Algorithm 1, so any suffix of
 //     the enumeration is addressable in O(n) without replay
@@ -24,18 +23,37 @@
 // two coincide for deterministic automata whose successor lists are sorted
 // by symbol, but not in general).
 //
-// # Memory model and the big.Int sharing contract
+// # Memory model: two tiers, one contract
 //
-// Build freezes the index before returning: afterwards every method only
-// reads, so an Index is safe for unbounded concurrent use with no locking.
-// Accessors return pointers into the frozen tables (Total, Count, EdgeCum,
-// SubtreeCount, and the counts inside SubtreeSpan results may all alias
-// internal state or each other): callers MUST NOT mutate any returned
+// Counts are stored in one of two tiers, chosen at Build time and recorded
+// per index (WordTier):
+//
+//   - Word tier: every subtree count fits a uint64 (any alive vertex's
+//     count is bounded by Total, so the tier applies exactly when
+//     Total < 2^64 — the common case). Each layer's prefix-sum tables
+//     live in ONE flat arena ([]uint64) with per-state offsets instead of
+//     a [][]*big.Int pointer forest: a descent is cache-local word
+//     comparisons, zero pointer chasing, zero big.Int arithmetic. The
+//     backward sweep detects overflow per addition (bits.Add64 carry) and
+//     abandons the tier wholesale on the first carry.
+//   - Big tier: the original [][][]*big.Int tables, built eagerly when the
+//     word sweep overflows (or when ForceBigTier is set — the test hook
+//     that pins cross-tier bitwise equality).
+//
+// The *big.Int accessors (Total, Count, EdgeCum, SubtreeSpan's count) keep
+// one sharing contract across both tiers: Build freezes the index before
+// returning, afterwards every method only reads, so an Index is safe for
+// unbounded concurrent use with no locking. On the word tier the big.Int
+// tables those accessors serve are materialized lazily (once, from the
+// arenas) on first use and are frozen from then on — callers cannot tell
+// the tiers apart, and in particular callers MUST NOT mutate any returned
 // *big.Int — copy with new(big.Int).Set first if a mutable value is
 // needed. Methods that compute fresh values (Rank, RankOfChoices, Unrank)
 // return values the caller owns. The same contract extends transitively to
 // consumers that re-expose index values (sample.UFASampler.Count and
-// friends).
+// friends). The word-tier accessors (TotalWord, EdgeCumWord,
+// SubtreeSpanWord) alias the frozen arenas the same way: treat the
+// returned slices as read-only.
 //
 // An Index is bound to the numeric structure of its DAG, not to the DAG
 // pointer: unroll.Build is deterministic, so an index built on one DAG is
@@ -48,8 +66,13 @@ package countdag
 
 import (
 	"fmt"
+	"math"
 	"math/big"
+	"math/bits"
+	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
@@ -61,20 +84,59 @@ import (
 // language slice.
 var ErrNotMember = fmt.Errorf("countdag: word is not in the language slice")
 
+// forceBigTier is the tierKnob: when set, Build skips the word-tier sweep
+// and constructs the big.Int tables directly, so every engine result can
+// be asserted bitwise identical across tiers. Seeded from the environment
+// so whole test binaries can be forced (NFA_FORCE_BIG_TIER=1), flipped
+// per-test via ForceBigTier.
+var forceBigTier atomic.Bool
+
+func init() {
+	if os.Getenv("NFA_FORCE_BIG_TIER") != "" {
+		forceBigTier.Store(true)
+	}
+}
+
+// ForceBigTier sets whether subsequent Builds (here and in lengthrange,
+// which consults the same knob) skip the uint64 fast tier, and returns the
+// previous setting so tests can restore it.
+func ForceBigTier(force bool) (prev bool) {
+	return forceBigTier.Swap(force)
+}
+
+// BigTierForced reports the current tierKnob setting.
+func BigTierForced() bool { return forceBigTier.Load() }
+
 // Index is the frozen ranked counting index. See the package comment for
-// the concurrency and sharing contract.
+// the memory model, tiering and sharing contract.
 type Index struct {
 	dag   *unroll.DAG
-	total *big.Int
+	total *big.Int // always set at Build (one value, cheap on either tier)
 
-	// cum[t][q][i] = number of words through the first i out-edges of
-	// vertex (t, q), for t in 1..N-1 (the last entry is the vertex's full
-	// subtree count). startCum is the same for s_start (decision layer 0).
-	// Layer-N vertices have no decisions; their subtree count is 1 when
-	// the state is accepting, else 0.
+	// Word tier (word == true): uarena[t] is decision layer t's prefix-sum
+	// tables for t in 1..N-1, ONE contiguous slice per layer; uoff[t][q] is
+	// state q's offset into it (-1 when the vertex is dead), with
+	// len(Succs(t,q))+1 entries per alive vertex (the last is the subtree
+	// count). ustart is the s_start table (decision layer 0) and utotal its
+	// last entry.
+	word   bool
+	utotal uint64
+	ustart []uint64
+	uarena [][]uint64
+	uoff   [][]int32
+
+	// Big tier. cum[t][q][i] = number of words through the first i
+	// out-edges of vertex (t, q), for t in 1..N-1 (the last entry is the
+	// vertex's full subtree count). startCum is the same for s_start
+	// (decision layer 0). Built eagerly when the word sweep overflows (or
+	// is forced off); materialized lazily from the arenas, under bigOnce,
+	// when a big accessor is first used on a word-tier index.
+	bigOnce  sync.Once
 	startCum []*big.Int
 	cum      [][][]*big.Int
-	// countN[q] caches the layer-N subtree counts (0 or 1).
+	// countN[q] caches the layer-N subtree counts (0 or 1); layer-N
+	// vertices have no decisions, so both tiers share this slice (built
+	// eagerly — it holds only the interned zero/one values).
 	countN []*big.Int
 }
 
@@ -86,7 +148,9 @@ var (
 // Build computes the index for d, fanning each layer's vertices across up
 // to `workers` goroutines (≤ 1 = serial; the result is bitwise identical
 // for every worker count — each vertex's sum is accumulated in its frozen
-// edge order and written only to its own slot).
+// edge order and written only to its own slot). The word-tier sweep runs
+// first; on the first uint64 overflow it is abandoned and the big.Int
+// sweep runs instead.
 func Build(d *unroll.DAG, workers int) *Index {
 	x := &Index{dag: d}
 	n := d.N
@@ -105,6 +169,98 @@ func Build(d *unroll.DAG, workers int) *Index {
 			x.countN[q] = zero
 		}
 	})
+	if !forceBigTier.Load() && x.buildWord(workers) {
+		x.total = new(big.Int).SetUint64(x.utotal)
+		return x
+	}
+	x.buildBig(workers)
+	return x
+}
+
+// buildWord attempts the uint64 fast-tier backward sweep. It returns false
+// — leaving the index untouched — when any prefix sum overflows a word
+// (bits.Add64 carry) or a layer arena would not fit int32 offsets.
+func (x *Index) buildWord(workers int) bool {
+	d := x.dag
+	n := d.N
+	// next[q] = subtree count of (t+1, q) while sweeping layer t.
+	next := make([]uint64, d.M)
+	d.AliveSet(n).ForEach(func(q int) {
+		if d.Src.IsFinal(q) {
+			next[q] = 1
+		}
+	})
+	uarena := make([][]uint64, n)
+	uoff := make([][]int32, n)
+	var overflowed atomic.Bool
+	for t := n - 1; t >= 1; t-- {
+		states := d.AliveSet(t).Elems()
+		off := make([]int32, d.M)
+		for i := range off {
+			off[i] = -1
+		}
+		size := 0
+		for _, q := range states {
+			deg := len(d.Succs(t, q))
+			if size > math.MaxInt32-deg-1 {
+				return false
+			}
+			off[q] = int32(size)
+			size += deg + 1
+		}
+		arena := make([]uint64, size)
+		cnt := make([]uint64, d.M)
+		nx := next // capture for the workers
+		par.ForEachIndexed(len(states), workers, func(i int) {
+			if overflowed.Load() {
+				return
+			}
+			q := states[i]
+			edges := d.Succs(t, q)
+			c := arena[off[q] : int(off[q])+len(edges)+1]
+			var acc uint64
+			for j, e := range edges {
+				sum, carry := bits.Add64(acc, nx[e.To], 0)
+				if carry != 0 {
+					overflowed.Store(true)
+					return
+				}
+				acc = sum
+				c[j+1] = acc
+			}
+			cnt[q] = acc
+		})
+		if overflowed.Load() {
+			return false
+		}
+		uarena[t] = arena
+		uoff[t] = off
+		next = cnt
+	}
+	// After the loop `next` holds layer-1 counts (layer-N counts when N=1).
+	edges := d.StartSuccs()
+	ustart := make([]uint64, len(edges)+1)
+	var acc uint64
+	for j, e := range edges {
+		sum, carry := bits.Add64(acc, next[e.To], 0)
+		if carry != 0 {
+			return false
+		}
+		acc = sum
+		ustart[j+1] = acc
+	}
+	x.uarena = uarena
+	x.uoff = uoff
+	x.ustart = ustart
+	x.utotal = acc
+	x.word = true
+	return true
+}
+
+// buildBig is the big.Int backward sweep — the overflow fallback tier.
+func (x *Index) buildBig(workers int) {
+	d := x.dag
+	n := d.N
 	// Backward, layer by layer: counts of layer t+1 feed the prefix sums
 	// of layer t. next[q] is the subtree count of (t+1, q).
 	next := x.countN
@@ -134,7 +290,6 @@ func Build(d *unroll.DAG, workers int) *Index {
 		x.cum[t] = layerCum
 		next = cnt
 	}
-	// After the loop `next` holds layer-1 counts (layer-N counts when N=1).
 	edges := d.StartSuccs()
 	x.startCum = make([]*big.Int, len(edges)+1)
 	x.startCum[0] = zero
@@ -148,7 +303,42 @@ func Build(d *unroll.DAG, workers int) *Index {
 		x.startCum[j+1] = new(big.Int).Set(acc)
 	}
 	x.total = x.startCum[len(edges)]
-	return x
+}
+
+// materializeBig builds the big.Int tables from the word-tier arenas on
+// first demand — the lazily-materialized view the *big.Int accessors
+// serve on a word-tier index. The tables are frozen once published
+// (sync.Once gives every reader a happens-before edge), so the sharing
+// contract is identical to an eagerly built big tier.
+func (x *Index) materializeBig() {
+	x.bigOnce.Do(func() {
+		d := x.dag
+		n := d.N
+		cum := make([][][]*big.Int, n)
+		for t := 1; t < n; t++ {
+			layerCum := make([][]*big.Int, d.M)
+			arena := x.uarena[t]
+			off := x.uoff[t]
+			d.AliveSet(t).ForEach(func(q int) {
+				deg := len(d.Succs(t, q))
+				c := make([]*big.Int, deg+1)
+				c[0] = zero
+				base := int(off[q])
+				for j := 1; j <= deg; j++ {
+					c[j] = new(big.Int).SetUint64(arena[base+j])
+				}
+				layerCum[q] = c
+			})
+			cum[t] = layerCum
+		}
+		startCum := make([]*big.Int, len(x.ustart))
+		startCum[0] = zero
+		for j := 1; j < len(x.ustart); j++ {
+			startCum[j] = new(big.Int).SetUint64(x.ustart[j])
+		}
+		x.cum = cum
+		x.startCum = startCum
+	})
 }
 
 // DAG returns the DAG the index was built on.
@@ -157,26 +347,62 @@ func (x *Index) DAG() *unroll.DAG { return x.dag }
 // N returns the witness length the index covers.
 func (x *Index) N() int { return x.dag.N }
 
+// WordTier reports whether the index carries the uint64 fast tier (see
+// the package comment). When false, all arithmetic is big.Int.
+func (x *Index) WordTier() bool { return x.word }
+
 // Total returns |L_n| — the number of full-length DAG paths, which equals
 // the number of witnesses for an unambiguous automaton. Shared; do not
 // mutate.
 func (x *Index) Total() *big.Int { return x.total }
 
+// TotalWord returns (|L_n|, true) on the word tier, (0, false) otherwise.
+func (x *Index) TotalWord() (uint64, bool) { return x.utotal, x.word }
+
 // EdgeCum returns the cumulative prefix sums over the out-edges of the
 // vertex at decision layer `layer` (0 = s_start, state ignored; 1..N-1 =
 // (layer, state)): EdgeCum(...)[i] is the number of words through the
 // first i edges, and the last entry is the vertex's subtree count. Shared;
-// do not mutate the slice or its elements.
+// do not mutate the slice or its elements. On the word tier the table is
+// materialized lazily on first use (frozen from then on).
 func (x *Index) EdgeCum(layer, state int) []*big.Int {
+	if x.word {
+		x.materializeBig()
+	}
 	if layer == 0 {
 		return x.startCum
 	}
 	return x.cum[layer][state]
 }
 
+// EdgeCumWord is EdgeCum on the word tier: the prefix sums as a sub-slice
+// of the layer arena, or (nil, false) on the big tier. The slice aliases
+// the frozen arena (nil for a dead vertex); treat it as read-only.
+func (x *Index) EdgeCumWord(layer, state int) ([]uint64, bool) {
+	if !x.word {
+		return nil, false
+	}
+	return x.edgeCumWord(layer, state), true
+}
+
+// edgeCumWord returns the word-tier prefix sums of a vertex (nil when the
+// vertex is dead). Layer 0 is s_start; the state is ignored there.
+func (x *Index) edgeCumWord(layer, state int) []uint64 {
+	if layer == 0 {
+		return x.ustart
+	}
+	off := x.uoff[layer][state]
+	if off < 0 {
+		return nil
+	}
+	deg := len(x.dag.Succs(layer, state))
+	return x.uarena[layer][off : int(off)+deg+1]
+}
+
 // Count returns the subtree count of vertex (layer, state) for layer in
 // 1..N: the number of witness suffixes completing from it. Shared; do not
-// mutate.
+// mutate. On the word tier the inner-layer tables are materialized lazily
+// on first use.
 func (x *Index) Count(layer, state int) *big.Int {
 	if layer == x.dag.N {
 		if c := x.countN[state]; c != nil {
@@ -184,9 +410,28 @@ func (x *Index) Count(layer, state int) *big.Int {
 		}
 		return zero
 	}
+	if x.word {
+		x.materializeBig()
+	}
 	c := x.cum[layer][state]
 	if c == nil {
 		return zero
+	}
+	return c[len(c)-1]
+}
+
+// countWord is Count on the word tier (0 for dead vertices). Only valid
+// when x.word.
+func (x *Index) countWord(layer, state int) uint64 {
+	if layer == x.dag.N {
+		if c := x.countN[state]; c != nil && c.Sign() > 0 {
+			return 1
+		}
+		return 0
+	}
+	c := x.edgeCumWord(layer, state)
+	if c == nil {
+		return 0
 	}
 	return c[len(c)-1]
 }
@@ -221,6 +466,13 @@ func (x *Index) edgesAt(t, q int) []unroll.OutEdge {
 // word (count 1); the empty path denotes the whole range. `first` is owned
 // by the caller; `count` is shared — do not mutate it.
 func (x *Index) SubtreeSpan(path []int) (first, count *big.Int, err error) {
+	if x.word {
+		f, c, err := x.SubtreeSpanWord(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return new(big.Int).SetUint64(f), new(big.Int).SetUint64(c), nil
+	}
 	n := x.dag.N
 	if len(path) > n {
 		return nil, nil, fmt.Errorf("countdag: path length %d exceeds %d", len(path), n)
@@ -242,6 +494,36 @@ func (x *Index) SubtreeSpan(path []int) (first, count *big.Int, err error) {
 		count = x.Count(n, q)
 	default:
 		count = x.Count(len(path), q)
+	}
+	return first, count, nil
+}
+
+// SubtreeSpanWord is SubtreeSpan on the word tier, for consumers (the
+// steal scheduler) that size subtrees without big.Int traffic. It errors
+// when the index has no word tier; both results are plain values the
+// caller owns.
+func (x *Index) SubtreeSpanWord(path []int) (first, count uint64, err error) {
+	if !x.word {
+		return 0, 0, fmt.Errorf("countdag: index has no word tier")
+	}
+	n := x.dag.N
+	if len(path) > n {
+		return 0, 0, fmt.Errorf("countdag: path length %d exceeds %d", len(path), n)
+	}
+	q := -1
+	for t, i := range path {
+		edges := x.edgesAt(t, q)
+		if i < 0 || i >= len(edges) {
+			return 0, 0, fmt.Errorf("countdag: decision %d at layer %d out of range (%d edges)", i, t, len(edges))
+		}
+		first += x.edgeCumWord(t, q)[i]
+		q = edges[i].To
+	}
+	switch {
+	case len(path) == 0:
+		count = x.utotal
+	default:
+		count = x.countWord(len(path), q)
 	}
 	return first, count, nil
 }
@@ -321,8 +603,11 @@ func (x *Index) Rank(w automata.Word) (*big.Int, error) {
 		}
 		path[t] = prev
 	}
-	// Sum the prefix weights of the chosen edge at every layer.
+	// Sum the prefix weights of the chosen edge at every layer — word
+	// additions on the fast tier (no overflow: every partial sum is a
+	// rank, bounded by utotal).
 	r := new(big.Int)
+	var r64 uint64
 	for t := 0; t < n; t++ {
 		edges := x.edgesAt(t, path[t])
 		idx := -1
@@ -335,7 +620,14 @@ func (x *Index) Rank(w automata.Word) (*big.Int, error) {
 		if idx < 0 {
 			return nil, fmt.Errorf("countdag: run leaves the pruned DAG at layer %d (%w)", t, ErrNotMember)
 		}
-		r.Add(r, x.EdgeCum(t, path[t])[idx])
+		if x.word {
+			r64 += x.edgeCumWord(t, path[t])[idx]
+		} else {
+			r.Add(r, x.EdgeCum(t, path[t])[idx])
+		}
+	}
+	if x.word {
+		r.SetUint64(r64)
 	}
 	return r, nil
 }
@@ -359,6 +651,22 @@ func (x *Index) UnrankInto(rem *big.Int, w automata.Word) error {
 	return err
 }
 
+// UnrankWordInto is UnrankInto on the word tier: a pure-uint64 descent
+// with no big.Int in sight. It errors when the index has no word tier.
+func (x *Index) UnrankWordInto(r uint64, w automata.Word) error {
+	if !x.word {
+		return fmt.Errorf("countdag: index has no word tier")
+	}
+	if r >= x.utotal {
+		return fmt.Errorf("countdag: rank %d out of range [0, %d)", r, x.utotal)
+	}
+	if len(w) != x.dag.N {
+		return fmt.Errorf("countdag: word buffer has length %d, want %d", len(w), x.dag.N)
+	}
+	_, err := x.unrankWord(r, w, nil, nil)
+	return err
+}
+
 // UnrankChoices returns the decision vector, word and state path (path[t]
 // = state at layer t, path[0] = -1) of the word at rank r — the form
 // enumerators seek with.
@@ -374,22 +682,31 @@ func (x *Index) UnrankChoices(r *big.Int) (choices []int, w automata.Word, path 
 	return choices, w, path, nil
 }
 
-// unrank is the shared descent: at each vertex, binary-search the prefix
-// sums for the subtree containing rem and recurse into it. choices and
-// path may be nil.
+// unrank validates rem and dispatches the descent to the index's tier.
+// choices and path may be nil.
 func (x *Index) unrank(rem *big.Int, w automata.Word, choices, path []int) (int, error) {
 	if rem.Sign() < 0 || rem.Cmp(x.total) >= 0 {
 		return 0, fmt.Errorf("countdag: rank %v out of range [0, %v)", rem, x.total)
 	}
-	n := x.dag.N
-	if len(w) != n {
-		return 0, fmt.Errorf("countdag: word buffer has length %d, want %d", len(w), n)
+	if len(w) != x.dag.N {
+		return 0, fmt.Errorf("countdag: word buffer has length %d, want %d", len(w), x.dag.N)
 	}
+	if x.word {
+		// 0 ≤ rem < total < 2^64, so the conversion is exact.
+		return x.unrankWord(rem.Uint64(), w, choices, path)
+	}
+	return x.unrankBig(rem, w, choices, path)
+}
+
+// unrankBig is the big-tier descent: at each vertex, binary-search the
+// prefix sums for the subtree containing rem and recurse into it,
+// consuming rem as scratch.
+func (x *Index) unrankBig(rem *big.Int, w automata.Word, choices, path []int) (int, error) {
 	if path != nil {
 		path[0] = -1
 	}
 	q := -1
-	for t := 0; t < n; t++ {
+	for t := 0; t < x.dag.N; t++ {
 		edges := x.edgesAt(t, q)
 		cum := x.EdgeCum(t, q)
 		// The subtree of edge i owns ranks [cum[i], cum[i+1]).
@@ -398,6 +715,59 @@ func (x *Index) unrank(rem *big.Int, w automata.Word, choices, path []int) (int,
 			return 0, fmt.Errorf("countdag: inconsistent prefix sums at layer %d", t)
 		}
 		rem.Sub(rem, cum[i])
+		e := edges[i]
+		w[t] = e.Symbol
+		q = e.To
+		if choices != nil {
+			choices[t] = i
+		}
+		if path != nil {
+			path[t+1] = q
+		}
+	}
+	return q, nil
+}
+
+// unrankWord is the word-tier descent: the same binary searches as
+// unrankBig, but over the flat arenas with plain uint64 comparisons.
+func (x *Index) unrankWord(rem uint64, w automata.Word, choices, path []int) (int, error) {
+	if path != nil {
+		path[0] = -1
+	}
+	q := -1
+	for t := 0; t < x.dag.N; t++ {
+		edges := x.edgesAt(t, q)
+		var cum []uint64
+		if t == 0 {
+			cum = x.ustart
+		} else {
+			off := int(x.uoff[t][q])
+			cum = x.uarena[t][off : off+len(edges)+1]
+		}
+		// The subtree of edge i owns ranks [cum[i], cum[i+1]): find the
+		// smallest i with cum[i+1] > rem. A plain scan beats an indirect
+		// sort.Search on the short fan-outs that dominate real automata;
+		// wide vertices get a closure-free binary search.
+		var i int
+		if len(edges) <= 8 {
+			for i < len(edges) && cum[i+1] <= rem {
+				i++
+			}
+		} else {
+			hi := len(edges)
+			for i < hi {
+				mid := int(uint(i+hi) >> 1)
+				if cum[mid+1] > rem {
+					hi = mid
+				} else {
+					i = mid + 1
+				}
+			}
+		}
+		if i == len(edges) {
+			return 0, fmt.Errorf("countdag: inconsistent prefix sums at layer %d", t)
+		}
+		rem -= cum[i]
 		e := edges[i]
 		w[t] = e.Symbol
 		q = e.To

@@ -12,15 +12,15 @@
 // of an alive vertex is automatically forward-reachable, so the pruned
 // out-edge list — the edges (a, p) with at least one accepting completion
 // of length n−t−1 from p, in the DAG's decision order (successor state
-// ascending, then symbol ascending) — and its cumulative big.Int prefix
-// sums are a function of (q, r) with r = n−t alone. Build therefore runs
-// ONE backward sweep from the longest length hi, materializing cum[r][q]
-// for r in 1..hi (layer-parallel on the par primitives, bitwise identical
-// for any worker count), and every length n in [lo, hi] is served by the
-// slice of tables it needs: its start vector is cum[n][start], its total
-// is comp[n][start], and an unrank descent for length n reads cum[n],
-// cum[n−1], …, cum[1]. Per-length answers are bitwise identical to a
-// countdag.Index built for that length (asserted by the equivalence
+// ascending, then symbol ascending) — and its cumulative prefix sums are
+// a function of (q, r) with r = n−t alone. Build therefore runs ONE
+// backward sweep from the longest length hi, materializing the tables for
+// r in 1..hi (layer-parallel on the par primitives, bitwise identical for
+// any worker count), and every length n in [lo, hi] is served by the
+// slice of tables it needs: its total is the completion count of the
+// start state at r = n, and an unrank descent for length n reads the
+// tables at r = n, n−1, …, 1. Per-length answers are bitwise identical to
+// a countdag.Index built for that length (asserted by the equivalence
 // tests), at roughly the build cost of the single longest length instead
 // of the sum over all of them.
 //
@@ -38,14 +38,33 @@
 // every worker count), and a DrawSession performs zero heap allocations
 // per draw.
 //
-// # Memory model and sharing contract
+// # Memory model: two tiers, one contract
+//
+// Like countdag, the index stores its counts in one of two tiers, chosen
+// at Build time (the same countdag.ForceBigTier knob governs both
+// packages):
+//
+//   - Word tier: every completion count AND the grand total fit a uint64.
+//     Each remaining-length layer's prefix-sum tables live in ONE flat
+//     arena ([]uint64) with per-state offsets, and the per-length totals
+//     spine is a []uint64 as well: a global-rank descent — length split
+//     plus unrank walk — is pure word comparisons. The backward sweep
+//     detects overflow per addition (bits.Add64 carry) and falls back
+//     wholesale on the first carry. (Unlike countdag, unreachable states
+//     can carry counts larger than any length's total here — the sweep is
+//     backward only — so the carry check, not a total check, is the
+//     authority.)
+//   - Big tier: the original [][][]*big.Int tables, built when the word
+//     sweep overflows or the knob forces it.
 //
 // Build freezes the index before returning: afterwards every method only
 // reads, so a RangeIndex is safe for unbounded concurrent use with no
-// locking. As in countdag, accessors may return pointers into the frozen
-// tables (TotalAt, CumTotals) — callers MUST NOT mutate a returned
-// *big.Int; methods that compute fresh values (RankRange, UnrankRange,
-// RankAt, UnrankAt, Sample) return values the caller owns.
+// locking. The per-length totals spine (TotalAt, FirstRankOf, SplitRank)
+// is kept as frozen big.Int values on BOTH tiers — it is O(hi−lo) small —
+// so the accessors keep one contract: returned *big.Int values may alias
+// the frozen spine (TotalAt) and callers MUST NOT mutate them; methods
+// that compute fresh values (TotalRange, RankRange, UnrankRange, RankAt,
+// UnrankAt, Sample) return values the caller owns.
 //
 // Unambiguity is the caller's contract (core verifies it once at
 // instance construction): on an ambiguous automaton the index counts
@@ -58,9 +77,12 @@ package lengthrange
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/big"
+	"math/bits"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
@@ -80,25 +102,43 @@ var (
 )
 
 // RangeIndex is the frozen cross-length counting index. See the package
-// comment for the memory model and sharing contract.
+// comment for the memory model, tiering and sharing contract.
 type RangeIndex struct {
 	src    *automata.NFA
 	lo, hi int
 
-	// comp[r][q] = number of accepting completions of length exactly r
-	// from state q (comp[0][q] = 1 iff q is final) — the shared suffix
-	// counts every length's subtree counts are slices of.
+	// Word tier (word == true): ucomp[r][q] = number of accepting
+	// completions of length exactly r from state q; uarena[r] holds the
+	// layer's prefix-sum tables in one contiguous slice, uoff[r][q] the
+	// state's offset into it (-1 when ucomp[r][q] = 0), len(edges[r][q])+1
+	// entries per live state. utotals/ucumTotals/ugrand mirror the totals
+	// spine in words.
+	word       bool
+	ugrand     uint64
+	ucomp      [][]uint64
+	uarena     [][]uint64
+	uoff       [][]int32
+	utotals    []uint64
+	ucumTotals []uint64
+
+	// Big tier (nil on the word tier): comp[r][q] = number of accepting
+	// completions of length exactly r from state q (comp[0][q] = 1 iff q
+	// is final) — the shared suffix counts every length's subtree counts
+	// are slices of. cum[r][q] holds the cumulative prefix sums aligned
+	// with edges[r][q] (len(edges)+1 entries).
 	comp [][]*big.Int
+	cum  [][][]*big.Int
+
 	// edges[r][q] lists the pruned out-edges of a vertex at state q with
-	// remaining length r (nil when comp[r][q] = 0): the edges (a, p) with
-	// comp[r−1][p] > 0, ordered by (p asc, a asc) — exactly the decision
-	// order of the length-n counting DAG at layer n−r. cum[r][q] holds
-	// the aligned cumulative prefix sums (len(edges)+1 entries).
+	// remaining length r (nil when the completion count is 0): the edges
+	// (a, p) with a positive completion count at r−1 from p, ordered by
+	// (p asc, a asc) — exactly the decision order of the length-n counting
+	// DAG at layer n−r. Both tiers share it.
 	edges [][][]unroll.OutEdge
-	cum   [][][]*big.Int
 
 	// totals[i] = |L_{lo+i}|; cumTotals[i] = Σ_{j<i} totals[j], with the
-	// grand total at cumTotals[len(totals)].
+	// grand total at cumTotals[len(totals)]. Frozen big.Int values on both
+	// tiers (the spine is small; see the package comment).
 	totals    []*big.Int
 	cumTotals []*big.Int
 }
@@ -107,8 +147,10 @@ type RangeIndex struct {
 // each remaining-length layer's states across up to `workers` goroutines
 // (≤ 1 = serial; the result is bitwise identical for every worker count —
 // each state's sums accumulate in its frozen edge order and write only to
-// its own slots). The automaton must be ε-free; unambiguity is the
-// caller's contract.
+// its own slots). The word-tier sweep runs first (unless
+// countdag.ForceBigTier is set); on the first uint64 overflow it is
+// abandoned and the big.Int sweep runs instead. The automaton must be
+// ε-free; unambiguity is the caller's contract.
 func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
 	if nfa.HasEpsilon() {
 		return nil, fmt.Errorf("lengthrange: automaton has ε-transitions")
@@ -140,6 +182,129 @@ func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
 		sorted[q] = out
 	}
 
+	if countdag.BigTierForced() || !x.buildWord(sorted, workers) {
+		x.buildBig(sorted, workers)
+	}
+	return x, nil
+}
+
+// buildWord attempts the uint64 fast-tier backward sweep, leaving the
+// index untouched and returning false when any prefix sum or the grand
+// total overflows a word (bits.Add64 carry) or an arena would not fit
+// int32 offsets. On success it also mirrors the totals spine into frozen
+// big.Int values, so the spine accessors are tier-blind.
+func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
+	m := x.src.NumStates()
+	hi := x.hi
+	ucomp := make([][]uint64, hi+1)
+	edges := make([][][]unroll.OutEdge, hi+1)
+	uarena := make([][]uint64, hi+1)
+	uoff := make([][]int32, hi+1)
+	base := make([]uint64, m)
+	for q := 0; q < m; q++ {
+		if x.src.IsFinal(q) {
+			base[q] = 1
+		}
+	}
+	ucomp[0] = base
+	var overflowed atomic.Bool
+	// One backward sweep from the longest length: layer r's prefix sums
+	// read only the counts at r−1. Pruning depends only on count SIGNS, so
+	// the surviving edge lists are identical to the big tier's.
+	for r := 1; r <= hi; r++ {
+		prev := ucomp[r-1]
+		layerEdges := make([][]unroll.OutEdge, m)
+		par.ForEachIndexed(m, workers, func(q int) {
+			var pruned []unroll.OutEdge
+			for _, e := range sorted[q] {
+				if prev[e.To] == 0 {
+					continue
+				}
+				if pruned == nil {
+					pruned = make([]unroll.OutEdge, 0, len(sorted[q]))
+				}
+				pruned = append(pruned, e)
+			}
+			layerEdges[q] = pruned
+		})
+		off := make([]int32, m)
+		size := 0
+		for q := 0; q < m; q++ {
+			if layerEdges[q] == nil {
+				off[q] = -1
+				continue
+			}
+			deg := len(layerEdges[q])
+			if size > math.MaxInt32-deg-1 {
+				return false
+			}
+			off[q] = int32(size)
+			size += deg + 1
+		}
+		arena := make([]uint64, size)
+		cnt := make([]uint64, m)
+		par.ForEachIndexed(m, workers, func(q int) {
+			if overflowed.Load() {
+				return
+			}
+			pruned := layerEdges[q]
+			if pruned == nil {
+				return
+			}
+			c := arena[off[q] : int(off[q])+len(pruned)+1]
+			var acc uint64
+			for j, e := range pruned {
+				sum, carry := bits.Add64(acc, prev[e.To], 0)
+				if carry != 0 {
+					overflowed.Store(true)
+					return
+				}
+				acc = sum
+				c[j+1] = acc
+			}
+			cnt[q] = acc
+		})
+		if overflowed.Load() {
+			return false
+		}
+		ucomp[r] = cnt
+		edges[r] = layerEdges
+		uarena[r] = arena
+		uoff[r] = off
+	}
+
+	// The totals spine, in words and mirrored into frozen big.Ints.
+	start := x.src.Start()
+	utotals := make([]uint64, hi-x.lo+1)
+	ucumTotals := make([]uint64, hi-x.lo+2)
+	var acc uint64
+	for i := range utotals {
+		utotals[i] = ucomp[x.lo+i][start]
+		sum, carry := bits.Add64(acc, utotals[i], 0)
+		if carry != 0 {
+			return false
+		}
+		acc = sum
+		ucumTotals[i+1] = acc
+	}
+	x.ucomp, x.uarena, x.uoff = ucomp, uarena, uoff
+	x.edges = edges
+	x.utotals, x.ucumTotals, x.ugrand = utotals, ucumTotals, acc
+	x.totals = make([]*big.Int, len(utotals))
+	x.cumTotals = make([]*big.Int, len(ucumTotals))
+	x.cumTotals[0] = zero
+	for i := range utotals {
+		x.totals[i] = new(big.Int).SetUint64(utotals[i])
+		x.cumTotals[i+1] = new(big.Int).SetUint64(ucumTotals[i+1])
+	}
+	x.word = true
+	return true
+}
+
+// buildBig is the big.Int backward sweep — the overflow fallback tier.
+func (x *RangeIndex) buildBig(sorted [][]unroll.OutEdge, workers int) {
+	m := x.src.NumStates()
+	hi := x.hi
 	// One backward sweep from the longest length: layer r's prefix sums
 	// read only comp[r−1], and comp[r][q] is the last entry of cum[r][q].
 	x.comp = make([][]*big.Int, hi+1)
@@ -147,7 +312,7 @@ func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
 	x.cum = make([][][]*big.Int, hi+1)
 	base := make([]*big.Int, m)
 	for q := 0; q < m; q++ {
-		if nfa.IsFinal(q) {
+		if x.src.IsFinal(q) {
 			base[q] = one
 		} else {
 			base[q] = zero
@@ -191,17 +356,16 @@ func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
 
 	// Per-length start-vector slices: totals and their running sums, the
 	// spine of the length-lexicographic rank space.
-	start := nfa.Start()
-	x.totals = make([]*big.Int, hi-lo+1)
-	x.cumTotals = make([]*big.Int, hi-lo+2)
+	start := x.src.Start()
+	x.totals = make([]*big.Int, hi-x.lo+1)
+	x.cumTotals = make([]*big.Int, hi-x.lo+2)
 	x.cumTotals[0] = zero
 	acc := new(big.Int)
 	for i := range x.totals {
-		x.totals[i] = x.comp[lo+i][start]
+		x.totals[i] = x.comp[x.lo+i][start]
 		acc.Add(acc, x.totals[i])
 		x.cumTotals[i+1] = new(big.Int).Set(acc)
 	}
-	return x, nil
 }
 
 // Lo returns the smallest length the index covers.
@@ -212,6 +376,18 @@ func (x *RangeIndex) Hi() int { return x.hi }
 
 // Automaton returns the automaton the index was built on.
 func (x *RangeIndex) Automaton() *automata.NFA { return x.src }
+
+// WordTier reports whether the index carries the uint64 fast tier.
+func (x *RangeIndex) WordTier() bool { return x.word }
+
+// compPositive reports whether the completion count at (remaining r,
+// state q) is positive, on whichever tier is live.
+func (x *RangeIndex) compPositive(r, q int) bool {
+	if x.word {
+		return x.ucomp[r][q] > 0
+	}
+	return x.comp[r][q].Sign() > 0
+}
 
 // TotalRange returns |⋃_{n∈[lo,hi]} L_n| — the size of the whole
 // length-lexicographic rank space. The caller owns the copy.
@@ -249,6 +425,13 @@ func (x *RangeIndex) UnrankAt(n int, r *big.Int) (automata.Word, error) {
 		return nil, fmt.Errorf("lengthrange: rank %v out of range [0, %v) at length %d", r, x.totals[n-x.lo], n)
 	}
 	w := make(automata.Word, n)
+	if x.word {
+		// 0 ≤ r < |L_n| < 2^64, so the conversion is exact.
+		if err := x.descendWord(r.Uint64(), w, nil); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
 	rem := new(big.Int).Set(r)
 	if err := x.descend(rem, w, nil); err != nil {
 		return nil, err
@@ -271,6 +454,12 @@ func (x *RangeIndex) UnrankChoicesAt(n int, r *big.Int) ([]int, error) {
 	}
 	w := make(automata.Word, n)
 	choices := make([]int, n)
+	if x.word {
+		if err := x.descendWord(r.Uint64(), w, choices); err != nil {
+			return nil, err
+		}
+		return choices, nil
+	}
 	rem := new(big.Int).Set(r)
 	if err := x.descend(rem, w, choices); err != nil {
 		return nil, err
@@ -278,8 +467,8 @@ func (x *RangeIndex) UnrankChoicesAt(n int, r *big.Int) ([]int, error) {
 	return choices, nil
 }
 
-// descend is the shared unrank walk: w's length selects the start table,
-// and at each step the prefix sums of the remaining length are
+// descend is the big-tier unrank walk: w's length selects the start
+// table, and at each step the prefix sums of the remaining length are
 // binary-searched for the subtree containing rem, consuming rem as
 // scratch. choices, when non-nil (len(w) entries), records the edge
 // index taken at each step. Allocation-free given caller-owned buffers.
@@ -295,6 +484,51 @@ func (x *RangeIndex) descend(rem *big.Int, w automata.Word, choices []int) error
 			return fmt.Errorf("lengthrange: inconsistent prefix sums at remaining length %d", r)
 		}
 		rem.Sub(rem, cum[i])
+		w[n-r] = edges[i].Symbol
+		if choices != nil {
+			choices[n-r] = i
+		}
+		q = edges[i].To
+	}
+	return nil
+}
+
+// descendWord is descend on the word tier: the same binary searches over
+// the flat arenas, with plain uint64 comparisons and no big.Int at all.
+func (x *RangeIndex) descendWord(rem uint64, w automata.Word, choices []int) error {
+	q := x.src.Start()
+	n := len(w)
+	for r := n; r >= 1; r-- {
+		edges := x.edges[r][q]
+		if len(edges) == 0 {
+			return fmt.Errorf("lengthrange: inconsistent prefix sums at remaining length %d", r)
+		}
+		off := int(x.uoff[r][q])
+		cum := x.uarena[r][off : off+len(edges)+1]
+		// The subtree of edge i owns ranks [cum[i], cum[i+1]): find the
+		// smallest i with cum[i+1] > rem. A plain scan beats an indirect
+		// sort.Search on the short fan-outs that dominate real automata;
+		// wide vertices get a closure-free binary search.
+		var i int
+		if len(edges) <= 8 {
+			for i < len(edges) && cum[i+1] <= rem {
+				i++
+			}
+		} else {
+			hi := len(edges)
+			for i < hi {
+				mid := int(uint(i+hi) >> 1)
+				if cum[mid+1] > rem {
+					hi = mid
+				} else {
+					i = mid + 1
+				}
+			}
+		}
+		if i == len(edges) {
+			return fmt.Errorf("lengthrange: inconsistent prefix sums at remaining length %d", r)
+		}
+		rem -= cum[i]
 		w[n-r] = edges[i].Symbol
 		if choices != nil {
 			choices[n-r] = i
@@ -322,7 +556,7 @@ func (x *RangeIndex) RankAt(w automata.Word) (*big.Int, error) {
 		}
 	}
 	if n == 0 {
-		if x.comp[0][x.src.Start()].Sign() == 0 {
+		if !x.compPositive(0, x.src.Start()) {
 			return nil, fmt.Errorf("lengthrange: ε is not accepted (%w)", countdag.ErrNotMember)
 		}
 		return new(big.Int), nil
@@ -334,7 +568,7 @@ func (x *RangeIndex) RankAt(w automata.Word) (*big.Int, error) {
 	reach := make([]*bitset.Set, n)
 	cur := bitset.New(m)
 	for _, p := range x.src.Successors(x.src.Start(), w[0]) {
-		if x.comp[n-1][p].Sign() > 0 {
+		if x.compPositive(n-1, p) {
 			cur.Add(p)
 		}
 	}
@@ -344,7 +578,7 @@ func (x *RangeIndex) RankAt(w automata.Word) (*big.Int, error) {
 		rem := n - t - 1
 		cur.ForEach(func(q int) {
 			for _, p := range x.src.Successors(q, w[t]) {
-				if x.comp[rem][p].Sign() > 0 {
+				if x.compPositive(rem, p) {
 					next.Add(p)
 				}
 			}
@@ -385,8 +619,11 @@ func (x *RangeIndex) RankAt(w automata.Word) (*big.Int, error) {
 		}
 		path[t] = prev
 	}
-	// Sum the prefix weight of the chosen edge at every step.
+	// Sum the prefix weight of the chosen edge at every step — word
+	// additions on the fast tier (no overflow: every partial sum is a
+	// rank, bounded by the length's total).
 	rk := new(big.Int)
+	var rk64 uint64
 	for t := 0; t < n; t++ {
 		r := n - t
 		edges := x.edges[r][path[t]]
@@ -400,7 +637,14 @@ func (x *RangeIndex) RankAt(w automata.Word) (*big.Int, error) {
 		if idx < 0 {
 			return nil, fmt.Errorf("lengthrange: run leaves the pruned tables at position %d (%w)", t, countdag.ErrNotMember)
 		}
-		rk.Add(rk, x.cum[r][path[t]][idx])
+		if x.word {
+			rk64 += x.uarena[r][int(x.uoff[r][path[t]])+idx]
+		} else {
+			rk.Add(rk, x.cum[r][path[t]][idx])
+		}
+	}
+	if x.word {
+		rk.SetUint64(rk64)
 	}
 	return rk, nil
 }
@@ -420,6 +664,17 @@ func (x *RangeIndex) RankRange(w automata.Word) (*big.Int, error) {
 // length-lexicographic order. The caller owns the result; r is not
 // modified.
 func (x *RangeIndex) UnrankRange(r *big.Int) (automata.Word, error) {
+	if x.word {
+		if r.Sign() < 0 || !r.IsUint64() || r.Uint64() >= x.ugrand {
+			return nil, fmt.Errorf("lengthrange: rank %v out of range [0, %v)", r, x.cumTotals[len(x.totals)])
+		}
+		n, rem := x.splitRankWord(r.Uint64())
+		w := make(automata.Word, n)
+		if err := x.descendWord(rem, w, nil); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
 	n, rem, err := x.splitRank(r, new(big.Int))
 	if err != nil {
 		return nil, err
@@ -438,7 +693,8 @@ func (x *RangeIndex) SplitRank(r *big.Int) (n int, within *big.Int, err error) {
 }
 
 // splitRank writes the within-length remainder into rem (scratch the
-// caller provides) and returns the selected length.
+// caller provides) and returns the selected length. It reads only the
+// big.Int spine, which both tiers carry.
 func (x *RangeIndex) splitRank(r, rem *big.Int) (int, *big.Int, error) {
 	grand := x.cumTotals[len(x.totals)]
 	if r.Sign() < 0 || r.Cmp(grand) >= 0 {
@@ -450,6 +706,14 @@ func (x *RangeIndex) splitRank(r, rem *big.Int) (int, *big.Int, error) {
 	return x.lo + i, rem, nil
 }
 
+// splitRankWord is splitRank on the word spine. The caller guarantees
+// r < ugrand.
+func (x *RangeIndex) splitRankWord(r uint64) (n int, rem uint64) {
+	// The span of length lo+i owns ranks [cumTotals[i], cumTotals[i+1]).
+	i := sort.Search(len(x.utotals), func(i int) bool { return x.ucumTotals[i+1] > r })
+	return x.lo + i, r - x.ucumTotals[i]
+}
+
 // Sample draws one witness uniformly from the union of all lengths in the
 // range: one uniform global rank (so each length is selected with
 // probability exactly |L_n|/TotalRange), then one unrank descent within
@@ -457,6 +721,17 @@ func (x *RangeIndex) splitRank(r, rem *big.Int) (int, *big.Int, error) {
 // long as each call brings its own rng; batch callers should prefer a
 // DrawSession or SampleMany.
 func (x *RangeIndex) Sample(rng *rand.Rand) (automata.Word, error) {
+	if x.word {
+		if x.ugrand == 0 {
+			return nil, ErrEmpty
+		}
+		n, rem := x.splitRankWord(sample.RandUint64(rng, x.ugrand))
+		w := make(automata.Word, n)
+		if err := x.descendWord(rem, w, nil); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
 	grand := x.cumTotals[len(x.totals)]
 	if grand.Sign() == 0 {
 		return nil, ErrEmpty
@@ -529,6 +804,17 @@ func (x *RangeIndex) NewDrawSession(rng *rand.Rand) *DrawSession {
 // aliases the session's buffer (sliced to the drawn length) and is only
 // valid until the next call — copy to retain.
 func (d *DrawSession) Sample() (automata.Word, error) {
+	if d.x.word {
+		if d.x.ugrand == 0 {
+			return nil, ErrEmpty
+		}
+		n, rem := d.x.splitRankWord(sample.RandUint64(d.rng, d.x.ugrand))
+		w := d.w[:n]
+		if err := d.x.descendWord(rem, w, nil); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
 	grand := d.x.cumTotals[len(d.x.totals)]
 	if grand.Sign() == 0 {
 		return nil, ErrEmpty

@@ -1,0 +1,116 @@
+package sample
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/countdag"
+)
+
+// Cross-tier sampling equivalence: the word-tier draw path must consume
+// the SAME byte stream as the big-tier path, so seeded sample sequences
+// are bitwise identical whichever tier the index chose.
+
+// TestRandUint64MatchesRandBigInto: for the same seed and the same max,
+// RandUint64 and RandBigInto produce identical value sequences — the two
+// implementations read the entropy stream the same way (big-endian bytes,
+// right-shifted leading byte, rejection on >= max).
+func TestRandUint64MatchesRandBigInto(t *testing.T) {
+	maxes := []uint64{
+		1, 2, 3, 7, 8, 255, 256, 257, 1 << 16, (1 << 16) + 1,
+		1<<32 - 1, 1 << 32, 1<<63 - 1, 1 << 63, math.MaxUint64,
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		maxes = append(maxes, 1+rng.Uint64()%math.MaxUint64)
+	}
+	for _, max := range maxes {
+		wordRng := rand.New(rand.NewSource(int64(max % 1024)))
+		bigRng := rand.New(rand.NewSource(int64(max % 1024)))
+		bigMax := new(big.Int).SetUint64(max)
+		out := new(big.Int)
+		buf := make([]byte, (bigMax.BitLen()+7)/8)
+		for d := 0; d < 64; d++ {
+			w := RandUint64(wordRng, max)
+			RandBigInto(bigRng, bigMax, out, buf)
+			if !out.IsUint64() || out.Uint64() != w {
+				t.Fatalf("max=%d draw %d: RandUint64 %d, RandBigInto %v", max, d, w, out)
+			}
+		}
+	}
+}
+
+func TestRandUint64PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandUint64(rng, 0) did not panic")
+		}
+	}()
+	RandUint64(rand.New(rand.NewSource(1)), 0)
+}
+
+// TestSamplerTierDifferential: seeded Sample, DrawSession, and SampleMany
+// streams from a fast-tier sampler are bitwise identical to the forced
+// big-tier sampler over the same automaton.
+func TestSamplerTierDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 8; trial++ {
+		dfa := automata.RandomDFA(rng, automata.Binary(), 2+rng.Intn(6), 0.6)
+		n := 2 + rng.Intn(7)
+		prev := countdag.ForceBigTier(false)
+		fast, err1 := NewUFASampler(dfa, n)
+		countdag.ForceBigTier(true)
+		forced, err2 := NewUFASampler(dfa, n)
+		countdag.ForceBigTier(prev)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+		}
+		if fast.Count().Cmp(forced.Count()) != 0 {
+			t.Fatalf("trial %d: counts differ", trial)
+		}
+		if fast.Count().Sign() == 0 {
+			continue
+		}
+		if !fast.Index().WordTier() || forced.Index().WordTier() {
+			t.Fatalf("trial %d: tier selection wrong (fast=%v forced=%v)",
+				trial, fast.Index().WordTier(), forced.Index().WordTier())
+		}
+		rngA := rand.New(rand.NewSource(3000 + int64(trial)))
+		rngB := rand.New(rand.NewSource(3000 + int64(trial)))
+		for d := 0; d < 60; d++ {
+			wa, err1 := fast.Sample(rngA)
+			wb, err2 := forced.Sample(rngB)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d draw %d: %v / %v", trial, d, err1, err2)
+			}
+			if dfa.Alphabet().FormatWord(wa) != dfa.Alphabet().FormatWord(wb) {
+				t.Fatalf("trial %d draw %d: sample streams diverge: %v vs %v", trial, d, wa, wb)
+			}
+		}
+		sa := fast.NewDrawSession(rand.New(rand.NewSource(4000 + int64(trial))))
+		sb := forced.NewDrawSession(rand.New(rand.NewSource(4000 + int64(trial))))
+		for d := 0; d < 60; d++ {
+			wa, err1 := sa.Sample()
+			wb, err2 := sb.Sample()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d session draw %d: %v / %v", trial, d, err1, err2)
+			}
+			if dfa.Alphabet().FormatWord(wa) != dfa.Alphabet().FormatWord(wb) {
+				t.Fatalf("trial %d session draw %d: streams diverge", trial, d)
+			}
+		}
+		ma, err1 := fast.SampleMany(int64(trial), 0xF00D, 32, 3)
+		mb, err2 := forced.SampleMany(int64(trial), 0xF00D, 32, 3)
+		if err1 != nil || err2 != nil || len(ma) != len(mb) {
+			t.Fatalf("trial %d: SampleMany %v / %v", trial, err1, err2)
+		}
+		for d := range ma {
+			if dfa.Alphabet().FormatWord(ma[d]) != dfa.Alphabet().FormatWord(mb[d]) {
+				t.Fatalf("trial %d: SampleMany[%d] diverges", trial, d)
+			}
+		}
+	}
+}
