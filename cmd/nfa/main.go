@@ -48,16 +48,29 @@
 // token, and either kind resumes with any -workers value (the token embeds
 // a fingerprint of the automaton, so it must be replayed against the same
 // file and length).
+//
+// Ctrl-C (SIGINT) and SIGTERM stop long-running subcommands cooperatively:
+// enum finishes its current delivery batch, prints the resume token on
+// stderr, and exits with code 130 — an interrupt is a checkpoint, never a
+// truncated-state corruption. -limits installs an admission policy
+// (comma-separated caps: length, span, states, budget, batch, bytes) that
+// rejects over-limit requests up front, before any length-sized
+// precomputation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/big"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"repro/internal/admission"
 	"repro/internal/automata"
 	"repro/internal/core"
 	"repro/internal/enumerate"
@@ -65,13 +78,26 @@ import (
 	"repro/internal/lengthrange"
 )
 
+// exitInterrupted is the conventional exit code for a SIGINT-terminated
+// process (128 + SIGINT). The CLI uses it after a clean cooperative
+// shutdown: the resume token has been printed, nothing is corrupted.
+const exitInterrupted = 130
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the context instead of killing the process:
+	// long-running subcommands stop at their next delivery-batch (or
+	// build-layer) boundary, enum prints its resume token, and a SECOND
+	// signal kills hard (signal.NotifyContext restores default handling
+	// once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point: it parses args, executes one
-// subcommand, and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// subcommand, and returns the process exit code. ctx cancels
+// long-running subcommands cooperatively (checkpoint, not corruption).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
 		usage(stderr)
 		return 2
@@ -106,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rankStr   = fs.String("r", "", "0-based rank to unrank (unrank)")
 		loF       = fs.Int("lo", -1, "lower witness length of a range form (use with -hi in place of -n)")
 		hiF       = fs.Int("hi", -1, "upper witness length of a range form (use with -lo in place of -n)")
+		limitsF   = fs.String("limits", "", "admission policy, e.g. length=4096,span=256,states=100000,budget=65536,batch=1000000,bytes=2gib (empty = unlimited)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if err == flag.ErrHelp {
@@ -160,7 +187,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// parameter; range forms carry [lo, hi] explicitly.
 			length = *hiF
 		}
-		inst, err := core.New(nfa, length, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers})
+		limits, lerr := admission.Parse(*limitsF)
+		if lerr != nil {
+			return fail(lerr.Error())
+		}
+		inst, err := core.New(nfa, length, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers, Limits: limits})
 		if err != nil {
 			return fail(err.Error())
 		}
@@ -169,21 +200,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if rangeMode {
 				err = runCountRange(stdout, inst, *loF, *hiF)
 			} else {
-				err = runCount(stdout, inst, *exactF)
+				err = runCount(ctx, stdout, inst, *exactF)
 			}
 		case "enum":
-			err = runEnum(stdout, stderr, inst, enumConfig{
+			err = runEnum(ctx, stdout, stderr, inst, enumConfig{
 				limit: *limit, workers: *workers, cursor: *cursor, seek: *seek,
 				unordered: *unordered, budget: *budget, steal: *steal, verbose: *verbose,
 				rangeMode: rangeMode, lo: *loF, hi: *hiF,
 			})
+			if errors.Is(err, errInterrupted) {
+				// The token is already on stderr; exit with the SIGINT
+				// convention so scripts can tell "interrupted, resumable"
+				// from a hard failure.
+				fmt.Fprintln(stderr, "nfa: interrupted")
+				return exitInterrupted
+			}
 		case "sample":
 			if rangeMode && *distinct {
 				err = fmt.Errorf("-distinct has no range form yet (draw and deduplicate, or use rank-space rejection per length)")
 			} else if rangeMode {
-				err = runSampleRange(stdout, inst, *loF, *hiF, *count, *workers)
+				err = runSampleRange(ctx, stdout, inst, *loF, *hiF, *count, *workers)
 			} else {
-				err = runSample(stdout, inst, *count, *workers, *distinct)
+				err = runSample(ctx, stdout, inst, *count, *workers, *distinct)
 			}
 		case "rank":
 			err = runRank(stdout, inst, *word, explicitFlags["w"], rangeMode, *loF, *hiF)
@@ -196,6 +234,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	return 0
 }
+
+// errInterrupted marks a cooperative cancellation that already printed
+// its resume token — run maps it to exitInterrupted instead of a plain
+// failure.
+var errInterrupted = errors.New("interrupted")
 
 // parseRank parses a decimal rank argument.
 func parseRank(s string) (*big.Int, error) {
@@ -288,8 +331,8 @@ func runCountRange(w io.Writer, inst *core.Instance, lo, hi int) error {
 
 // runSampleRange draws from the union of lengths (each length weighted
 // by its exact count; bitwise identical for every -workers value).
-func runSampleRange(w io.Writer, inst *core.Instance, lo, hi, count, workers int) error {
-	ws, err := inst.SampleManyRange(lo, hi, count, workers)
+func runSampleRange(ctx context.Context, w io.Writer, inst *core.Instance, lo, hi, count, workers int) error {
+	ws, err := inst.SampleManyRangeCtx(ctx, lo, hi, count, workers)
 	if err == core.ErrEmpty {
 		fmt.Fprintln(w, "⊥ (witness set empty)")
 		return nil
@@ -330,7 +373,7 @@ func runInfo(w io.Writer, n *automata.NFA, length int) {
 	}
 }
 
-func runCount(w io.Writer, inst *core.Instance, forceExact bool) error {
+func runCount(ctx context.Context, w io.Writer, inst *core.Instance, forceExact bool) error {
 	if forceExact {
 		c, err := inst.CountExact(0)
 		if err != nil {
@@ -339,7 +382,7 @@ func runCount(w io.Writer, inst *core.Instance, forceExact bool) error {
 		fmt.Fprintf(w, "%s (exact, %s)\n", c, inst.Class())
 		return nil
 	}
-	v, isExact, err := inst.Count()
+	v, isExact, err := inst.CountCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -360,7 +403,7 @@ type enumConfig struct {
 	lo, hi                        int
 }
 
-func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
+func runEnum(ctx context.Context, w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 	var seekRank *big.Int
 	if cfg.seek != "" {
 		r, err := parseRank(cfg.seek)
@@ -370,6 +413,7 @@ func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 		seekRank = r
 	}
 	opts := core.CursorOptions{
+		Ctx:            ctx,
 		Cursor:         cfg.cursor,
 		SeekRank:       seekRank,
 		Limit:          cfg.limit,
@@ -409,6 +453,16 @@ func runEnum(w, errw io.Writer, inst *core.Instance, cfg enumConfig) error {
 		count++
 	}
 	if err := s.Err(); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// SIGINT (or a deadline) stopped the session cooperatively:
+			// the session's position is a valid checkpoint, so print the
+			// resume token exactly like a completed page.
+			if tok, ok := s.Token(); ok {
+				fmt.Fprintf(errw, "# interrupted after %d witnesses (%s); resume with -cursor %s\n",
+					count, inst.Class(), tok)
+				return errInterrupted
+			}
+		}
 		return err
 	}
 	mode := ""
@@ -439,13 +493,13 @@ func printEnumStats(errw io.Writer, s enumerate.Session) {
 	stats.Fprint(errw)
 }
 
-func runSample(w io.Writer, inst *core.Instance, count, workers int, distinct bool) error {
+func runSample(ctx context.Context, w io.Writer, inst *core.Instance, count, workers int, distinct bool) error {
 	var ws []automata.Word
 	var err error
 	if distinct {
 		ws, err = inst.SampleDistinct(count)
 	} else {
-		ws, err = inst.SampleManyParallel(count, workers)
+		ws, err = inst.SampleManyParallelCtx(ctx, count, workers)
 	}
 	if err == core.ErrEmpty {
 		fmt.Fprintln(w, "⊥ (witness set empty)")

@@ -1,13 +1,32 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"fmt"
 	"os"
+	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
+
+// TestMain doubles as the helper process for the signal e2e tests: when
+// NFA_CLI_HELPER is set, the test binary behaves exactly like the nfa
+// CLI (same run() entry, same signal.NotifyContext wiring as main), so
+// tests can exec it and deliver real signals mid-enumeration.
+func TestMain(m *testing.M) {
+	if os.Getenv("NFA_CLI_HELPER") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // unambFixture accepts exactly {aba} at length 3 (a chain DFA): the
 // RelationUL dispatch path.
@@ -58,7 +77,7 @@ func writeFixture(t *testing.T, name, content string) string {
 func runNFA(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errOut strings.Builder
-	code := run(args, &out, &errOut)
+	code := run(context.Background(), args, &out, &errOut)
 	return out.String(), errOut.String(), code
 }
 
@@ -679,5 +698,133 @@ func TestRangeRankUnrankSample(t *testing.T) {
 	}
 	if _, _, code := runNFA(t, "sample", "-f", f, "-lo", "1", "-hi", "4", "-count", "2", "-distinct"); code == 0 {
 		t.Fatal("-distinct range form should be rejected")
+	}
+}
+
+// TestLimitsFlag: -limits installs an admission policy that rejects
+// over-limit requests up front (wrapping admission.ErrRejected), and a
+// malformed spec is a usage failure, not a crash.
+func TestLimitsFlag(t *testing.T) {
+	f := writeFixture(t, "amb.txt", ambFixture)
+	// Within limits: runs normally.
+	if _, errOut, code := runNFA(t, "enum", "-f", f, "-n", "4", "-limit", "5", "-limits", "length=8,states=100"); code != 0 {
+		t.Fatalf("in-limits enum exit %d: %s", code, errOut)
+	}
+	// Length over the cap: rejected before any work.
+	if out, errOut, code := runNFA(t, "enum", "-f", f, "-n", "9", "-limit", "5", "-limits", "length=8"); code == 0 {
+		t.Fatalf("over-length enum accepted:\n%s", out)
+	} else if !strings.Contains(errOut, "admission") {
+		t.Fatalf("over-length rejection not an admission error: %s", errOut)
+	}
+	// Range span over the cap.
+	if _, errOut, code := runNFA(t, "enum", "-f", f, "-lo", "1", "-hi", "6", "-limits", "span=3"); code == 0 {
+		t.Fatal("over-span range enum accepted")
+	} else if !strings.Contains(errOut, "admission") {
+		t.Fatalf("over-span rejection not an admission error: %s", errOut)
+	}
+	// Sample batch over the cap.
+	if _, errOut, code := runNFA(t, "sample", "-f", f, "-n", "4", "-count", "100", "-limits", "batch=10"); code == 0 {
+		t.Fatal("over-batch sample accepted")
+	} else if !strings.Contains(errOut, "admission") {
+		t.Fatalf("over-batch rejection not an admission error: %s", errOut)
+	}
+	// Malformed spec.
+	if _, _, code := runNFA(t, "enum", "-f", f, "-n", "4", "-limits", "bogus=1"); code == 0 {
+		t.Fatal("malformed -limits accepted")
+	}
+}
+
+// TestInterruptPrintsResumeToken execs the CLI (via the TestMain helper
+// mode), delivers a real SIGINT mid-enumeration, and asserts the
+// cooperative-shutdown contract: exit code 130, a resume token on
+// stderr, and a token that continues the enumeration exactly where the
+// interrupt cut it off (the interrupted prefix plus the resumed page
+// equal the uninterrupted stream).
+func TestInterruptPrintsResumeToken(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := writeFixture(t, "amb.txt", ambFixture)
+	// 2^30 words at length 30: the enumeration cannot finish before the
+	// signal lands. The unread pipe backpressures the producer, so the
+	// interrupted prefix stays small.
+	cmd := exec.Command(exe, "enum", "-f", f, "-n", "30", "-limit", "1000000000")
+	cmd.Env = append(os.Environ(), "NFA_CLI_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(stdout)
+	first, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first witness: %v (stderr: %s)", err, errBuf.String())
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the rest of the interrupted run's output.
+	var rest strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, rerr := r.Read(buf)
+		rest.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("interrupted CLI did not exit; stderr: %s", errBuf.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Fatalf("interrupted exit code %d, want 130; stderr: %s", code, errBuf.String())
+	}
+	stderrStr := errBuf.String()
+	if !strings.Contains(stderrStr, "interrupted after") {
+		t.Fatalf("stderr missing interrupt notice: %s", stderrStr)
+	}
+	var token string
+	for _, line := range strings.Split(stderrStr, "\n") {
+		if i := strings.Index(line, "resume with -cursor "); i >= 0 {
+			token = strings.TrimSpace(line[i+len("resume with -cursor "):])
+		}
+	}
+	if token == "" {
+		t.Fatalf("no resume token on stderr: %s", stderrStr)
+	}
+	prefix := strings.Fields(first + rest.String())
+	if len(prefix) == 0 {
+		t.Fatal("interrupted run emitted no witnesses")
+	}
+	// Resume for one more page and check the combined stream against an
+	// uninterrupted run of the same total length.
+	const page = 50
+	resumed, _, code := runNFA(t, "enum", "-f", f, "-n", "30", "-cursor", token, "-limit", fmt.Sprint(page))
+	if code != 0 {
+		t.Fatalf("resume from interrupt token failed (exit %d)", code)
+	}
+	canonical, _, code := runNFA(t, "enum", "-f", f, "-n", "30", "-limit", fmt.Sprint(len(prefix)+page))
+	if code != 0 {
+		t.Fatalf("canonical enum failed (exit %d)", code)
+	}
+	got := append(append([]string{}, prefix...), strings.Fields(resumed)...)
+	want := strings.Fields(canonical)
+	if len(got) != len(want) {
+		t.Fatalf("interrupted+resumed stream has %d words, canonical %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("stream diverges at word %d after interrupt: got %q want %q", i, got[i], want[i])
+		}
 	}
 }

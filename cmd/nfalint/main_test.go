@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
@@ -81,9 +83,9 @@ func TestCleanRunWithJSON(t *testing.T) {
 	}
 	// `go list -deps` folds in-repo dependencies into the run, so this
 	// package brings internal/analysis with it.
-	if len(rep.Packages) < 1 || len(rep.Findings) != 0 || len(rep.Analyzers) != 5 {
-		t.Errorf("report = %d packages, %d findings, %d analyzers; want ≥1, 0, 5",
-			len(rep.Packages), len(rep.Findings), len(rep.Analyzers))
+	if len(rep.Packages) < 1 || len(rep.Findings) != 0 || len(rep.Analyzers) != len(analysis.All()) {
+		t.Errorf("report = %d packages, %d findings, %d analyzers; want ≥1, 0, %d",
+			len(rep.Packages), len(rep.Findings), len(rep.Analyzers), len(analysis.All()))
 	}
 	found := false
 	for _, p := range rep.Packages {

@@ -1,0 +1,205 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilLimitsAdmitEverything(t *testing.T) {
+	var l *Limits
+	checks := []error{
+		l.CheckLength(1 << 30),
+		l.CheckRange(0, 1<<30),
+		l.CheckStates(1 << 30),
+		l.CheckMergeBudget(1 << 30),
+		l.CheckSampleBatch(1 << 30),
+		l.CheckIndexBytes(1 << 60),
+	}
+	for i, err := range checks {
+		if err != nil {
+			t.Fatalf("nil limits check %d = %v, want nil", i, err)
+		}
+	}
+	if s := l.String(); s != "" {
+		t.Fatalf("nil limits String() = %q, want empty", s)
+	}
+}
+
+func TestZeroFieldsAreUnlimited(t *testing.T) {
+	l := &Limits{MaxLength: 8}
+	if err := l.CheckSampleBatch(1 << 30); err != nil {
+		t.Fatalf("zero MaxSampleBatch rejected: %v", err)
+	}
+	if err := l.CheckLength(8); err != nil {
+		t.Fatalf("at-limit length rejected: %v", err)
+	}
+	if err := l.CheckLength(9); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-limit length = %v, want ErrRejected", err)
+	}
+}
+
+func TestEachDimensionRejects(t *testing.T) {
+	l := &Limits{
+		MaxLength:      16,
+		MaxRangeSpan:   4,
+		MaxStates:      10,
+		MaxMergeBudget: 100,
+		MaxSampleBatch: 1000,
+		MaxIndexBytes:  5000,
+	}
+	cases := []struct {
+		name       string
+		pass, fail error
+	}{
+		{"length", l.CheckLength(16), l.CheckLength(17)},
+		{"span", l.CheckRange(3, 6), l.CheckRange(3, 7)},
+		{"range-length", l.CheckRange(13, 16), l.CheckRange(14, 17)},
+		{"states", l.CheckStates(10), l.CheckStates(11)},
+		{"budget", l.CheckMergeBudget(100), l.CheckMergeBudget(101)},
+		{"batch", l.CheckSampleBatch(1000), l.CheckSampleBatch(1001)},
+		{"bytes", l.CheckIndexBytes(5000), l.CheckIndexBytes(5001)},
+	}
+	for _, c := range cases {
+		if c.pass != nil {
+			t.Errorf("%s: at-limit value rejected: %v", c.name, c.pass)
+		}
+		if !errors.Is(c.fail, ErrRejected) {
+			t.Errorf("%s: over-limit value = %v, want ErrRejected", c.name, c.fail)
+		}
+	}
+}
+
+func TestEstimateIndexBytes(t *testing.T) {
+	// 8 bytes × (states + transitions + 1 sentinel) × (length+1) layers.
+	if got, want := EstimateIndexBytes(4, 10, 7), int64(8*(4+10+1)*(7+1)); got != want {
+		t.Fatalf("EstimateIndexBytes(4,10,7) = %d, want %d", got, want)
+	}
+	if got := EstimateIndexBytes(-1, 10, 7); got != 0 {
+		t.Fatalf("negative states estimate = %d, want 0", got)
+	}
+	// Monotone in every argument.
+	base := EstimateIndexBytes(4, 10, 7)
+	for _, bigger := range []int64{
+		EstimateIndexBytes(5, 10, 7),
+		EstimateIndexBytes(4, 11, 7),
+		EstimateIndexBytes(4, 10, 8),
+	} {
+		if bigger <= base {
+			t.Fatalf("estimate not monotone: %d vs base %d", bigger, base)
+		}
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	l, err := Parse("length=64,span=16,states=1024,budget=4096,batch=10000,bytes=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Limits{
+		MaxLength: 64, MaxRangeSpan: 16, MaxStates: 1024,
+		MaxMergeBudget: 4096, MaxSampleBatch: 10000, MaxIndexBytes: 1000000,
+	}
+	if *l != want {
+		t.Fatalf("Parse = %+v, want %+v", *l, want)
+	}
+	if got := l.String(); got != "length=64,span=16,states=1024,budget=4096,batch=10000,bytes=1000000" {
+		t.Fatalf("String = %q", got)
+	}
+
+	// Whitespace and partial specs.
+	l, err = Parse(" batch=5 , length=3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MaxSampleBatch != 5 || l.MaxLength != 3 || l.MaxStates != 0 {
+		t.Fatalf("partial Parse = %+v", *l)
+	}
+	if got := l.String(); got != "length=3,batch=5" {
+		t.Fatalf("partial String = %q, want canonical order", got)
+	}
+
+	// Empty spec = no policy.
+	l, err = Parse("")
+	if err != nil || l != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil, nil", l, err)
+	}
+	l, err = Parse("   ")
+	if err != nil || l != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", l, err)
+	}
+
+	// Zero value explicitly = that dimension unlimited, omitted from String.
+	l, err = Parse("length=0,batch=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "batch=9" {
+		t.Fatalf("zero-field String = %q", l.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",
+		"length",
+		"length=",
+		"length=x",
+		"length=-1",
+		"length=1,length=2",
+		"length=99999999999999999999",
+		",",
+		"=",
+	} {
+		if l, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", spec, l)
+		}
+	}
+}
+
+func FuzzLimits(f *testing.F) {
+	f.Add("length=64,span=16,states=1024,budget=4096,batch=10000,bytes=1000000")
+	f.Add("length=3,batch=5")
+	f.Add("")
+	f.Add("bogus=1")
+	f.Add("length=-1")
+	f.Add("length=0")
+	f.Add("length==3")
+	f.Add(",,,")
+	f.Add("bytes=9223372036854775807")
+	f.Add("length=9223372036854775808")
+	f.Add("length = 7 , span = 2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		l, err := Parse(spec) // must never panic
+		if err != nil {
+			if l != nil {
+				t.Fatalf("Parse(%q) returned both a policy and error %v", spec, err)
+			}
+			return
+		}
+		// Round-trip: reparsing the canonical form yields the same policy.
+		s := l.String()
+		l2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(String(Parse(%q))) failed: %v (canonical %q)", spec, err, s)
+		}
+		// nil and the all-zero policy are both "no limits"; compare values.
+		norm := func(p *Limits) Limits {
+			if p == nil {
+				return Limits{}
+			}
+			return *p
+		}
+		if norm(l) != norm(l2) {
+			t.Fatalf("round-trip mismatch for %q: %+v vs %+v", spec, norm(l), norm(l2))
+		}
+		// Checks on a parsed policy never panic and respect zero=unlimited.
+		if l != nil {
+			_ = l.CheckLength(1)
+			_ = l.CheckRange(0, 1)
+			_ = l.CheckStates(1)
+			_ = l.CheckMergeBudget(1)
+			_ = l.CheckSampleBatch(1)
+			_ = l.CheckIndexBytes(1)
+		}
+	})
+}

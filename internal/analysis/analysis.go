@@ -21,6 +21,10 @@
 //     only until the following call) must not escape across exported API
 //     boundaries without a deep copy — the PR 2 retained-slice audit,
 //     mechanized.
+//   - ctxfirst: exported engine entry points taking a context.Context must
+//     check (or thread) it before the first layer-sized allocation or
+//     Build call — the cancellation discipline of the robustness PR: a
+//     cancelled caller must not pay for a precomputation it will discard.
 //
 // A finding can be suppressed with a justified pragma on its line or the
 // line above:
@@ -114,7 +118,7 @@ func (a *Analyzer) appliesTo(p *Pkg) bool {
 
 // All returns the suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{bigmutAnalyzer, fpfirstAnalyzer, detrandAnalyzer, lockheldAnalyzer, retainAnalyzer}
+	return []*Analyzer{bigmutAnalyzer, fpfirstAnalyzer, detrandAnalyzer, lockheldAnalyzer, retainAnalyzer, ctxfirstAnalyzer}
 }
 
 // ByName returns the analyzer with the given id, or nil.

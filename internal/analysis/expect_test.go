@@ -91,6 +91,7 @@ func runCorpus(t *testing.T, name string) {
 }
 
 func TestBigmutCorpus(t *testing.T)   { runCorpus(t, "bigmut") }
+func TestCtxfirstCorpus(t *testing.T) { runCorpus(t, "ctxfirst") }
 func TestFpfirstCorpus(t *testing.T)  { runCorpus(t, "fpfirst") }
 func TestDetrandCorpus(t *testing.T)  { runCorpus(t, "detrand") }
 func TestLockheldCorpus(t *testing.T) { runCorpus(t, "lockheld") }

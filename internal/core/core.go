@@ -48,9 +48,30 @@
 // Enumerate opens independent sessions, so concurrent enumerations never
 // interfere; a single session is for one goroutine (see
 // internal/enumerate for the cursor and sharding contracts).
+//
+// # Cancellation and admission control
+//
+// Every long-running path is cooperatively cancellable and admission-
+// checked up front. Cancellation: CursorOptions.Ctx (and the ctx
+// arguments of CountCtx, SampleManyParallelCtx, SampleManyRangeCtx) is
+// checked at delivery-batch boundaries, at range-session length advances,
+// at sampling chunk boundaries and at every layer of any index build the
+// call triggers — never inside a per-word hot loop. A cancelled session
+// reports ctx.Err() from Err and still mints its true resume position
+// from Token: cancellation is a checkpoint, never corruption, so the
+// token resumes bitwise where the cancel landed. A cancelled index build
+// is abandoned within one layer and leaves no partial state behind — the
+// next caller rebuilds from scratch. Admission: Options.Limits is
+// enforced BEFORE any length-sized precomputation — New bounds the
+// automaton and length, sessions bound their merge budget, ranged calls
+// bound the span, index builds bound the estimated footprint in bytes,
+// and batch sampling bounds the batch — with every rejection wrapping
+// admission.ErrRejected, so an over-budget request costs validation, not
+// a build it was never going to be allowed to use.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -58,6 +79,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/automata"
 	"repro/internal/countdag"
 	"repro/internal/enumerate"
@@ -117,6 +139,14 @@ type Options struct {
 	// yields wrong counts, so it is rejected unless the automaton really
 	// is unambiguous).
 	ForceClass *Class
+	// Limits, when non-nil, is the admission policy every entry point
+	// enforces BEFORE any length-sized precomputation: New rejects
+	// oversized automata and witness lengths, enumeration rejects
+	// over-budget sessions, ranged access rejects too-wide ranges, index
+	// builds reject estimated footprints over the byte cap, and batch
+	// sampling rejects oversized batches. Rejections wrap
+	// admission.ErrRejected. nil (or a zero field) means unlimited.
+	Limits *admission.Limits
 }
 
 // Instance is a prepared MEM-NFA instance.
@@ -153,6 +183,14 @@ func New(n *automata.NFA, length int, opts Options) (*Instance, error) {
 	}
 	if length < 0 {
 		return nil, fmt.Errorf("core: negative witness length %d", length)
+	}
+	// Admission first: reject oversized inputs before the O(states²)
+	// unambiguity test or any length-sized work downstream.
+	if err := opts.Limits.CheckStates(n.NumStates()); err != nil {
+		return nil, err
+	}
+	if err := opts.Limits.CheckLength(length); err != nil {
+		return nil, err
 	}
 	trimmed := automata.Trim(n)
 	var class Class
@@ -215,10 +253,40 @@ func (in *Instance) Count() (value *big.Float, isExact bool, err error) {
 	return est.Count(), est.Exact(), nil
 }
 
+// CountCtx is Count with cooperative cancellation: for ClassNL the FPRAS
+// build checks ctx between unrolling layers, so a cancelled caller
+// abandons the (potentially large) sketch construction promptly. The
+// ClassUL exact count checks ctx once up front — the #L dynamic program
+// itself is the cheapest length-sized pass the instance runs.
+func (in *Instance) CountCtx(ctx context.Context) (value *big.Float, isExact bool, err error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	if in.class == ClassUL {
+		return in.Count()
+	}
+	est, err := in.estimatorCtx(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	return est.Count(), est.Exact(), nil
+}
+
 // estimator lazily builds the FPRAS state, binary-encoding the alphabet if
 // needed. Safe for concurrent use: the first caller builds under the lock,
 // later callers reuse the frozen engine.
 func (in *Instance) estimator() (*fpras.Estimator, error) {
+	return in.estimatorCtx(nil)
+}
+
+// estimatorCtx is estimator with cooperative cancellation: ctx is checked
+// between the build's unrolling layers (see fpras.Params.Ctx), so a
+// cancelled caller abandons the build promptly; a nil ctx never cancels.
+// A cancelled build leaves no partial state behind — the next caller
+// rebuilds from scratch.
+func (in *Instance) estimatorCtx(ctx context.Context) (*fpras.Estimator, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.est != nil {
@@ -231,12 +299,19 @@ func (in *Instance) estimator() (*fpras.Estimator, error) {
 		n = enc.Encoded
 		length = enc.EncodedLength(in.length)
 	}
+	// Admission on the ENCODED footprint: the binary bridge stretches the
+	// length by ~log|Σ|, and the sketch layers are sized by the encoded
+	// unrolling, so that is the estimate that matters.
+	if err := in.opts.Limits.CheckIndexBytes(admission.EstimateIndexBytes(n.NumStates(), n.NumTransitions(), length)); err != nil {
+		return nil, err
+	}
 	est, err := fpras.New(n, length, fpras.Params{
 		K:        in.opts.K,
 		MaxTries: in.opts.MaxTries,
 		Delta:    in.opts.Delta,
 		Seed:     in.opts.Seed,
 		Workers:  in.opts.Workers,
+		Ctx:      ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -252,9 +327,21 @@ func (in *Instance) estimator() (*fpras.Estimator, error) {
 // enumeration: one big.Int pass per instance, however many consumers.
 // ClassUL only (the caller dispatches); unambiguity was verified at New.
 func (in *Instance) ufa() (*sample.UFASampler, error) {
+	return in.ufaCtx(nil)
+}
+
+// ufaCtx is ufa with cooperative cancellation: ctx is checked at every
+// layer of the counting sweep (countdag.BuildCtx), so a cancelled caller
+// abandons the build within one layer and the partial index is released
+// for collection; a nil ctx never cancels. The byte cap is enforced from
+// the automaton's dimensions before the unrolling is allocated.
+func (in *Instance) ufaCtx(ctx context.Context) (*sample.UFASampler, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.ufaSampler == nil {
+		if err := in.opts.Limits.CheckIndexBytes(admission.EstimateIndexBytes(in.n.NumStates(), in.n.NumTransitions(), in.length)); err != nil {
+			return nil, err
+		}
 		dag, err := unroll.Build(in.n, in.length, unroll.Options{PruneBackward: true})
 		if err != nil {
 			return nil, err
@@ -263,7 +350,11 @@ func (in *Instance) ufa() (*sample.UFASampler, error) {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		in.ufaSampler = sample.NewUFASamplerIndex(in.n, countdag.Build(dag, workers))
+		idx, err := countdag.BuildCtx(ctx, dag, workers)
+		if err != nil {
+			return nil, err
+		}
+		in.ufaSampler = sample.NewUFASamplerIndex(in.n, idx)
 	}
 	return in.ufaSampler, nil
 }
@@ -291,7 +382,7 @@ func (in *Instance) openSeekedAt(length int, rank *big.Int, workers int, sopts e
 		return nil, fmt.Errorf("core: rank seek requires an unambiguous instance (RelationUL)")
 	}
 	if length == in.length {
-		if _, err := in.ufa(); err != nil {
+		if _, err := in.ufaCtx(sopts.Ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -365,6 +456,9 @@ func (in *Instance) SampleDistinct(k int) ([]automata.Word, error) {
 	if in.class != ClassUL {
 		return nil, fmt.Errorf("core: SampleDistinct requires an unambiguous instance (RelationUL); sample with replacement and deduplicate for RelationNL")
 	}
+	if err := in.opts.Limits.CheckSampleBatch(k); err != nil {
+		return nil, err
+	}
 	s, err := in.ufa()
 	if err != nil {
 		return nil, err
@@ -380,6 +474,15 @@ func (in *Instance) SampleDistinct(k int) ([]automata.Word, error) {
 
 // CursorOptions configure an enumeration session.
 type CursorOptions struct {
+	// Ctx, when non-nil, cancels the session cooperatively: it is checked
+	// at delivery-batch boundaries (never in the per-word hot loop), when
+	// a range session advances to its next length, and at every layer of
+	// any index build the session triggers. A cancelled session stops
+	// within one delivery batch, Err reports ctx.Err(), and Token still
+	// mints the session's true resume position — cancellation is a
+	// checkpoint, never corruption. nil means the session only stops when
+	// drained or closed.
+	Ctx context.Context
 	// Cursor resumes from a token minted by a previous session's Token
 	// ("" starts from the first witness). Serial tokens, rank tokens
 	// (RelationUL, kind 'r') and multi-cell frontier tokens (from parallel
@@ -445,9 +548,38 @@ func (in *Instance) openSession(opts CursorOptions) (enumerate.Session, error) {
 // instance's own length for Enumerate, any length in a range for the
 // per-length sessions an EnumerateRange chain opens. Cursor lengths are
 // validated against `length` (fingerprint before any length-sized
-// precomputation, on every resume path).
+// precomputation, on every resume path). Admission runs first; the
+// returned session carries opts.Ctx — parallel streams through their own
+// watcher, serial sessions through the enumerate.WithContext boundary
+// wrapper.
 func (in *Instance) openSessionAt(length int, opts CursorOptions) (enumerate.Session, error) {
+	if err := in.opts.Limits.CheckLength(length); err != nil {
+		return nil, err
+	}
+	if opts.Workers > 1 {
+		budget := opts.MergeBudget
+		if budget <= 0 {
+			budget = enumerate.DefaultMergeBudget
+		}
+		if err := in.opts.Limits.CheckMergeBudget(budget); err != nil {
+			return nil, err
+		}
+	}
+	s, err := in.openSessionAtRaw(length, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 1 {
+		// Streams carry opts.Ctx in StreamOptions; serial sessions get the
+		// batch-boundary wrapper (a no-op for a nil ctx).
+		s = enumerate.WithContext(opts.Ctx, s)
+	}
+	return s, nil
+}
+
+func (in *Instance) openSessionAtRaw(length int, opts CursorOptions) (enumerate.Session, error) {
 	sopts := enumerate.StreamOptions{
+		Ctx:            opts.Ctx,
 		Workers:        opts.Workers,
 		Shards:         opts.Shards,
 		Ordered:        opts.Ordered,
@@ -550,11 +682,27 @@ func (in *Instance) EnumerateFrom(token string) (enumerate.Session, error) {
 // many consumers. RelationUL only: exact ranged access for an ambiguous
 // NFA would imply exact #NFA counting, which is #P-hard.
 func (in *Instance) rangeIndex(lo, hi int) (*lengthrange.RangeIndex, error) {
+	return in.rangeIndexCtx(nil, lo, hi)
+}
+
+// rangeIndexCtx is rangeIndex with cooperative cancellation: ctx is
+// checked at every layer of the cross-length sweep (lengthrange.BuildCtx),
+// so a cancelled caller abandons the build within one layer and the
+// partial index is released for collection; a nil ctx never cancels.
+// Admission (range span and estimated footprint) is enforced before the
+// sweep allocates anything length-sized.
+func (in *Instance) rangeIndexCtx(ctx context.Context, lo, hi int) (*lengthrange.RangeIndex, error) {
 	if in.class != ClassUL {
 		return nil, fmt.Errorf("core: ranged access over a length range requires an unambiguous instance (RelationUL)")
 	}
 	if lo < 0 || lo > hi {
 		return nil, fmt.Errorf("core: bad length range [%d, %d]", lo, hi)
+	}
+	if err := in.opts.Limits.CheckRange(lo, hi); err != nil {
+		return nil, err
+	}
+	if err := in.opts.Limits.CheckIndexBytes(admission.EstimateIndexBytes(in.n.NumStates(), in.n.NumTransitions(), hi)); err != nil {
+		return nil, err
 	}
 	key := [2]int{lo, hi}
 	in.mu.Lock()
@@ -571,7 +719,7 @@ func (in *Instance) rangeIndex(lo, hi int) (*lengthrange.RangeIndex, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ri, err := lengthrange.Build(in.n, lo, hi, workers)
+	ri, err := lengthrange.BuildCtx(ctx, in.n, lo, hi, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -652,10 +800,21 @@ func (in *Instance) SampleRange(lo, hi int) (automata.Word, error) {
 // hi, k) alone — bitwise identical for every worker count. RelationUL
 // only.
 func (in *Instance) SampleManyRange(lo, hi, k, workers int) ([]automata.Word, error) {
+	return in.SampleManyRangeCtx(nil, lo, hi, k, workers)
+}
+
+// SampleManyRangeCtx is SampleManyRange with cooperative cancellation:
+// ctx is checked at every layer of the (lazy) cross-length index build
+// and between per-worker sample chunks, never inside a draw. A nil ctx
+// never cancels; the batch contents are identical to SampleManyRange.
+func (in *Instance) SampleManyRangeCtx(ctx context.Context, lo, hi, k, workers int) ([]automata.Word, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	ri, err := in.rangeIndex(lo, hi)
+	if err := in.opts.Limits.CheckSampleBatch(k); err != nil {
+		return nil, err
+	}
+	ri, err := in.rangeIndexCtx(ctx, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -668,7 +827,7 @@ func (in *Instance) SampleManyRange(lo, hi, k, workers int) ([]automata.Word, er
 	if workers > k {
 		workers = k
 	}
-	ws, err := ri.SampleMany(in.seed, streamULRange, k, workers)
+	ws, err := ri.SampleManyCtx(ctx, in.seed, streamULRange, k, workers)
 	if err == lengthrange.ErrEmpty {
 		return nil, ErrEmpty
 	}
@@ -693,6 +852,9 @@ func (in *Instance) EnumerateRange(lo, hi int, opts CursorOptions) (enumerate.Se
 	if lo < 0 || lo > hi {
 		return nil, fmt.Errorf("core: bad length range [%d, %d]", lo, hi)
 	}
+	if err := in.opts.Limits.CheckRange(lo, hi); err != nil {
+		return nil, err
+	}
 	fp := enumerate.Fingerprint(in.n)
 	// seekIdx is set by the SeekRank branch below: with the cross-length
 	// index already in hand, the seek factory derives the decision vector
@@ -705,6 +867,7 @@ func (in *Instance) EnumerateRange(lo, hi int, opts CursorOptions) (enumerate.Se
 			return in.openRangeSeeked(seekIdx, length, seek, opts)
 		}
 		return in.openSessionAt(length, CursorOptions{
+			Ctx:            opts.Ctx,
 			Cursor:         cursor,
 			SeekRank:       seek,
 			Workers:        opts.Workers,
@@ -720,7 +883,7 @@ func (in *Instance) EnumerateRange(lo, hi int, opts CursorOptions) (enumerate.Se
 	case opts.SeekRank != nil && opts.Cursor != "":
 		return nil, fmt.Errorf("core: SeekRank and Cursor are mutually exclusive")
 	case opts.SeekRank != nil:
-		ri, rerr := in.rangeIndex(lo, hi)
+		ri, rerr := in.rangeIndexCtx(opts.Ctx, lo, hi)
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -754,6 +917,13 @@ func (in *Instance) EnumerateRange(lo, hi int, opts CursorOptions) (enumerate.Se
 	if err != nil {
 		return nil, err
 	}
+	// The chain checks opts.Ctx (and the lengthrange.session.advance fault
+	// site) at every length-advance boundary; per-length inner sessions
+	// already carry the context through the factory, so cancellation stops
+	// the session within one delivery batch wherever it lands.
+	if rs, ok := s.(*lengthrange.RangeSession); ok {
+		rs.SetContext(opts.Ctx)
+	}
 	if opts.Limit > 0 {
 		s = &limitedSession{Session: s, left: opts.Limit}
 	}
@@ -786,6 +956,7 @@ func (in *Instance) openRangeSeeked(ri *lengthrange.RangeIndex, length int, seek
 	}
 	if opts.Workers > 1 {
 		return positioned.StreamFrom(enumerate.SuffixFrontier(positioned.Cursor()), enumerate.StreamOptions{
+			Ctx:            opts.Ctx,
 			Workers:        opts.Workers,
 			Shards:         opts.Shards,
 			Ordered:        opts.Ordered,
@@ -793,7 +964,7 @@ func (in *Instance) openRangeSeeked(ri *lengthrange.RangeIndex, length int, seek
 			StealThreshold: opts.StealThreshold,
 		})
 	}
-	return positioned, nil
+	return enumerate.WithContext(opts.Ctx, positioned), nil
 }
 
 // EnumerateRangeFrom is EnumerateRange resuming from an el1:R: token,
@@ -893,6 +1064,9 @@ func (in *Instance) encoding() *automata.BinaryEncoding {
 // SampleMany draws k independent uniform witnesses sequentially from the
 // instance's internal RNG stream.
 func (in *Instance) SampleMany(k int) ([]automata.Word, error) {
+	if err := in.opts.Limits.CheckSampleBatch(k); err != nil {
+		return nil, err
+	}
 	out := make([]automata.Word, 0, k)
 	for i := 0; i < k; i++ {
 		w, err := in.Sample()
@@ -911,8 +1085,21 @@ func (in *Instance) SampleMany(k int) ([]automata.Word, error) {
 // identical for every worker count — and differs from the stream
 // SampleMany consumes.
 func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) {
+	return in.SampleManyParallelCtx(nil, k, workers)
+}
+
+// SampleManyParallelCtx is SampleManyParallel with cooperative
+// cancellation: ctx is checked at every layer of any (lazy) index or
+// estimator build it triggers and between per-worker sample chunks,
+// never inside a draw — so the hot path is untouched and a cancelled
+// batch stops within one chunk. A nil ctx never cancels; the batch
+// contents are identical to SampleManyParallel.
+func (in *Instance) SampleManyParallelCtx(ctx context.Context, k, workers int) ([]automata.Word, error) {
 	if k <= 0 {
 		return nil, nil
+	}
+	if err := in.opts.Limits.CheckSampleBatch(k); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = in.opts.Workers
@@ -924,7 +1111,7 @@ func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) 
 		workers = k
 	}
 	if in.class != ClassUL {
-		est, err := in.estimator()
+		est, err := in.estimatorCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -949,7 +1136,7 @@ func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) 
 		}
 		return out, nil
 	}
-	s, err := in.ufa()
+	s, err := in.ufaCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -957,7 +1144,7 @@ func (in *Instance) SampleManyParallel(k, workers int) ([]automata.Word, error) 
 	// chunked draw sessions across the workers — each chunk's RNG stream
 	// derives from (seed, chunk), so the batch never depends on the worker
 	// count.
-	ws, err := s.SampleMany(in.seed, streamULBatch, k, workers)
+	ws, err := s.SampleManyCtx(ctx, in.seed, streamULBatch, k, workers)
 	if err == sample.ErrEmpty {
 		return nil, ErrEmpty
 	}

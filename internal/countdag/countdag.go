@@ -62,9 +62,21 @@
 // way). The intended options are PruneBackward: true — the decision orders
 // then agree with the enumerator's; the counts are correct (dead branches
 // count zero) without it, but rank-space is only dense with pruning.
+//
+// # Cancellation
+//
+// BuildCtx is Build with cooperative cancellation: the context is checked
+// at every layer barrier of the backward sweep (both tiers, serial and
+// parallel — also the countdag.build.layer fault-injection site of
+// internal/faultinject), so a cancelled caller abandons the build within
+// one layer. A cancelled or faulted build returns before any index is
+// published: the partial tables are unreachable after the error returns
+// and are released to the collector, and the next BuildCtx starts from
+// scratch — there is no poisoned cached state to invalidate.
 package countdag
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -76,6 +88,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/unroll"
 )
@@ -152,6 +165,26 @@ var (
 // first; on the first uint64 overflow it is abandoned and the big.Int
 // sweep runs instead.
 func Build(d *unroll.DAG, workers int) *Index {
+	x, err := BuildCtx(nil, d, workers)
+	if err != nil {
+		// A nil ctx never cancels; this is reachable only when a
+		// fault-injection arm is live outside its suite. Fail loudly
+		// rather than return a partial index.
+		panic(err)
+	}
+	return x
+}
+
+// BuildCtx is Build with cooperative cancellation: a non-nil ctx is
+// checked at every backward-sweep layer barrier (the faultinject
+// countdag.build.layer site), so an abandoned request stops within one
+// layer's work and the partial tables are released to the collector with
+// the returned error. On success the index is bitwise identical to
+// Build's for every ctx and worker count.
+func BuildCtx(ctx context.Context, d *unroll.DAG, workers int) (*Index, error) {
+	if err := faultinject.Check(ctx, faultinject.SiteCountdagLayer); err != nil {
+		return nil, err
+	}
 	x := &Index{dag: d}
 	n := d.N
 	if n == 0 {
@@ -159,7 +192,7 @@ func Build(d *unroll.DAG, workers int) *Index {
 		if !d.Empty() {
 			x.total = one
 		}
-		return x
+		return x, nil
 	}
 	x.countN = make([]*big.Int, d.M)
 	d.AliveSet(n).ForEach(func(q int) {
@@ -169,18 +202,28 @@ func Build(d *unroll.DAG, workers int) *Index {
 			x.countN[q] = zero
 		}
 	})
-	if !forceBigTier.Load() && x.buildWord(workers) {
-		x.total = new(big.Int).SetUint64(x.utotal)
-		return x
+	if !forceBigTier.Load() {
+		ok, err := x.buildWord(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			x.total = new(big.Int).SetUint64(x.utotal)
+			return x, nil
+		}
 	}
-	x.buildBig(workers)
-	return x
+	if err := x.buildBig(ctx, workers); err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
-// buildWord attempts the uint64 fast-tier backward sweep. It returns false
-// — leaving the index untouched — when any prefix sum overflows a word
-// (bits.Add64 carry) or a layer arena would not fit int32 offsets.
-func (x *Index) buildWord(workers int) bool {
+// buildWord attempts the uint64 fast-tier backward sweep. It returns
+// ok=false — leaving the index untouched — when any prefix sum overflows
+// a word (bits.Add64 carry) or a layer arena would not fit int32
+// offsets; err is non-nil only on cancellation or an injected fault at a
+// layer barrier.
+func (x *Index) buildWord(ctx context.Context, workers int) (ok bool, err error) {
 	d := x.dag
 	n := d.N
 	// next[q] = subtree count of (t+1, q) while sweeping layer t.
@@ -194,6 +237,9 @@ func (x *Index) buildWord(workers int) bool {
 	uoff := make([][]int32, n)
 	var overflowed atomic.Bool
 	for t := n - 1; t >= 1; t-- {
+		if err := faultinject.Check(ctx, faultinject.SiteCountdagLayer); err != nil {
+			return false, err
+		}
 		states := d.AliveSet(t).Elems()
 		off := make([]int32, d.M)
 		for i := range off {
@@ -203,7 +249,7 @@ func (x *Index) buildWord(workers int) bool {
 		for _, q := range states {
 			deg := len(d.Succs(t, q))
 			if size > math.MaxInt32-deg-1 {
-				return false
+				return false, nil
 			}
 			off[q] = int32(size)
 			size += deg + 1
@@ -231,11 +277,14 @@ func (x *Index) buildWord(workers int) bool {
 			cnt[q] = acc
 		})
 		if overflowed.Load() {
-			return false
+			return false, nil
 		}
 		uarena[t] = arena
 		uoff[t] = off
 		next = cnt
+	}
+	if err := faultinject.Check(ctx, faultinject.SiteCountdagLayer); err != nil {
+		return false, err
 	}
 	// After the loop `next` holds layer-1 counts (layer-N counts when N=1).
 	edges := d.StartSuccs()
@@ -244,7 +293,7 @@ func (x *Index) buildWord(workers int) bool {
 	for j, e := range edges {
 		sum, carry := bits.Add64(acc, next[e.To], 0)
 		if carry != 0 {
-			return false
+			return false, nil
 		}
 		acc = sum
 		ustart[j+1] = acc
@@ -254,11 +303,11 @@ func (x *Index) buildWord(workers int) bool {
 	x.ustart = ustart
 	x.utotal = acc
 	x.word = true
-	return true
+	return true, nil
 }
 
 // buildBig is the big.Int backward sweep — the overflow fallback tier.
-func (x *Index) buildBig(workers int) {
+func (x *Index) buildBig(ctx context.Context, workers int) error {
 	d := x.dag
 	n := d.N
 	// Backward, layer by layer: counts of layer t+1 feed the prefix sums
@@ -266,6 +315,9 @@ func (x *Index) buildBig(workers int) {
 	next := x.countN
 	x.cum = make([][][]*big.Int, n)
 	for t := n - 1; t >= 1; t-- {
+		if err := faultinject.Check(ctx, faultinject.SiteCountdagLayer); err != nil {
+			return err
+		}
 		states := d.AliveSet(t).Elems()
 		layerCum := make([][]*big.Int, d.M)
 		cnt := make([]*big.Int, d.M)
@@ -290,6 +342,9 @@ func (x *Index) buildBig(workers int) {
 		x.cum[t] = layerCum
 		next = cnt
 	}
+	if err := faultinject.Check(ctx, faultinject.SiteCountdagLayer); err != nil {
+		return err
+	}
 	edges := d.StartSuccs()
 	x.startCum = make([]*big.Int, len(edges)+1)
 	x.startCum[0] = zero
@@ -303,6 +358,7 @@ func (x *Index) buildBig(workers int) {
 		x.startCum[j+1] = new(big.Int).Set(acc)
 	}
 	x.total = x.startCum[len(edges)]
+	return nil
 }
 
 // materializeBig builds the big.Int tables from the word-tier arenas on

@@ -1,0 +1,73 @@
+package enumerate
+
+import (
+	"context"
+
+	"repro/internal/automata"
+	"repro/internal/faultinject"
+)
+
+// WithContext wraps a session with cooperative cancellation for the
+// serial paths that own no goroutines (enumerators, chained range
+// sessions): the context — and the faultinject enumerate.delivery.batch
+// site — is checked once every DefaultDeliveryBatch outputs, the same
+// boundary at which the parallel Stream checks its own, so the hot
+// per-word loop is untouched and a cancelled session still stops within
+// one batch of words. On cancellation Next returns false, Err reports
+// ctx.Err(), and Token still serializes the session's true position —
+// cancel ⇒ checkpoint. A nil ctx returns s unchanged (streams carry
+// their context in StreamOptions; double-wrapping one is harmless —
+// the outer check is just redundant).
+func WithContext(ctx context.Context, s Session) Session {
+	if ctx == nil || s == nil {
+		return s
+	}
+	return &ctxSession{inner: s, ctx: ctx}
+}
+
+// ctxSession is the WithContext wrapper.
+type ctxSession struct {
+	inner Session
+	ctx   context.Context
+	n     int   // outputs since the last boundary check
+	err   error // first cancellation/fault observed at a boundary
+}
+
+// Next implements Session, checking the context at batch boundaries.
+func (c *ctxSession) Next() (automata.Word, bool) {
+	if c.err != nil {
+		return nil, false
+	}
+	if c.n%DefaultDeliveryBatch == 0 {
+		if err := faultinject.Check(c.ctx, faultinject.SiteDeliveryBatch); err != nil {
+			c.err = err
+			return nil, false
+		}
+	}
+	w, ok := c.inner.Next()
+	if ok {
+		c.n++
+	}
+	return w, ok
+}
+
+// Token implements Session: the inner session's position is the resume
+// point whether the wrapper stopped it or not.
+func (c *ctxSession) Token() (string, bool) { return c.inner.Token() }
+
+// Err implements Session: the boundary cancellation wins (the inner
+// session was stopped by the wrapper, not by its own failure), then the
+// inner error.
+func (c *ctxSession) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.inner.Err()
+}
+
+// Close implements Session.
+func (c *ctxSession) Close() { c.inner.Close() }
+
+// Unwrap exposes the wrapped session so SessionStats reaches scheduler
+// statistics through the wrapper.
+func (c *ctxSession) Unwrap() Session { return c.inner }

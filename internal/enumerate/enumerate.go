@@ -139,6 +139,24 @@
 // sets) are frozen after construction and are shared by every shard
 // enumerator forked from the same template; Stream.Next and Stream.Token
 // are for one consumer goroutine.
+//
+// # Cancellation: cancel ⇒ checkpoint
+//
+// Sessions cancel cooperatively, never in the per-word hot loop (the
+// constant-delay guarantee is the point of the paper): a serial session
+// wrapped by WithContext checks its context every DefaultDeliveryBatch
+// words, and a parallel Stream checks StreamOptions.Ctx when its consumer
+// pops a delivery batch, so a cancelled session stops within one batch of
+// the cancel. The contract on that stop is "cancel ⇒ checkpoint, not
+// corruption": Err reports ctx.Err(), and Token still mints the session's
+// true resume position — the exact undelivered frontier for a parallel
+// stream — so resuming the token continues bitwise where the cancel cut
+// off, skipping and repeating nothing. The same discipline covers the
+// deterministic fault-injection sites (internal/faultinject) at the
+// delivery-batch, steal-split and merge-spill transitions: an injected
+// fault surfaces through Err exactly like a cancellation and leaves the
+// same valid checkpoint (internal/faultsuite asserts both, plus goroutine
+// hygiene, under the NFA_FAULTS-gated registry).
 package enumerate
 
 import (

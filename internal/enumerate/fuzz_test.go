@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"context"
 	"math/big"
 	"strings"
 	"testing"
@@ -37,6 +38,28 @@ func FuzzDecodeCursor(f *testing.F) {
 		f.Add(tok) // multi-cell frontier token
 	}
 	st.Close()
+	// Cancel-mid-enumeration checkpoints: tokens minted by sessions a
+	// context stopped partway. The cancel ⇒ checkpoint contract makes
+	// these legitimate resume inputs, so the fuzzer starts from them.
+	preCancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	ce, _ := NewUFA(paper, length)
+	cs := WithContext(preCancelled, ce)
+	cs.Next() // boundary check fires immediately: cancelled at the fresh position
+	f.Add(mustToken(cs))
+	sctx, scancel := context.WithCancel(context.Background())
+	st2, _ := NewNFAStream(amb, 5, StreamOptions{Ctx: sctx, Workers: 2, Ordered: true, MergeBudget: 4})
+	st2.Next()
+	scancel()
+	for {
+		if _, ok := st2.Next(); !ok {
+			break
+		}
+	}
+	if tok, ok := st2.Token(); ok {
+		f.Add(tok) // frontier checkpoint of a cancelled parallel stream
+	}
+	st2.Close()
 	// Rank cursors ('r' tokens): fresh, mid and a forged huge rank.
 	re, _ := NewUFA(paper, length)
 	if c, err := re.RankCursor(); err == nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/automata"
+	"repro/internal/leakcheck"
 )
 
 // aggressive returns scheduler options tuned to exercise every mechanism:
@@ -28,6 +29,7 @@ func aggressive(ordered bool) StreamOptions {
 // serial enumeration on random instances of both classes, and the peak
 // buffered-word count never exceeds the budget. Run with -race in CI.
 func TestStealOrderedMatchesSerial(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(61))
 	for trial := 0; trial < 8; trial++ {
 		nfa := automata.Random(rng, automata.Binary(), 3+rng.Intn(4), 0.3, 0.4)
@@ -86,6 +88,7 @@ func TestStealOrderedMatchesSerial(t *testing.T) {
 // hot. This is the mechanism half of the E16 acceptance criterion (the
 // throughput half needs real cores; see BenchmarkEnumDelaySkewed).
 func TestStealSkewedBudgetAndBalance(t *testing.T) {
+	leakcheck.Check(t)
 	nfa := automata.SkewedDensity(3)
 	length := 12
 	serial, err := NewNFA(nfa, length)
@@ -315,6 +318,7 @@ func splitSiblingDFA(length int) *automata.NFA {
 // Runs the adversarial sibling automaton (where an unsound deeper split
 // orphans the root's b-branch) and random DFAs with repeated splits.
 func TestSplitStealCompleteness(t *testing.T) {
+	leakcheck.Check(t)
 	check := func(t *testing.T, nfa *automata.NFA, length, emit int, withIndex bool) {
 		t.Helper()
 		serial, err := NewUFA(nfa, length)
@@ -400,6 +404,7 @@ func TestSplitStealCompleteness(t *testing.T) {
 // TestStealUnorderedCompleteness: work-stealing in throughput mode yields
 // the same multiset of words under backpressure from a tiny budget.
 func TestStealUnorderedCompleteness(t *testing.T) {
+	leakcheck.Check(t)
 	nfa := automata.SubsetBlowup(3)
 	serial, err := NewNFA(nfa, 6)
 	if err != nil {
@@ -528,6 +533,7 @@ func drainN(alpha *automata.Alphabet, s Session, k int) []string {
 // resumes — serially or in parallel — to exactly the remaining words. This
 // extends the serial resume-equivalence property to Workers > 1.
 func TestParallelOrderedResumeEquivalence(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(62))
 	for trial := 0; trial < 4; trial++ {
 		nfa := automata.Random(rng, automata.Binary(), 3+rng.Intn(3), 0.3, 0.4)
@@ -588,6 +594,7 @@ func TestParallelOrderedResumeEquivalence(t *testing.T) {
 // TestParallelUnorderedResumeEquivalence: an unordered session's frontier
 // token yields exactly the undelivered multiset on resume.
 func TestParallelUnorderedResumeEquivalence(t *testing.T) {
+	leakcheck.Check(t)
 	nfa := automata.SubsetBlowup(3)
 	serial, err := NewNFA(nfa, 6)
 	if err != nil {
@@ -796,6 +803,7 @@ func TestStreamTokenAfterExhaustion(t *testing.T) {
 // TestStealManyWorkersFewCells: more workers than initial cells still
 // drains completely (stealing is the only way the extra workers get work).
 func TestStealManyWorkersFewCells(t *testing.T) {
+	leakcheck.Check(t)
 	nfa := automata.All(automata.Binary())
 	serial, _ := NewNFA(nfa, 12)
 	want := Collect(nfa.Alphabet(), serial, 0)

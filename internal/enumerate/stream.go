@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/automata"
+	"repro/internal/faultinject"
 	"repro/internal/par"
 )
 
@@ -58,6 +60,14 @@ const (
 
 // StreamOptions configure sharded parallel enumeration.
 type StreamOptions struct {
+	// Ctx, when non-nil, cancels the stream cooperatively: a watcher
+	// stops the scheduler the moment the context is done, and the
+	// consumer re-checks it at every delivery-batch boundary (never
+	// inside the hot loops). A cancelled stream reports ctx.Err() from
+	// Err, hands out at most the one delivery batch it had already
+	// popped, and still serializes its full undelivered frontier from
+	// Token — cancellation is a checkpoint, not corruption.
+	Ctx context.Context
 	// Workers is the number of goroutines enumerating cells
 	// (0 = GOMAXPROCS).
 	Workers int
@@ -318,6 +328,13 @@ type Stream struct {
 	batchSeg   *segment
 	batchStart []int // batchSeg's popped position before this batch (nil if none)
 	closed     atomic.Bool
+
+	// watchDone releases the context watcher goroutine (launched only
+	// when opts.Ctx is non-nil) at Close, so a stream that outlives its
+	// context — or is closed before it fires — reaps the watcher with
+	// the rest of the group.
+	watchDone chan struct{}
+	watchOnce sync.Once
 }
 
 // initialSeg seeds the scheduler with one cell, optionally mid-cell.
@@ -365,17 +382,32 @@ func newStream(kind byte, fp uint32, length int, inits []initialSeg, open func(S
 	for w := 0; w < opts.workers(); w++ {
 		st.group.Go(st.worker)
 	}
+	if ctx := opts.Ctx; ctx != nil {
+		st.watchDone = make(chan struct{})
+		st.group.Go(func() {
+			select {
+			case <-ctx.Done():
+				st.fail(ctx.Err())
+			case <-st.watchDone:
+			}
+		})
+	}
 	return st
 }
 
 // fail records the first error and stops the stream.
 func (st *Stream) fail(err error) {
 	st.mu.Lock()
+	st.failLocked(err)
+	st.mu.Unlock()
+}
+
+// failLocked records the first error and stops the stream (mu held).
+func (st *Stream) failLocked(err error) {
 	if st.err == nil {
 		st.err = err
 	}
 	st.stopLocked()
-	st.mu.Unlock()
 }
 
 // stopLocked halts the scheduler and wakes everyone.
@@ -529,6 +561,10 @@ func (st *Stream) reserve(seg *segment, e cellEnum) bool {
 	defer st.mu.Unlock()
 	if seg.stealReq {
 		seg.stealReq = false
+		if err := faultinject.Hit(faultinject.SiteStealSplit); err != nil {
+			st.failLocked(err)
+			return false
+		}
 		if s, ok := e.SplitSteal(); ok {
 			st.insertAfterLocked(seg, s)
 			// The victim's remaining range is now bounded by its pinned
@@ -550,6 +586,10 @@ func (st *Stream) reserve(seg *segment, e cellEnum) bool {
 	}
 	for st.buffered >= st.budgetN && !st.stopped {
 		if st.opts.Ordered && seg != st.head {
+			if err := faultinject.Hit(faultinject.SiteMergeSpill); err != nil {
+				st.failLocked(err)
+				return false
+			}
 			// Soft spill: the cell collapses to its descriptor + spill
 			// cursor (the enumerator is discarded); the consumer or an
 			// idle worker reopens it once the budget frees.
@@ -563,6 +603,10 @@ func (st *Stream) reserve(seg *segment, e cellEnum) bool {
 		}
 		if st.opts.Ordered {
 			if v := st.spillableLocked(seg); v != nil {
+				if err := faultinject.Hit(faultinject.SiteMergeSpill); err != nil {
+					st.failLocked(err)
+					return false
+				}
 				st.dropBufferLocked(v)
 				continue
 			}
@@ -742,6 +786,10 @@ func (st *Stream) nextOrderedLocked() (automata.Word, bool) {
 		}
 		h := st.head
 		if h.pendingLocked() > 0 {
+			if err := faultinject.Check(st.opts.Ctx, faultinject.SiteDeliveryBatch); err != nil {
+				st.failLocked(err)
+				return nil, false
+			}
 			return st.deliver(st.popBatchLocked(h)), true
 		}
 		switch h.state {
@@ -770,6 +818,10 @@ func (st *Stream) nextUnorderedLocked() (automata.Word, bool) {
 		allDone := true
 		for s := st.head; s != nil; s = s.next {
 			if s.pendingLocked() > 0 {
+				if err := faultinject.Check(st.opts.Ctx, faultinject.SiteDeliveryBatch); err != nil {
+					st.failLocked(err)
+					return nil, false
+				}
 				return st.deliver(st.popBatchLocked(s)), true
 			}
 			if s.state == segDone {
@@ -869,6 +921,9 @@ func (st *Stream) Close() {
 	st.mu.Lock()
 	st.stopLocked()
 	st.mu.Unlock()
+	if st.watchDone != nil {
+		st.watchOnce.Do(func() { close(st.watchDone) })
+	}
 	st.group.Wait()
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/automata"
+	"repro/internal/leakcheck"
 )
 
 // collectStream drains a stream into formatted strings.
@@ -26,6 +27,7 @@ func collectStream(alpha *automata.Alphabet, st *Stream) []string {
 // lost, none duplicated — and the concatenation in shard order IS the
 // serial order.
 func TestUFAShardCompleteness(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 20; trial++ {
 		n := automata.RandomDFA(rng, automata.Binary(), 2+rng.Intn(5), 0.4)
@@ -67,6 +69,7 @@ func TestUFAShardCompleteness(t *testing.T) {
 // TestNFAShardCompleteness: the same property for flashlight cells on
 // random ambiguous NFAs.
 func TestNFAShardCompleteness(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 20; trial++ {
 		n := automata.Random(rng, automata.Binary(), 2+rng.Intn(5), 0.3, 0.4)
@@ -109,6 +112,7 @@ func TestNFAShardCompleteness(t *testing.T) {
 // identical to serial enumeration, for both classes and several worker
 // counts. Run with -race in CI.
 func TestStreamOrderedMatchesSerial(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(43))
 	for trial := 0; trial < 8; trial++ {
 		nfa := automata.Random(rng, automata.Binary(), 3+rng.Intn(4), 0.3, 0.4)
@@ -160,6 +164,7 @@ func TestStreamOrderedMatchesSerial(t *testing.T) {
 // TestStreamUnorderedCompleteness: throughput mode yields the same multiset
 // of words (order free).
 func TestStreamUnorderedCompleteness(t *testing.T) {
+	leakcheck.Check(t)
 	nfa := automata.SubsetBlowup(3)
 	serial, err := NewNFA(nfa, 6)
 	if err != nil {
@@ -187,6 +192,7 @@ func TestStreamUnorderedCompleteness(t *testing.T) {
 // TestStreamEarlyClose: closing a stream mid-drain stops the workers and
 // further Next calls return false. Run with -race in CI.
 func TestStreamEarlyClose(t *testing.T) {
+	leakcheck.Check(t)
 	nfa := automata.All(automata.Binary())
 	st, err := NewNFAStream(nfa, 18, StreamOptions{Workers: 4, Shards: 16, Ordered: true})
 	if err != nil {

@@ -54,6 +54,7 @@
 package fpras
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -66,6 +67,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/unroll"
 )
@@ -98,6 +100,12 @@ type Params struct {
 	// construction (and is the default parallelism of SampleN). 0 selects
 	// GOMAXPROCS; 1 builds serially.
 	Workers int
+	// Ctx, when non-nil, cancels the sketch construction cooperatively:
+	// it is checked at every layer barrier of the build (the faultinject
+	// fpras.build.layer site), so an abandoned New stops within one
+	// layer's work and releases its partial sketches. The per-vertex hot
+	// loops are untouched; a completed build never depends on Ctx.
+	Ctx context.Context
 	// SkipRejection disables the Jerrum–Valiant–Vazirani rejection
 	// correction (Algorithm 4 step 1/2): descents are accepted
 	// unconditionally, so samples follow the raw product of estimated
@@ -308,6 +316,9 @@ func New(n *automata.NFA, length int, params Params) (*Estimator, error) {
 		return nil, fmt.Errorf("fpras: negative length %d", length)
 	}
 	params = params.withDefaults(length)
+	if err := faultinject.Check(params.Ctx, faultinject.SiteFprasLayer); err != nil {
+		return nil, err
+	}
 	dag, err := unroll.Build(n, length, unroll.Options{})
 	if err != nil {
 		return nil, err
@@ -370,6 +381,9 @@ func (e *Estimator) Workers() int { return e.params.Workers }
 func (e *Estimator) build() error {
 	n := e.dag.N
 	for t := 1; t <= n; t++ {
+		if err := faultinject.Check(e.params.Ctx, faultinject.SiteFprasLayer); err != nil {
+			return err
+		}
 		if err := e.buildLayer(t, e.dag.AliveSet(t).Elems()); err != nil {
 			return err
 		}
@@ -378,6 +392,9 @@ func (e *Estimator) build() error {
 		// so peak memo memory is one layer-build's worth, not the whole
 		// build's (see the memoTable comment).
 		e.memo.dropThrough(t)
+	}
+	if err := faultinject.Check(e.params.Ctx, faultinject.SiteFprasLayer); err != nil {
+		return err
 	}
 	s := e.getSampler(par.StreamRNG(e.params.Seed, streamBuild, n+1, -1))
 	vd, err := s.buildVertex(n+1, -1, e.dag.FinalPreds())

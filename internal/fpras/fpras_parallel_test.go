@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/automata"
+	"repro/internal/leakcheck"
 )
 
 // workerCounts are the parallelism levels every equivalence test sweeps:
@@ -25,6 +26,7 @@ func workerCounts() []int {
 // scheduler. This is the contract that makes Workers purely a performance
 // knob.
 func TestParallelBuildBitwiseEquivalent(t *testing.T) {
+	leakcheck.Check(t)
 	cases := []struct {
 		name   string
 		nfa    *automata.NFA
@@ -72,6 +74,7 @@ func TestParallelBuildBitwiseEquivalent(t *testing.T) {
 // SampleN must be deterministic the same way: sample i comes from its own
 // seed-derived stream, so the batch is identical for every worker count.
 func TestSampleNDeterministicAcrossWorkers(t *testing.T) {
+	leakcheck.Check(t)
 	est, err := New(automata.AmbiguityGap(8), 8, Params{K: 24, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +144,7 @@ func TestSampleNEdgeCases(t *testing.T) {
 // per-goroutine RNGs, and SampleN — all against one shared estimator.
 // (Meaningful under `go test -race`.)
 func TestConcurrentSamplingIsRaceFree(t *testing.T) {
+	leakcheck.Check(t)
 	est, err := New(automata.AmbiguityGap(8), 8, Params{K: 24, Seed: 17})
 	if err != nil {
 		t.Fatal(err)

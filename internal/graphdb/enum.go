@@ -1,6 +1,7 @@
 package graphdb
 
 import (
+	"context"
 	"math/big"
 
 	"repro/internal/core"
@@ -13,7 +14,11 @@ import (
 // multi-cell frontier tokens); parallel sessions (CursorOptions.Workers >
 // 1) shard by edge-sequence prefix under the work-stealing scheduler,
 // tunable through CursorOptions.MergeBudget and
-// CursorOptions.StealThreshold.
+// CursorOptions.StealThreshold. Cancellation and admission pass through
+// unchanged: CursorOptions.Ctx cancels the underlying session at its
+// delivery-batch boundaries (Token still mints a valid resume point),
+// and core.Options.Limits on the core instance rejects over-limit
+// requests before any length-sized precomputation.
 type PathSession struct {
 	p *Product
 	s enumerate.Session
@@ -60,7 +65,15 @@ func (p *Product) PathAtRange(ci *core.Instance, lo, hi int, r *big.Int) (Path, 
 // identical for every worker count). Unambiguous products only;
 // core.ErrEmpty when no path of any in-range length exists.
 func (p *Product) SampleRangePaths(ci *core.Instance, lo, hi, k, workers int) ([]Path, error) {
-	ws, err := ci.SampleManyRange(lo, hi, k, workers)
+	return p.SampleRangePathsCtx(nil, ci, lo, hi, k, workers)
+}
+
+// SampleRangePathsCtx is SampleRangePaths with cooperative cancellation:
+// ctx is checked at index-build layers and sample-chunk boundaries
+// (core.SampleManyRangeCtx's contract); a nil ctx never cancels and the
+// batch contents are identical.
+func (p *Product) SampleRangePathsCtx(ctx context.Context, ci *core.Instance, lo, hi, k, workers int) ([]Path, error) {
+	ws, err := ci.SampleManyRangeCtx(ctx, lo, hi, k, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,122 @@
+// Package leakcheck is a testing helper asserting that a test leaves no
+// goroutines behind: Check snapshots the live goroutines at call time and
+// registers a cleanup that diffs against a fresh snapshot when the test
+// ends, retrying briefly to let finished workers unwind. The cancellation
+// suite wires it into every parallel enumerate/sample/fpras test so a
+// cancelled or fault-injected session that forgets to reap its workers
+// fails loudly with the leaked stacks, not as a flaky timeout three
+// suites later.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored matches goroutines owned by the runtime or the testing
+// framework rather than the code under test.
+var ignored = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.(*F).Fuzz(",
+	"testing.runFuzzing(",
+	"testing.runTests(",
+	"runtime.goexit",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"runtime_mcall",
+	"(*loggingT).flushDaemon",
+	"goroutine in C code",
+}
+
+// Check snapshots the currently live goroutines and registers a cleanup
+// that fails the test if new ones are still alive when it finishes.
+// Call it first in the test (before the code under test spawns anything).
+func Check(t testing.TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		t.Helper()
+		// Finished workers need a moment to unwind past their final
+		// user frame; retry with backoff before declaring a leak.
+		var leaked []string
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked = diff(before, snapshot())
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if len(leaked) > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s",
+				len(leaked), strings.Join(leaked, "\n---\n"))
+		}
+	})
+}
+
+// snapshot returns the interesting live goroutine stacks, one string per
+// goroutine, with the goroutine id line stripped (ids never match across
+// snapshots).
+func snapshot() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]int{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || isIgnored(g) {
+			continue
+		}
+		out[normalize(g)]++
+	}
+	return out
+}
+
+// normalize strips the "goroutine N [state]:" header and any argument
+// hex values so identical code positions compare equal across snapshots.
+func normalize(g string) string {
+	lines := strings.Split(g, "\n")
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "goroutine ") {
+		lines = lines[1:]
+	}
+	for i, l := range lines {
+		if j := strings.Index(l, "("); j >= 0 && strings.HasSuffix(strings.TrimSpace(l), ")") && !strings.HasPrefix(l, "\t") {
+			lines[i] = l[:j]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func isIgnored(g string) bool {
+	for _, pat := range ignored {
+		if strings.Contains(g, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// diff returns the stacks present (or more numerous) in after vs before.
+func diff(before, after map[string]int) []string {
+	var leaked []string
+	for g, n := range after {
+		if n > before[g] {
+			leaked = append(leaked, fmt.Sprintf("[%d new] %s", n-before[g], g))
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}

@@ -1,0 +1,63 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoLeakPasses(t *testing.T) {
+	Check(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); time.Sleep(time.Millisecond) }()
+	}
+	wg.Wait()
+}
+
+func TestSlowUnwindTolerated(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is still running when the test body returns; the
+	// cleanup's retry loop must wait for it rather than flag a leak.
+	_ = done
+}
+
+func TestDiffDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	before := snapshot()
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	leaked := diff(before, snapshot())
+	if len(leaked) == 0 {
+		t.Fatal("diff missed a live goroutine")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "leakcheck.TestDiffDetectsLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the leaking function:\n%s", strings.Join(leaked, "\n---\n"))
+	}
+}
+
+func TestNormalizeStripsIDs(t *testing.T) {
+	a := "goroutine 7 [chan receive]:\nmain.worker(0xc000010000)\n\t/x/main.go:10 +0x20"
+	b := "goroutine 99 [chan receive]:\nmain.worker(0xc000ffff00)\n\t/x/main.go:10 +0x20"
+	if normalize(a) != normalize(b) {
+		t.Fatalf("normalize distinguishes identical positions:\n%q\nvs\n%q", normalize(a), normalize(b))
+	}
+}

@@ -1,6 +1,7 @@
 package lengthrange
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -47,6 +48,26 @@ func FuzzRangeCursor(f *testing.F) {
 		f.Add(tok) // done envelope
 	}
 	rs.Close()
+	// A cancel-mid-range checkpoint: the envelope a context-cancelled
+	// session mints at its failure frontier (cancel ⇒ checkpoint) is a
+	// legitimate resume input, so the fuzzer starts from it.
+	cctx, cancel := context.WithCancel(context.Background())
+	crs, err := NewRangeSession(0, 3, fpAll, ufaFactory(all))
+	if err != nil {
+		f.Fatal(err)
+	}
+	crs.SetContext(cctx)
+	crs.Next()
+	cancel()
+	for {
+		if _, ok := crs.Next(); !ok {
+			break
+		}
+	}
+	if tok, ok := crs.Token(); ok {
+		f.Add(tok)
+	}
+	crs.Close()
 	// A mid envelope whose inner token is a rank cursor.
 	re, _ := enumerate.NewUFA(paper, paperLen)
 	if c, err := re.RankCursor(); err == nil {

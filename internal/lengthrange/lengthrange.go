@@ -75,6 +75,7 @@
 package lengthrange
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -87,6 +88,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/bitset"
 	"repro/internal/countdag"
+	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/sample"
 	"repro/internal/unroll"
@@ -152,6 +154,19 @@ type RangeIndex struct {
 // abandoned and the big.Int sweep runs instead. The automaton must be
 // ε-free; unambiguity is the caller's contract.
 func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
+	return BuildCtx(nil, nfa, lo, hi, workers)
+}
+
+// BuildCtx is Build with cooperative cancellation: a non-nil ctx is
+// checked at every remaining-length layer barrier of the backward sweep
+// (the faultinject lengthrange.build.layer site), so an abandoned request
+// stops within one layer's work and its partial tables are released with
+// the returned error. On success the index is bitwise identical to
+// Build's for every ctx and worker count.
+func BuildCtx(ctx context.Context, nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
+	if err := faultinject.Check(ctx, faultinject.SiteRangeLayer); err != nil {
+		return nil, err
+	}
 	if nfa.HasEpsilon() {
 		return nil, fmt.Errorf("lengthrange: automaton has ε-transitions")
 	}
@@ -182,18 +197,28 @@ func Build(nfa *automata.NFA, lo, hi, workers int) (*RangeIndex, error) {
 		sorted[q] = out
 	}
 
-	if countdag.BigTierForced() || !x.buildWord(sorted, workers) {
-		x.buildBig(sorted, workers)
+	if !countdag.BigTierForced() {
+		ok, err := x.buildWord(ctx, sorted, workers)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return x, nil
+		}
+	}
+	if err := x.buildBig(ctx, sorted, workers); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
 
 // buildWord attempts the uint64 fast-tier backward sweep, leaving the
-// index untouched and returning false when any prefix sum or the grand
-// total overflows a word (bits.Add64 carry) or an arena would not fit
-// int32 offsets. On success it also mirrors the totals spine into frozen
-// big.Int values, so the spine accessors are tier-blind.
-func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
+// index untouched and returning ok=false when any prefix sum or the
+// grand total overflows a word (bits.Add64 carry) or an arena would not
+// fit int32 offsets; err is non-nil only on cancellation or an injected
+// fault at a layer barrier. On success it also mirrors the totals spine
+// into frozen big.Int values, so the spine accessors are tier-blind.
+func (x *RangeIndex) buildWord(ctx context.Context, sorted [][]unroll.OutEdge, workers int) (ok bool, err error) {
 	m := x.src.NumStates()
 	hi := x.hi
 	ucomp := make([][]uint64, hi+1)
@@ -212,6 +237,9 @@ func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
 	// read only the counts at r−1. Pruning depends only on count SIGNS, so
 	// the surviving edge lists are identical to the big tier's.
 	for r := 1; r <= hi; r++ {
+		if err := faultinject.Check(ctx, faultinject.SiteRangeLayer); err != nil {
+			return false, err
+		}
 		prev := ucomp[r-1]
 		layerEdges := make([][]unroll.OutEdge, m)
 		par.ForEachIndexed(m, workers, func(q int) {
@@ -236,7 +264,7 @@ func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
 			}
 			deg := len(layerEdges[q])
 			if size > math.MaxInt32-deg-1 {
-				return false
+				return false, nil
 			}
 			off[q] = int32(size)
 			size += deg + 1
@@ -265,12 +293,15 @@ func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
 			cnt[q] = acc
 		})
 		if overflowed.Load() {
-			return false
+			return false, nil
 		}
 		ucomp[r] = cnt
 		edges[r] = layerEdges
 		uarena[r] = arena
 		uoff[r] = off
+	}
+	if err := faultinject.Check(ctx, faultinject.SiteRangeLayer); err != nil {
+		return false, err
 	}
 
 	// The totals spine, in words and mirrored into frozen big.Ints.
@@ -282,7 +313,7 @@ func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
 		utotals[i] = ucomp[x.lo+i][start]
 		sum, carry := bits.Add64(acc, utotals[i], 0)
 		if carry != 0 {
-			return false
+			return false, nil
 		}
 		acc = sum
 		ucumTotals[i+1] = acc
@@ -298,11 +329,11 @@ func (x *RangeIndex) buildWord(sorted [][]unroll.OutEdge, workers int) bool {
 		x.cumTotals[i+1] = new(big.Int).SetUint64(ucumTotals[i+1])
 	}
 	x.word = true
-	return true
+	return true, nil
 }
 
 // buildBig is the big.Int backward sweep — the overflow fallback tier.
-func (x *RangeIndex) buildBig(sorted [][]unroll.OutEdge, workers int) {
+func (x *RangeIndex) buildBig(ctx context.Context, sorted [][]unroll.OutEdge, workers int) error {
 	m := x.src.NumStates()
 	hi := x.hi
 	// One backward sweep from the longest length: layer r's prefix sums
@@ -320,6 +351,9 @@ func (x *RangeIndex) buildBig(sorted [][]unroll.OutEdge, workers int) {
 	}
 	x.comp[0] = base
 	for r := 1; r <= hi; r++ {
+		if err := faultinject.Check(ctx, faultinject.SiteRangeLayer); err != nil {
+			return err
+		}
 		prev := x.comp[r-1]
 		cnt := make([]*big.Int, m)
 		layerEdges := make([][]unroll.OutEdge, m)
@@ -366,6 +400,7 @@ func (x *RangeIndex) buildBig(sorted [][]unroll.OutEdge, workers int) {
 		acc.Add(acc, x.totals[i])
 		x.cumTotals[i+1] = new(big.Int).Set(acc)
 	}
+	return nil
 }
 
 // Lo returns the smallest length the index covers.
@@ -751,6 +786,18 @@ const sampleChunk = 64
 // chunk), so the batch depends on (seed, stream, k) only — bitwise
 // identical for every worker count.
 func (x *RangeIndex) SampleMany(seed int64, stream uint64, k, workers int) ([]automata.Word, error) {
+	return x.SampleManyCtx(nil, seed, stream, k, workers)
+}
+
+// SampleManyCtx is SampleMany with cooperative cancellation: a non-nil
+// ctx is checked at every chunk boundary (the faultinject sample.chunk
+// site), never inside a chunk, so the hot draw loop is untouched. The
+// draws a successful call returns are bitwise identical to SampleMany's
+// for every ctx and worker count.
+func (x *RangeIndex) SampleManyCtx(ctx context.Context, seed int64, stream uint64, k, workers int) ([]automata.Word, error) {
+	if err := faultinject.Check(ctx, faultinject.SiteSampleChunk); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, nil
 	}
@@ -759,7 +806,10 @@ func (x *RangeIndex) SampleMany(seed int64, stream uint64, k, workers int) ([]au
 	}
 	out := make([]automata.Word, k)
 	chunks := (k + sampleChunk - 1) / sampleChunk
-	par.ForEachIndexed(chunks, workers, func(c int) {
+	err := par.ForEachIndexedCtx(ctx, chunks, workers, func(c int) error {
+		if err := faultinject.Check(ctx, faultinject.SiteSampleChunk); err != nil {
+			return err
+		}
 		d := x.NewDrawSession(par.StreamRNG(seed, stream, c, 0))
 		lo, hi := c*sampleChunk, (c+1)*sampleChunk
 		if hi > k {
@@ -774,7 +824,11 @@ func (x *RangeIndex) SampleMany(seed int64, stream uint64, k, workers int) ([]au
 			}
 			out[i] = append(automata.Word(nil), w...)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package lengthrange
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/binary"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/enumerate"
+	"repro/internal/faultinject"
 )
 
 // KindRange is the cursor kind byte of a cross-length range session
@@ -179,6 +181,14 @@ type RangeSession struct {
 	closedTok string
 	closedOK  bool
 	closed    bool
+	// ctx, when set (SetContext), is checked at every length-advance
+	// boundary — the lengthrange.session.advance faultinject site — so a
+	// cancelled range chain stops before opening the next length's
+	// session. failTok preserves the resume point captured at failure
+	// time: cancel ⇒ checkpoint, not a lost range.
+	ctx     context.Context
+	failTok string
+	failOK  bool
 }
 
 // NewRangeSession opens a fresh session over [lo, hi] starting at the
@@ -240,9 +250,11 @@ func (rs *RangeSession) Next() (automata.Word, bool) {
 			return w, true
 		}
 		if err := rs.s.Err(); err != nil {
-			rs.err = err
-			rs.s.Close()
-			rs.done = true
+			rs.fail(err)
+			break
+		}
+		if err := faultinject.Check(rs.ctx, faultinject.SiteRangeAdvance); err != nil {
+			rs.fail(err)
 			break
 		}
 		rs.s.Close()
@@ -264,14 +276,35 @@ func (rs *RangeSession) Next() (automata.Word, bool) {
 	return nil, false
 }
 
+// fail records err while preserving the session's position: the resume
+// token is captured at failure time, while the inner session still
+// answers Token (a cancelled stream serializes its real undelivered
+// frontier; a cleanly drained length serializes as done, so resume
+// advances past it). Cancel ⇒ checkpoint: resuming the captured token
+// continues bitwise where the failure cut off, skipping nothing.
+func (rs *RangeSession) fail(err error) {
+	rs.err = err
+	rs.failTok, rs.failOK = rs.token()
+	rs.s.Close()
+	rs.done = true
+}
+
+// SetContext arms the session's length-advance checkpoint: a non-nil ctx
+// is checked (with the faultinject lengthrange.session.advance site)
+// before each next per-length session opens. Call before the first Next;
+// the per-length sessions the factory opens carry their own ctx.
+func (rs *RangeSession) SetContext(ctx context.Context) { rs.ctx = ctx }
+
 // Token implements enumerate.Session: the el1:R: envelope around the
 // current per-length session's own resume token. A session that ended in
-// an error answers ok=false — a done-state token would claim the range
-// was fully drained, and resuming it would silently skip the lengths the
-// failure cut off.
+// an error answers the checkpoint captured at failure time when one
+// exists (cancellation and injected faults leave a resumable frontier)
+// and ok=false otherwise — a fabricated done-state token would claim the
+// range was fully drained, and resuming it would silently skip the
+// lengths the failure cut off.
 func (rs *RangeSession) Token() (string, bool) {
 	if rs.err != nil {
-		return "", false
+		return rs.failTok, rs.failOK
 	}
 	if rs.closed {
 		return rs.closedTok, rs.closedOK

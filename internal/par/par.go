@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,77 @@ func ForEachIndexed(n, workers int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachIndexedCtx is ForEachIndexed for fallible, cancellable work:
+// f(i) may return an error, and a non-nil ctx is checked before each
+// index is claimed. The first error (lowest index among those recorded)
+// wins and stops further claiming; indices already claimed still run to
+// completion, so when ForEachIndexedCtx returns no worker is left
+// running. Determinism carries over from ForEachIndexed: on success the
+// result is bitwise independent of worker count, and on failure the
+// reported error is the lowest-indexed one even though which indices ran
+// may vary.
+func ForEachIndexedCtx(ctx context.Context, n, workers int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		mu      sync.Mutex
+		firstI  int
+		firstEr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstEr == nil || i < firstI {
+			firstI, firstEr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						record(n, err)
+						return
+					}
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
 }
 
 // StreamRNG derives an independent *rand.Rand from (seed, stream, a, b)

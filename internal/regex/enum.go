@@ -17,13 +17,23 @@ import (
 // multi-cell frontier tokens that also resume with any worker count);
 // parallel sessions (opts.Workers > 1) shard the language by prefix under
 // the work-stealing scheduler, tunable through opts.MergeBudget and
-// opts.StealThreshold.
+// opts.StealThreshold. opts.Ctx cancels the session cooperatively at
+// delivery-batch boundaries; Token still mints a valid resume point.
 func Words(pattern string, alpha *automata.Alphabet, n int, opts core.CursorOptions) (enumerate.Session, error) {
+	return WordsWithOptions(pattern, alpha, n, core.Options{}, opts)
+}
+
+// WordsWithOptions is Words with explicit engine options — the entry
+// point for callers that need admission control (copts.Limits rejects
+// over-limit patterns and lengths before any length-sized
+// precomputation, wrapping admission.ErrRejected) or tuned
+// workers/seeds on the one-shot compile-and-enumerate path.
+func WordsWithOptions(pattern string, alpha *automata.Alphabet, n int, copts core.Options, opts core.CursorOptions) (enumerate.Session, error) {
 	nfa, err := Compile(pattern, alpha)
 	if err != nil {
 		return nil, err
 	}
-	inst, err := core.New(nfa, n, core.Options{})
+	inst, err := core.New(nfa, n, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -38,11 +48,18 @@ func Words(pattern string, alpha *automata.Alphabet, n int, opts core.CursorOpti
 // options (opts.SeekRank as a global rank) need an unambiguous Glushkov
 // automaton.
 func WordsRange(pattern string, alpha *automata.Alphabet, lo, hi int, opts core.CursorOptions) (enumerate.Session, error) {
+	return WordsRangeWithOptions(pattern, alpha, lo, hi, core.Options{}, opts)
+}
+
+// WordsRangeWithOptions is WordsRange with explicit engine options — see
+// WordsWithOptions (admission via copts.Limits, cancellation via
+// opts.Ctx at both delivery-batch and length-advance boundaries).
+func WordsRangeWithOptions(pattern string, alpha *automata.Alphabet, lo, hi int, copts core.Options, opts core.CursorOptions) (enumerate.Session, error) {
 	nfa, err := Compile(pattern, alpha)
 	if err != nil {
 		return nil, err
 	}
-	inst, err := core.New(nfa, hi, core.Options{})
+	inst, err := core.New(nfa, hi, copts)
 	if err != nil {
 		return nil, err
 	}

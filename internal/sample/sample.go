@@ -44,6 +44,7 @@
 package sample
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/countdag"
 	"repro/internal/exact"
+	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/selfreduce"
 	"repro/internal/unroll"
@@ -258,6 +260,18 @@ const sampleChunk = 64
 // DrawSession's scratch, so the per-draw cost is one rank draw, one unrank
 // walk and the one retained word allocation.
 func (s *UFASampler) SampleMany(seed int64, stream uint64, k, workers int) ([]automata.Word, error) {
+	return s.SampleManyCtx(nil, seed, stream, k, workers)
+}
+
+// SampleManyCtx is SampleMany with cooperative cancellation: a non-nil
+// ctx is checked at every chunk boundary (the faultinject sample.chunk
+// site), never inside a chunk, so the zero-alloc draw loop is untouched.
+// A successful call's batch is bitwise identical to SampleMany's for
+// every ctx and worker count.
+func (s *UFASampler) SampleManyCtx(ctx context.Context, seed int64, stream uint64, k, workers int) ([]automata.Word, error) {
+	if err := faultinject.Check(ctx, faultinject.SiteSampleChunk); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, nil
 	}
@@ -266,7 +280,10 @@ func (s *UFASampler) SampleMany(seed int64, stream uint64, k, workers int) ([]au
 	}
 	out := make([]automata.Word, k)
 	chunks := (k + sampleChunk - 1) / sampleChunk
-	par.ForEachIndexed(chunks, workers, func(c int) {
+	err := par.ForEachIndexedCtx(ctx, chunks, workers, func(c int) error {
+		if err := faultinject.Check(ctx, faultinject.SiteSampleChunk); err != nil {
+			return err
+		}
 		d := s.NewDrawSession(par.StreamRNG(seed, stream, c, 0))
 		lo, hi := c*sampleChunk, (c+1)*sampleChunk
 		if hi > k {
@@ -280,7 +297,11 @@ func (s *UFASampler) SampleMany(seed int64, stream uint64, k, workers int) ([]au
 			}
 			out[i] = append(automata.Word(nil), w...)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/exact"
+	"repro/internal/leakcheck"
 	"repro/internal/stats"
 )
 
@@ -266,6 +267,7 @@ func TestSampleDistinct(t *testing.T) {
 // TestSampleManyWorkerEquivalence: the chunked batch is a pure function of
 // (seed, stream, k) — bitwise identical for every worker count.
 func TestSampleManyWorkerEquivalence(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(23))
 	n := automata.RandomDFA(rng, automata.Binary(), 16, 0.5)
 	s, err := NewUFASampler(n, 12)

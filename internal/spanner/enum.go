@@ -1,6 +1,7 @@
 package spanner
 
 import (
+	"context"
 	"math/big"
 
 	"repro/internal/core"
@@ -13,7 +14,11 @@ import (
 // or multi-cell frontier tokens), and parallel sessions
 // (CursorOptions.Workers > 1) shard by encoding prefix under the
 // work-stealing scheduler, tunable through CursorOptions.MergeBudget and
-// CursorOptions.StealThreshold.
+// CursorOptions.StealThreshold. Cancellation and admission pass through
+// unchanged: CursorOptions.Ctx cancels the underlying session at its
+// delivery-batch boundaries (Token still mints a valid resume point —
+// cancel is a checkpoint), and core.Options.Limits on the core instance
+// rejects over-limit requests before any length-sized precomputation.
 type MappingSession struct {
 	inst *Instance
 	s    enumerate.Session
@@ -64,7 +69,15 @@ func (inst *Instance) MappingAtRange(ci *core.Instance, lo, hi int, r *big.Int) 
 // count). Unambiguous encodings only; core.ErrEmpty when the union is
 // empty.
 func (inst *Instance) SampleRangeMappings(ci *core.Instance, lo, hi, k, workers int) ([]Mapping, error) {
-	ws, err := ci.SampleManyRange(lo, hi, k, workers)
+	return inst.SampleRangeMappingsCtx(nil, ci, lo, hi, k, workers)
+}
+
+// SampleRangeMappingsCtx is SampleRangeMappings with cooperative
+// cancellation: ctx is checked at index-build layers and sample-chunk
+// boundaries (core.SampleManyRangeCtx's contract); a nil ctx never
+// cancels and the batch contents are identical.
+func (inst *Instance) SampleRangeMappingsCtx(ctx context.Context, ci *core.Instance, lo, hi, k, workers int) ([]Mapping, error) {
+	ws, err := ci.SampleManyRangeCtx(ctx, lo, hi, k, workers)
 	if err != nil {
 		return nil, err
 	}
