@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+)
+
+// statCounter extracts one counter from a "cache: ..." stderr line.
+func statCounter(t *testing.T, stderr, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(name + `=(\d+)`)
+	m := re.FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("stderr has no %q counter: %q", name, stderr)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCacheStatsWarmPath: two queries in one process share the process-
+// wide compiled-index cache — the second run reports a hit, performs no
+// new build, and its stdout is byte-identical; a relabelled isomorph of
+// the same DFA also hits and answers identically. The counters are
+// cumulative across the shared cache, so every assertion is a delta.
+func TestCacheStatsWarmPath(t *testing.T) {
+	// A unique automaton so other tests' cache traffic can't satisfy the
+	// hit assertions by accident.
+	rng := rand.New(rand.NewSource(4711))
+	n := automata.Trim(automata.RandomDFA(rng, automata.Binary(), 24, 0.4))
+	r := automata.Relabel(n, rng.Perm(n.NumStates()))
+	fn := writeFixture(t, "warm.txt", automata.MarshalString(n))
+	fr := writeFixture(t, "warm_relabelled.txt", automata.MarshalString(r))
+
+	out1, err1, code := runNFA(t, "unrank", "-f", fn, "-n", "10", "-r", "3", "-cache-stats")
+	if code != 0 {
+		t.Fatalf("cold run: exit %d, stderr %q", code, err1)
+	}
+	builds1, hits1 := statCounter(t, err1, "builds"), statCounter(t, err1, "hits")
+
+	out2, err2, code := runNFA(t, "unrank", "-f", fn, "-n", "10", "-r", "3", "-cache-stats")
+	if code != 0 {
+		t.Fatalf("warm run: exit %d, stderr %q", code, err2)
+	}
+	if out2 != out1 {
+		t.Fatalf("warm stdout diverged:\ncold: %q\nwarm: %q", out1, out2)
+	}
+	builds2, hits2 := statCounter(t, err2, "builds"), statCounter(t, err2, "hits")
+	if builds2 != builds1 {
+		t.Fatalf("warm run rebuilt: builds %d -> %d", builds1, builds2)
+	}
+	if hits2 <= hits1 {
+		t.Fatalf("warm run did not hit: hits %d -> %d", hits1, hits2)
+	}
+
+	out3, err3, code := runNFA(t, "unrank", "-f", fr, "-n", "10", "-r", "3", "-cache-stats")
+	if code != 0 {
+		t.Fatalf("relabelled run: exit %d, stderr %q", code, err3)
+	}
+	if out3 != out1 {
+		t.Fatalf("relabelled isomorph diverged:\noriginal: %q\nrelabelled: %q", out1, out3)
+	}
+	if builds3 := statCounter(t, err3, "builds"); builds3 != builds1 {
+		t.Fatalf("relabelled isomorph rebuilt: builds %d -> %d", builds1, builds3)
+	}
+	if !strings.Contains(err3, "cache: ") {
+		t.Fatalf("missing cache stats line: %q", err3)
+	}
+}
+
+// TestCacheStatsSampleWarmEquality: the warm path serves sampling too —
+// same seed, second process-internal run, byte-identical sample stream
+// with no new build.
+func TestCacheStatsSampleWarmEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4713))
+	n := automata.Trim(automata.RandomDFA(rng, automata.Binary(), 20, 0.5))
+	fn := writeFixture(t, "warmsample.txt", automata.MarshalString(n))
+
+	out1, err1, code := runNFA(t, "sample", "-f", fn, "-n", "9", "-count", "5", "-seed", "7", "-cache-stats")
+	if code != 0 {
+		t.Fatalf("cold run: exit %d, stderr %q", code, err1)
+	}
+	out2, err2, code := runNFA(t, "sample", "-f", fn, "-n", "9", "-count", "5", "-seed", "7", "-cache-stats")
+	if code != 0 {
+		t.Fatalf("warm run: exit %d, stderr %q", code, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("warm sample stream diverged:\ncold: %q\nwarm: %q", out1, out2)
+	}
+	if b1, b2 := statCounter(t, err1, "builds"), statCounter(t, err2, "builds"); b2 != b1 {
+		t.Fatalf("warm sample rebuilt: builds %d -> %d", b1, b2)
+	}
+}

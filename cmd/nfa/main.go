@@ -56,6 +56,12 @@
 // (comma-separated caps: length, span, states, budget, batch, bytes) that
 // rejects over-limit requests up front, before any length-sized
 // precomputation.
+//
+// Compiled indexes are resolved through one process-wide cache keyed by
+// canonical automaton identity (internal/instcache), so repeated queries
+// — same automaton or a relabelled isomorph of a DFA — skip the counting
+// sweep; -cache-stats prints the cache counters on stderr after the
+// command.
 package main
 
 import (
@@ -75,6 +81,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/exact"
+	"repro/internal/instcache"
 	"repro/internal/lengthrange"
 )
 
@@ -82,6 +89,13 @@ import (
 // process (128 + SIGINT). The CLI uses it after a clean cooperative
 // shutdown: the resume token has been printed, nothing is corrupted.
 const exitInterrupted = 130
+
+// sharedCache is the process-wide compiled-index cache every instance the
+// CLI creates resolves its builds through: repeated queries in one process
+// (including every run() call in tests) reuse compiled indexes across
+// instances; -cache-stats prints its counters. Byte-budgeted LRU, so a
+// long-lived process cannot pin unbounded index memory.
+var sharedCache = instcache.New(instcache.DefaultBudget)
 
 func main() {
 	// SIGINT/SIGTERM cancel the context instead of killing the process:
@@ -133,6 +147,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		loF       = fs.Int("lo", -1, "lower witness length of a range form (use with -hi in place of -n)")
 		hiF       = fs.Int("hi", -1, "upper witness length of a range form (use with -lo in place of -n)")
 		limitsF   = fs.String("limits", "", "admission policy, e.g. length=4096,span=256,states=100000,budget=65536,batch=1000000,bytes=2gib (empty = unlimited)")
+		cacheStat = fs.Bool("cache-stats", false, "print compiled-index cache counters on stderr after the command")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		if err == flag.ErrHelp {
@@ -191,9 +206,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if lerr != nil {
 			return fail(lerr.Error())
 		}
-		inst, err := core.New(nfa, length, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers, Limits: limits})
+		inst, err := core.New(nfa, length, core.Options{Delta: *delta, K: *k, Seed: *seed, Workers: *workers, Limits: limits, Cache: sharedCache})
 		if err != nil {
 			return fail(err.Error())
+		}
+		if *cacheStat {
+			// Deferred closure: the snapshot must be taken after the
+			// command ran, not when the defer is registered.
+			defer func() { fmt.Fprintln(stderr, "cache: "+sharedCache.Stats().String()) }()
 		}
 		switch cmd {
 		case "count":

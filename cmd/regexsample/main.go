@@ -24,8 +24,15 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/core"
+	"repro/internal/instcache"
 	"repro/internal/regex"
 )
+
+// sharedCache is the process-wide compiled-index cache: repeated runs in
+// one process (a REPL-style caller, or the tests' run() calls) reuse the
+// counting index of a pattern — or of any isomorphic relabelling of its
+// automaton — instead of re-sweeping. -cache-stats prints its counters.
+var sharedCache = instcache.New(instcache.DefaultBudget)
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -47,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		delta     = fs.Float64("delta", 0.1, "FPRAS target relative error")
 		k         = fs.Int("k", 0, "FPRAS sketch size override")
 		seed      = fs.Int64("seed", 0, "random seed (0 = fixed default)")
+		cacheStat = fs.Bool("cache-stats", false, "print compiled-index cache counters on stderr after the command")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,9 +81,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err.Error())
 	}
-	inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed})
+	inst, err := core.New(nfa, *n, core.Options{Delta: *delta, K: *k, Seed: *seed, Cache: sharedCache})
 	if err != nil {
 		return fail(err.Error())
+	}
+	if *cacheStat {
+		// Deferred closure: the snapshot must be taken after the command
+		// ran, not when the defer is registered.
+		defer func() { fmt.Fprintln(stderr, "cache: "+sharedCache.Stats().String()) }()
 	}
 	if *at != "" {
 		rank, ok := new(big.Int).SetString(*at, 10)

@@ -141,3 +141,42 @@ func TestBadInvocations(t *testing.T) {
 		t.Errorf("unknown flag: exit %d, want 2", code)
 	}
 }
+
+// statCounter extracts one counter from a "cache: ..." stderr line.
+func statCounter(t *testing.T, stderr, name string) int {
+	t.Helper()
+	m := regexp.MustCompile(name + `=(\d+)`).FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("stderr has no %q counter: %q", name, stderr)
+	}
+	v := 0
+	for _, c := range m[1] {
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+// TestCacheStatsWarmPath: a second query for the same pattern in one
+// process is served from the process-wide compiled-index cache — no new
+// build, at least one new hit, byte-identical stdout. Deltas, not
+// absolutes: the cache is shared across this package's tests.
+func TestCacheStatsWarmPath(t *testing.T) {
+	args := []string{"-pattern", "ab*a(a|b)*ba", "-alphabet", "ab", "-n", "11", "-at", "4", "-cache-stats"}
+	out1, err1, code := runRS(t, args...)
+	if code != 0 {
+		t.Fatalf("cold run: exit %d, stderr %q", code, err1)
+	}
+	out2, err2, code := runRS(t, args...)
+	if code != 0 {
+		t.Fatalf("warm run: exit %d, stderr %q", code, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("warm stdout diverged:\ncold: %q\nwarm: %q", out1, out2)
+	}
+	if b1, b2 := statCounter(t, err1, "builds"), statCounter(t, err2, "builds"); b2 != b1 {
+		t.Fatalf("warm run rebuilt: builds %d -> %d", b1, b2)
+	}
+	if h1, h2 := statCounter(t, err1, "hits"), statCounter(t, err2, "hits"); h2 <= h1 {
+		t.Fatalf("warm run did not hit: hits %d -> %d", h1, h2)
+	}
+}

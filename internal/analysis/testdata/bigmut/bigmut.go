@@ -94,3 +94,20 @@ func reassignedTaint(ix *Index) {
 	u := t
 	u.Lsh(u, 2) // want bigmut "mutates a shared count"
 }
+
+// The compiled-index cache hands out one frozen *Index to every isomorphic
+// instance, so a count mutated through the cache boundary corrupts every
+// holder at once: the taint must survive the extra accessor hop.
+type cache struct{ e *Index }
+
+func (c *cache) UFAIndex() *Index { return c.e }
+
+func viaCache(c *cache) {
+	c.UFAIndex().Total().Add(c.UFAIndex().Total(), big.NewInt(1)) // want bigmut "mutates a shared count"
+}
+
+func viaCacheLocal(c *cache) {
+	idx := c.UFAIndex()
+	t := idx.Count(0, 1)
+	t.Sub(t, big.NewInt(1)) // want bigmut "mutates a shared count"
+}

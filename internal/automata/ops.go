@@ -56,12 +56,28 @@ func RemoveEpsilon(n *NFA) *NFA {
 // from the start state and co-reachable to a final state, with states
 // renumbered densely. If the start state itself is useless the result is a
 // one-state automaton with empty language. The automaton must be ε-free.
+//
+// When every state is already useful the input is returned unchanged (the
+// same aliasing contract as Canonicalize): automata are immutable once
+// built, and the short-circuit keeps re-trimming an already-trim automaton
+// at the cost of the reachability scan alone — the property the compiled-
+// index cache's warm key path leans on.
 func Trim(n *NFA) *NFA {
 	useful := n.Reachable()
 	useful.IntersectWith(n.CoReachable())
 	if !useful.Has(n.start) {
 		out := New(n.alpha, 1)
 		return out
+	}
+	allUseful := true
+	for q := 0; q < n.NumStates(); q++ {
+		if !useful.Has(q) {
+			allUseful = false
+			break
+		}
+	}
+	if allUseful {
+		return n
 	}
 	remap := make([]int, n.NumStates())
 	for i := range remap {

@@ -1,6 +1,6 @@
 // Package bench is the experiment harness behind cmd/benchtab and the
 // repository-level benchmarks: it regenerates every table of the
-// experiment index in DESIGN.md (F1, E1–E19), printing one table per
+// experiment index in DESIGN.md (F1, E1–E20), printing one table per
 // experiment with the measured quantities that EXPERIMENTS.md records.
 //
 // The paper itself is a theory paper with no measured tables, so these
@@ -102,6 +102,7 @@ func All(quick bool) []*Table {
 		E17SamplerThroughput(quick),
 		E18RangeBuild(quick),
 		E19TierComparison(quick),
+		E20InstanceCache(quick),
 	}
 }
 
@@ -148,13 +149,15 @@ func ByID(id string, quick bool) *Table {
 		return E18RangeBuild(quick)
 	case "E19":
 		return E19TierComparison(quick)
+	case "E20":
+		return E20InstanceCache(quick)
 	}
 	return nil
 }
 
 // IDs lists all experiment identifiers.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 }
 
 func ms(d time.Duration) string {

@@ -38,6 +38,30 @@
 // access is RelationUL-only (for RelationNL it would imply exact #NFA
 // counting); EnumerateRange alone works for both classes.
 //
+// # Compiled-index caching
+//
+// Both shared indexes — the counting index and every cross-length index —
+// are resolved through a compiled-index cache (internal/instcache) keyed
+// by canonical automaton identity, witness length or range, and
+// arithmetic tier. Options.Cache shares one cache across instances, so a
+// serving workload that sees the same automaton twice — or any relabelled
+// isomorph of a DFA — pays each backward sweep once; with a nil
+// Options.Cache the instance gets a private cache with
+// instcache.DefaultBudget, which also byte-bounds the retention of
+// alternating range queries. A cache hit is observably identical to a
+// fresh build: every count, sample stream, token and resume minted
+// through a cached index is bitwise what an uncached instance produces.
+// That guarantee is by construction, not by argument: the engine's
+// enumeration order is structural (decision-list edges are ordered by
+// successor state id), so New canonicalizes deterministic automata and
+// cache entries bind to exact normalized structure. Two consequences are
+// deliberate: relabelled NONdeterministic UFAs never share an entry
+// (relabelling permutes their sorted successor lists and with them the
+// enumeration order), and minimization-equivalent but non-isomorphic DFAs
+// share a strong-key family in the stats but never an artifact — their
+// decision-list orders differ. See internal/instcache for the full
+// keying, eviction and singleflight contract.
+//
 // # Concurrency
 //
 // Instance methods are safe for concurrent use: the lazily built engines
@@ -59,9 +83,13 @@
 // call triggers — never inside a per-word hot loop. A cancelled session
 // reports ctx.Err() from Err and still mints its true resume position
 // from Token: cancellation is a checkpoint, never corruption, so the
-// token resumes bitwise where the cancel landed. A cancelled index build
-// is abandoned within one layer and leaves no partial state behind — the
-// next caller rebuilds from scratch. Admission: Options.Limits is
+// token resumes bitwise where the cancel landed. Cancelling a caller
+// that is waiting on an index build abandons the WAIT, not necessarily
+// the build: builds run deduplicated through the compiled-index cache,
+// so the build keeps going while other waiters remain and is abandoned
+// within one layer (leaving no partial state behind) once the last
+// waiter cancels — the next caller then rebuilds from scratch.
+// Admission: Options.Limits is
 // enforced BEFORE any length-sized precomputation — New bounds the
 // automaton and length, sessions bound their merge budget, ranged calls
 // bound the span, index builds bound the estimated footprint in bytes,
@@ -85,6 +113,7 @@ import (
 	"repro/internal/enumerate"
 	"repro/internal/exact"
 	"repro/internal/fpras"
+	"repro/internal/instcache"
 	"repro/internal/lengthrange"
 	"repro/internal/sample"
 	"repro/internal/unroll"
@@ -147,6 +176,15 @@ type Options struct {
 	// sampling rejects oversized batches. Rejections wrap
 	// admission.ErrRejected. nil (or a zero field) means unlimited.
 	Limits *admission.Limits
+	// Cache, when non-nil, is a compiled-index cache shared across
+	// instances (and processes' worth of instances): the lazily built
+	// counting and cross-length indexes are looked up by canonical
+	// automaton identity before being built, so two instances over the
+	// same (or isomorphic, or minimization-equivalent deterministic)
+	// automaton share one build. nil means a private per-instance cache
+	// with instcache.DefaultBudget — the same code path, unshared. See
+	// the package comment's caching section and internal/instcache.
+	Cache *instcache.Cache
 }
 
 // Instance is a prepared MEM-NFA instance.
@@ -157,6 +195,15 @@ type Instance struct {
 	opts   Options
 	seed   int64
 
+	// cache resolves every index build: Options.Cache when set, else a
+	// private instcache with the default byte budget (which also byte-
+	// bounds the per-instance range-index retention the old ad-hoc slot
+	// cache only count-bounded). Immutable after New.
+	cache *instcache.Cache
+	// cacheKey memoizes the instance's canonical cache key.
+	keyOnce  sync.Once
+	cacheKey *instcache.Key
+
 	// mu guards the internal RNG and the lazily built engines below; the
 	// engines themselves are safe for concurrent use once built.
 	mu         sync.Mutex
@@ -164,19 +211,12 @@ type Instance struct {
 	est        *fpras.Estimator         // guarded by mu
 	enc        *automata.BinaryEncoding // guarded by mu
 	ufaSampler *sample.UFASampler       // guarded by mu
-	// rIdx caches cross-length indexes by [lo, hi] (bounded; see
-	// rangeIdxCacheCap), so alternating range queries don't rebuild.
-	rIdx map[[2]int]*lengthrange.RangeIndex // guarded by mu
 }
 
-// rangeIdxCacheCap bounds the per-instance range-index cache: indexes
-// are immutable and rebuildable, so eviction (arbitrary victim) only
-// costs a rebuild if a caller cycles through more distinct ranges than
-// this.
-const rangeIdxCacheCap = 4
-
 // New prepares an instance for the witness length `length`. The automaton
-// must be ε-free; it is trimmed and its class detected.
+// must be ε-free; it is trimmed, deterministic automata are additionally
+// canonically renumbered (Automaton returns that form), and its class
+// detected.
 func New(n *automata.NFA, length int, opts Options) (*Instance, error) {
 	if n.HasEpsilon() {
 		return nil, fmt.Errorf("core: automaton has ε-transitions; call automata.RemoveEpsilon first")
@@ -193,6 +233,15 @@ func New(n *automata.NFA, length int, opts Options) (*Instance, error) {
 		return nil, err
 	}
 	trimmed := automata.Trim(n)
+	if automata.IsDeterministic(trimmed) {
+		// Enumeration order is a structural invariant — the unrolled DAG
+		// orders a vertex's decision list by successor state id — so the
+		// instance operates on the canonical renumbering: every relabelling
+		// of one DFA becomes byte-identical here, which makes all
+		// observables (order, ranks, tokens) relabelling-invariant and a
+		// compiled-index cache hit sound for every consumer.
+		trimmed = automata.Canonicalize(trimmed)
+	}
 	var class Class
 	if opts.ForceClass != nil {
 		class = *opts.ForceClass
@@ -208,14 +257,27 @@ func New(n *automata.NFA, length int, opts Options) (*Instance, error) {
 	if seed == 0 {
 		seed = 0xC0DE
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = instcache.New(instcache.DefaultBudget)
+	}
 	return &Instance{
 		n:      trimmed,
 		length: length,
 		class:  class,
 		opts:   opts,
 		seed:   seed,
+		cache:  cache,
 		rng:    rand.New(rand.NewSource(seed)),
 	}, nil
+}
+
+// key returns the instance's memoized cache key (the structural pre-key
+// is computed on first use; the iso and strong string keys lazily inside
+// the cache, only when it has never seen the structural class).
+func (in *Instance) key() *instcache.Key {
+	in.keyOnce.Do(func() { in.cacheKey = instcache.KeyFor(in.n) })
+	return in.cacheKey
 }
 
 // Class returns the detected (or forced) class.
@@ -330,38 +392,55 @@ func (in *Instance) ufa() (*sample.UFASampler, error) {
 	return in.ufaCtx(nil)
 }
 
-// ufaCtx is ufa with cooperative cancellation: ctx is checked at every
-// layer of the counting sweep (countdag.BuildCtx), so a cancelled caller
-// abandons the build within one layer and the partial index is released
-// for collection; a nil ctx never cancels. The byte cap is enforced from
-// the automaton's dimensions before the unrolling is allocated.
+// ufaCtx is ufa with cooperative cancellation and cache consultation: the
+// index is resolved through the instance's compiled-index cache (shared
+// via Options.Cache or private), which deduplicates concurrent builds of
+// the same canonical key. On a miss the build runs detached under the
+// cache's own context — ctx cancels only this caller's wait, and the
+// build itself is abandoned within one layer (countdag.BuildCtx checks at
+// every layer) once no waiter remains; a nil ctx never cancels. The byte
+// cap is enforced from the automaton's dimensions before the unrolling is
+// allocated, and the same estimate is what the cache charges its budget.
 func (in *Instance) ufaCtx(ctx context.Context) (*sample.UFASampler, error) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.ufaSampler == nil {
-		if err := in.opts.Limits.CheckIndexBytes(admission.EstimateIndexBytes(in.n.NumStates(), in.n.NumTransitions(), in.length)); err != nil {
-			return nil, err
-		}
+	if s := in.ufaSampler; s != nil {
+		in.mu.Unlock()
+		return s, nil
+	}
+	in.mu.Unlock()
+	est := admission.EstimateIndexBytes(in.n.NumStates(), in.n.NumTransitions(), in.length)
+	if err := in.opts.Limits.CheckIndexBytes(est); err != nil {
+		return nil, err
+	}
+	workers := in.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx, _, err := in.cache.UFAIndex(ctx, in.key(), in.length, est, func(bctx context.Context) (*countdag.Index, error) {
 		dag, err := unroll.Build(in.n, in.length, unroll.Options{PruneBackward: true})
 		if err != nil {
 			return nil, err
 		}
-		workers := in.opts.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		idx, err := countdag.BuildCtx(ctx, dag, workers)
-		if err != nil {
-			return nil, err
-		}
-		in.ufaSampler = sample.NewUFASamplerIndex(in.n, idx)
+		return countdag.BuildCtx(bctx, dag, workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := sample.NewUFASamplerIndex(in.n, idx)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.ufaSampler == nil {
+		in.ufaSampler = s
 	}
 	return in.ufaSampler, nil
 }
 
 // sharedIndex returns the instance's counting index if it has been built
 // (nil otherwise — callers that can work without it shouldn't force the
-// build).
+// build). A cached index is always attachable here: entries bind to exact
+// normalized structure and the instance automaton IS the normal form
+// (canonicalized at New), so the index's DAG vertex ids are this
+// instance's own.
 func (in *Instance) sharedIndex() *countdag.Index {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -685,12 +764,17 @@ func (in *Instance) rangeIndex(lo, hi int) (*lengthrange.RangeIndex, error) {
 	return in.rangeIndexCtx(nil, lo, hi)
 }
 
-// rangeIndexCtx is rangeIndex with cooperative cancellation: ctx is
-// checked at every layer of the cross-length sweep (lengthrange.BuildCtx),
-// so a cancelled caller abandons the build within one layer and the
-// partial index is released for collection; a nil ctx never cancels.
-// Admission (range span and estimated footprint) is enforced before the
-// sweep allocates anything length-sized.
+// rangeIndexCtx is rangeIndex with cooperative cancellation and cache
+// consultation: the cross-length index is resolved through the instance's
+// compiled-index cache keyed by (canonical automaton, [lo, hi], tier), so
+// concurrent requests for the same range share one build and retention is
+// byte-budgeted LRU (the old per-instance slot cache bounded the entry
+// COUNT but not the bytes — a few wide ranges could pin unbounded big.Int
+// tables). On a miss the sweep runs detached; ctx cancels only this
+// caller's wait, and the build is abandoned within one layer once no
+// waiter remains (lengthrange.BuildCtx checks at every layer); a nil ctx
+// never cancels. Admission (range span and estimated footprint) is
+// enforced before the sweep allocates anything length-sized.
 func (in *Instance) rangeIndexCtx(ctx context.Context, lo, hi int) (*lengthrange.RangeIndex, error) {
 	if in.class != ClassUL {
 		return nil, fmt.Errorf("core: ranged access over a length range requires an unambiguous instance (RelationUL)")
@@ -701,44 +785,18 @@ func (in *Instance) rangeIndexCtx(ctx context.Context, lo, hi int) (*lengthrange
 	if err := in.opts.Limits.CheckRange(lo, hi); err != nil {
 		return nil, err
 	}
-	if err := in.opts.Limits.CheckIndexBytes(admission.EstimateIndexBytes(in.n.NumStates(), in.n.NumTransitions(), hi)); err != nil {
+	est := admission.EstimateIndexBytes(in.n.NumStates(), in.n.NumTransitions(), hi)
+	if err := in.opts.Limits.CheckIndexBytes(est); err != nil {
 		return nil, err
 	}
-	key := [2]int{lo, hi}
-	in.mu.Lock()
-	if ri, ok := in.rIdx[key]; ok {
-		in.mu.Unlock()
-		return ri, nil
-	}
-	in.mu.Unlock()
-	// Build outside the lock: the sweep is O(hi·m·Δ) big.Int work, and
-	// holding mu across it would stall every concurrent Sample/Rank on
-	// the instance. A racing builder just loses to the first writer (the
-	// indexes are deterministic, so either copy is correct).
 	workers := in.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ri, err := lengthrange.BuildCtx(ctx, in.n, lo, hi, workers)
-	if err != nil {
-		return nil, err
-	}
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if existing, ok := in.rIdx[key]; ok {
-		return existing, nil
-	}
-	if in.rIdx == nil {
-		in.rIdx = make(map[[2]int]*lengthrange.RangeIndex, rangeIdxCacheCap)
-	}
-	if len(in.rIdx) >= rangeIdxCacheCap {
-		for k := range in.rIdx { // arbitrary victim; see rangeIdxCacheCap
-			delete(in.rIdx, k)
-			break
-		}
-	}
-	in.rIdx[key] = ri
-	return ri, nil
+	ri, _, err := in.cache.RangeIndex(ctx, in.key(), lo, hi, est, func(bctx context.Context) (*lengthrange.RangeIndex, error) {
+		return lengthrange.BuildCtx(bctx, in.n, lo, hi, workers)
+	})
+	return ri, err
 }
 
 // TotalRange returns |⋃_{n∈[lo,hi]} L_n| exactly, from the shared

@@ -72,6 +72,9 @@ const (
 	// SiteRangeAdvance fires when a range session advances to its next
 	// per-length session (lengthrange session chain).
 	SiteRangeAdvance Site = "lengthrange.session.advance"
+	// SiteCacheFill fires at the compiled-index cache's fill boundary,
+	// before a lookup can start or join a build (instcache.Cache).
+	SiteCacheFill Site = "instcache.fill"
 )
 
 // Sites returns the full registry, in stable order, so suites can iterate
@@ -80,7 +83,7 @@ func Sites() []Site {
 	return []Site{
 		SiteCountdagLayer, SiteRangeLayer, SiteFprasLayer,
 		SiteDeliveryBatch, SiteStealSplit, SiteMergeSpill,
-		SiteSampleChunk, SiteRangeAdvance,
+		SiteSampleChunk, SiteRangeAdvance, SiteCacheFill,
 	}
 }
 

@@ -162,8 +162,8 @@ func TestConcurrentHitsFireExactlyOnce(t *testing.T) {
 
 func TestSitesRegistryStable(t *testing.T) {
 	sites := Sites()
-	if len(sites) != 8 {
-		t.Fatalf("registry has %d sites, want 8", len(sites))
+	if len(sites) != 9 {
+		t.Fatalf("registry has %d sites, want 9", len(sites))
 	}
 	seen := map[Site]bool{}
 	for _, s := range sites {

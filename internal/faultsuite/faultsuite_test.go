@@ -15,6 +15,8 @@ package faultsuite
 import (
 	"context"
 	"errors"
+	"math/big"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/faultinject"
+	"repro/internal/instcache"
 	"repro/internal/leakcheck"
 )
 
@@ -284,6 +287,40 @@ func TestBuildLayerFaultsReleasePartialBuilds(t *testing.T) {
 			t.Fatalf("rebuild after failed build: %v", err)
 		}
 	})
+}
+
+// TestCacheFillFaultLeavesCacheClean: a fault injected at the compiled-
+// index cache's fill boundary fails the query before any build starts,
+// leaves no entry (and no flight) behind, and after disarming the same
+// shared cache serves the retried build — including a warm hit for a
+// relabelled isomorph of the automaton.
+func TestCacheFillFaultLeavesCacheClean(t *testing.T) {
+	leakcheck.Check(t)
+	rng := rand.New(rand.NewSource(31))
+	n := automata.Trim(automata.RandomDFA(rng, automata.Binary(), 12, 0.5))
+	r := automata.Relabel(n, rng.Perm(n.NumStates()))
+	cache := instcache.New(instcache.DefaultBudget)
+	inst := newInstance(t, n, 8, core.Options{Cache: cache})
+
+	arm(t, "instcache.fill:1")
+	if _, err := inst.Rank(automata.Word{0, 0, 0, 0, 0, 0, 0, 0}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Rank under injection: %v, want ErrInjected", err)
+	}
+	if st := cache.Stats(); st.Builds != 0 || st.Entries != 0 {
+		t.Fatalf("faulted fill must not build or retain anything: %+v", st)
+	}
+	faultinject.Reset()
+	if _, err := inst.Unrank(big.NewInt(0)); err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	inst2 := newInstance(t, r, 8, core.Options{Cache: cache})
+	if _, err := inst2.Unrank(big.NewInt(0)); err != nil {
+		t.Fatalf("relabelled instance after fault: %v", err)
+	}
+	st := cache.Stats()
+	if st.Builds != 1 || st.Hits == 0 {
+		t.Fatalf("relabelled instance should hit the recovered entry: %+v", st)
+	}
 }
 
 // TestSampleChunkFaultDeterministicRetry: a fault injected at a sample
