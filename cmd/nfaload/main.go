@@ -1,0 +1,115 @@
+// Command nfaload drives an nfad fleet with concurrent paginating
+// enumeration streams (see internal/loadgen) and reports the measured
+// service-level quantities: qps, p50/p99 time-to-first-word and page
+// latency, cancel/timeout churn survived (checkpoints adopted, streams
+// resumed), admission rejections observed, and the fleet's memory per
+// cached tenant.
+//
+// Usage:
+//
+//	nfaload -targets http://h1:8642,http://h2:8642 \
+//	        [-streams 1024] [-pages 8] [-page-size 8] [-tenants 16]
+//	        [-states 12] [-n 16] [-cancel-frac 0.2] [-cancel-timeout-ms 1]
+//	        [-reject-every 0] [-seed 1] [-verify] [-json out.json]
+//
+// Pages round-robin across -targets, so two or more targets exercise
+// cross-replica token resume on every page boundary. -verify retains
+// transcripts and fails (exit 1) if any stream's word sequence is not a
+// prefix of its tenant's longest — the bitwise resume invariant under
+// churn.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nfaload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	targets := fs.String("targets", "", "comma-separated replica base URLs (required)")
+	streams := fs.Int("streams", 1024, "concurrent paginating streams")
+	pages := fs.Int("pages", 8, "pages per stream")
+	pageSize := fs.Int("page-size", 8, "words per page")
+	tenants := fs.Int("tenants", 16, "distinct tenant automata")
+	states := fs.Int("states", 12, "states per tenant automaton")
+	n := fs.Int("n", 16, "witness length")
+	cancelFrac := fs.Float64("cancel-frac", 0.2, "fraction of pages sent with the churn deadline")
+	cancelMS := fs.Int("cancel-timeout-ms", 1, "churn deadline (ms)")
+	churnLimit := fs.Int("churn-limit", 1<<20, "page limit churn requests ask for (big enough to outlast the deadline)")
+	rejectEvery := fs.Int("reject-every", 0, "every k-th stream leads with an over-limit probe (0 = off; server must enforce limits)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	verify := fs.Bool("verify", false, "retain transcripts and check prefix consistency per tenant")
+	jsonPath := fs.String("json", "", "also write metrics as JSON to this file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *targets == "" {
+		fmt.Fprintln(stderr, "nfaload: -targets is required")
+		return 2
+	}
+
+	m, err := loadgen.Run(ctx, loadgen.Config{
+		Targets:         strings.Split(*targets, ","),
+		Streams:         *streams,
+		Pages:           *pages,
+		PageSize:        *pageSize,
+		Tenants:         *tenants,
+		States:          *states,
+		Length:          *n,
+		CancelFrac:      *cancelFrac,
+		CancelTimeoutMS: *cancelMS,
+		ChurnLimit:      *churnLimit,
+		RejectEvery:     *rejectEvery,
+		Seed:            *seed,
+		Verify:          *verify,
+	})
+	if m != nil {
+		fmt.Fprintf(stdout, "streams=%d requests=%d pages=%d words=%d qps=%.1f\n",
+			m.Streams, m.Requests, m.Pages, m.Words, m.QPS)
+		fmt.Fprintf(stdout, "ttfw p50=%s p99=%s  page p50=%s p99=%s\n",
+			m.TTFWp50, m.TTFWp99, m.PageP50, m.PageP99)
+		fmt.Fprintf(stdout, "checkpoints=%d resumes=%d rejections=%d (server %d) errors=%d\n",
+			m.Checkpoints, m.Resumes, m.Rejections, m.ServerRejections, m.Errors)
+		fmt.Fprintf(stdout, "cache entries=%d bytes=%d bytes/tenant=%.0f\n",
+			m.CacheEntries, m.CacheBytes, m.BytesPerTenant)
+		if *jsonPath != "" {
+			var out io.Writer = stdout
+			if *jsonPath != "-" {
+				f, ferr := os.Create(*jsonPath)
+				if ferr != nil {
+					fmt.Fprintln(stderr, "nfaload:", ferr)
+					return 1
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if jerr := enc.Encode(m); jerr != nil {
+				fmt.Fprintln(stderr, "nfaload:", jerr)
+				return 1
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "nfaload:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/leakcheck"
+	"repro/internal/loadgen"
+	"repro/internal/nfad"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
+	limits := &admission.Limits{MaxLength: 1024}
+	a := httptest.NewServer(nfad.New(nfad.Config{Limits: limits}))
+	defer a.Close()
+	b := httptest.NewServer(nfad.New(nfad.Config{Limits: limits}))
+	defer b.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{
+		"-targets", a.URL + "," + b.URL,
+		"-streams", "8", "-pages", "3", "-page-size", "4",
+		"-tenants", "2", "-states", "8", "-n", "10",
+		"-cancel-frac", "0.25", "-reject-every", "4",
+		"-verify", "-json", jsonPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "qps=") || !strings.Contains(out.String(), "bytes/tenant=") {
+		t.Fatalf("summary missing metrics: %q", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m loadgen.Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 || m.Rejections != 2 || m.CacheEntries != 2 {
+		t.Fatalf("metrics off: %+v", m)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), nil, &out, &errOut); code != 2 {
+		t.Fatalf("missing -targets should exit 2, got %d", code)
+	}
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -1,16 +1,37 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
+
+// TestMain doubles as the helper process for the signal e2e test: when
+// NFA_CLI_HELPER is set, the test binary behaves exactly like the
+// regexsample CLI (same run() entry, same signal.NotifyContext wiring as
+// main), so tests can exec it and deliver real signals mid-enumeration.
+func TestMain(m *testing.M) {
+	if os.Getenv("NFA_CLI_HELPER") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // runRS invokes the CLI entry point and returns (stdout, stderr, code).
 func runRS(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errOut strings.Builder
-	code := run(args, &out, &errOut)
+	code := run(context.Background(), args, &out, &errOut)
 	return out.String(), errOut.String(), code
 }
 
@@ -139,6 +160,157 @@ func TestBadInvocations(t *testing.T) {
 	}
 	if _, _, code := runRS(t, "-bogus"); code != 2 {
 		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+// scrapeToken extracts the el1: resume token from a stderr footer of the
+// form `# ... resume with -cursor TOKEN`.
+func scrapeToken(t *testing.T, stderr string) string {
+	t.Helper()
+	for _, line := range strings.Split(stderr, "\n") {
+		if i := strings.Index(line, "resume with -cursor "); i >= 0 {
+			return strings.TrimSpace(line[i+len("resume with -cursor "):])
+		}
+	}
+	t.Fatalf("no resume token on stderr: %q", stderr)
+	return ""
+}
+
+// TestEnumMode: -enum lists every match in canonical order, with the
+// witness-count footer on stderr.
+func TestEnumMode(t *testing.T) {
+	out, errOut, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "4", "-enum")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	words := strings.Fields(out)
+	if len(words) != 8 { // a followed by any of 2^3
+		t.Fatalf("%d matches, want 8:\n%s", len(words), out)
+	}
+	re := regexp.MustCompile(`^a[ab]{3}$`)
+	seen := map[string]bool{}
+	for _, w := range words {
+		if !re.MatchString(w) || seen[w] {
+			t.Fatalf("bad or duplicate match %q", w)
+		}
+		seen[w] = true
+	}
+	if !strings.Contains(errOut, "# 8 witnesses (RelationUL") {
+		t.Fatalf("missing witness footer: %q", errOut)
+	}
+}
+
+// TestEnumCursorRoundTrip: paginate with -limit, resume from the footer
+// token (which implies -enum), and check the concatenation against one
+// uninterrupted run.
+func TestEnumCursorRoundTrip(t *testing.T) {
+	full, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "5", "-enum")
+	if code != 0 {
+		t.Fatalf("full enum: exit %d", code)
+	}
+	page1, errOut, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "5", "-enum", "-limit", "5")
+	if code != 0 {
+		t.Fatalf("page 1: exit %d", code)
+	}
+	token := scrapeToken(t, errOut)
+	page2, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "5", "-cursor", token)
+	if code != 0 {
+		t.Fatalf("page 2: exit %d", code)
+	}
+	got := append(strings.Fields(page1), strings.Fields(page2)...)
+	want := strings.Fields(full)
+	if len(got) != len(want) {
+		t.Fatalf("paged stream has %d words, canonical %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d: paged %q, canonical %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInterruptPrintsResumeToken execs the CLI (via the TestMain helper
+// mode), delivers a real SIGINT mid-enumeration, and asserts the
+// cooperative-shutdown contract: exit code 130, a resume token on
+// stderr, and a token that continues the enumeration exactly where the
+// interrupt cut it off (the interrupted prefix plus the resumed page
+// equal the uninterrupted stream).
+func TestInterruptPrintsResumeToken(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^29 matches at length 30: the enumeration cannot finish before the
+	// signal lands. The unread pipe backpressures the producer, so the
+	// interrupted prefix stays small.
+	cmd := exec.Command(exe, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "30", "-enum", "-limit", "1000000000")
+	cmd.Env = append(os.Environ(), "NFA_CLI_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(stdout)
+	first, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first witness: %v (stderr: %s)", err, errBuf.String())
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the rest of the interrupted run's output.
+	var rest strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, rerr := r.Read(buf)
+		rest.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("interrupted CLI did not exit; stderr: %s", errBuf.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Fatalf("interrupted exit code %d, want 130; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "interrupted after") {
+		t.Fatalf("stderr missing interrupt notice: %s", errBuf.String())
+	}
+	token := scrapeToken(t, errBuf.String())
+	prefix := strings.Fields(first + rest.String())
+	if len(prefix) == 0 {
+		t.Fatal("interrupted run emitted no witnesses")
+	}
+	// Resume for one more page and check the combined stream against an
+	// uninterrupted run of the same total length.
+	const page = 50
+	resumed, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "30", "-cursor", token, "-limit", fmt.Sprint(page))
+	if code != 0 {
+		t.Fatalf("resume from interrupt token failed (exit %d)", code)
+	}
+	canonical, _, code := runRS(t, "-pattern", "a(a|b)*", "-alphabet", "ab", "-n", "30", "-enum", "-limit", fmt.Sprint(len(prefix)+page))
+	if code != 0 {
+		t.Fatalf("canonical enum failed (exit %d)", code)
+	}
+	got := append(append([]string{}, prefix...), strings.Fields(resumed)...)
+	want := strings.Fields(canonical)
+	if len(got) != len(want) {
+		t.Fatalf("interrupted+resumed stream has %d words, canonical %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d: interrupted+resumed %q, canonical %q", i, got[i], want[i])
+		}
 	}
 }
 

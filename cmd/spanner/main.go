@@ -24,6 +24,9 @@
 // checkpoint, never corruption. -limits installs an admission policy
 // (comma-separated caps: length, span, states, budget, batch, bytes) that
 // rejects over-limit requests before any length-sized precomputation.
+// Compiled counting indexes are kept in a process-wide cache keyed by the
+// canonical identity of the product automaton, so repeated queries in one
+// process reuse them; -cache-stats prints the cache counters on stderr.
 package main
 
 import (
@@ -38,8 +41,16 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/instcache"
 	"repro/internal/spanner"
 )
+
+// sharedCache is the process-wide compiled-index cache: repeated runs in
+// one process (a REPL-style caller, or the tests' run() calls) reuse the
+// counting index of a rule/document pair — or of any isomorphic
+// relabelling of its product automaton — instead of re-sweeping.
+// -cache-stats prints its counters.
+var sharedCache = instcache.New(instcache.DefaultBudget)
 
 // exitInterrupted is the conventional exit code for a SIGINT-terminated
 // process (128 + SIGINT), used after a clean cooperative shutdown.
@@ -75,6 +86,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 0, "random seed")
 		k         = fs.Int("k", 0, "FPRAS sketch size override")
 		limitsF   = fs.String("limits", "", "admission policy, e.g. length=4096,states=100000,batch=1000000 (empty = unlimited)")
+		cacheStat = fs.Bool("cache-stats", false, "print compiled-index cache counters on stderr after the command")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -112,9 +124,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err.Error())
 	}
-	ci, err := core.New(inst.N, inst.Length, core.Options{Seed: *seed, K: *k, Limits: limits})
+	ci, err := core.New(inst.N, inst.Length, core.Options{Seed: *seed, K: *k, Limits: limits, Cache: sharedCache})
 	if err != nil {
 		return fail(err.Error())
+	}
+	if *cacheStat {
+		// Deferred closure: the snapshot must be taken after the command
+		// ran, not when the defer is registered.
+		defer func() { fmt.Fprintln(stderr, "cache: "+sharedCache.Stats().String()) }()
 	}
 	if *cursor != "" || *limit > 0 {
 		*enum = true

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
@@ -137,5 +138,46 @@ func TestInterruptPrintsResumeToken(t *testing.T) {
 	}
 	if len(strings.Fields(out)) == 0 {
 		t.Fatal("resumed page emitted no mappings")
+	}
+}
+
+// statCounter extracts one counter from a "cache: ..." stderr line.
+func statCounter(t *testing.T, stderr, name string) int {
+	t.Helper()
+	m := regexp.MustCompile(name + `=(\d+)`).FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("stderr has no %q counter: %q", name, stderr)
+	}
+	v := 0
+	for _, c := range m[1] {
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+// TestCacheStatsWarmPath: a second run of the same rule/document pair in
+// one process is served from the process-wide compiled-index cache — no
+// new build, at least one new hit, byte-identical stdout. Sampling is
+// the cached path (counting on the unambiguous class bypasses the index
+// by design), so the warm run draws samples. Deltas, not absolutes: the
+// cache is shared across this package's tests.
+func TestCacheStatsWarmPath(t *testing.T) {
+	args := []string{"-rule", ".*(x: e(r)+).*", "-alphabet", "aber", "-doc", "abberraerr", "-sample", "3", "-seed", "11", "-cache-stats"}
+	out1, err1, code := runSpanner(t, args...)
+	if code != 0 {
+		t.Fatalf("cold run: exit %d, stderr %q", code, err1)
+	}
+	out2, err2, code := runSpanner(t, args...)
+	if code != 0 {
+		t.Fatalf("warm run: exit %d, stderr %q", code, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("warm stdout diverged:\ncold: %q\nwarm: %q", out1, out2)
+	}
+	if b1, b2 := statCounter(t, err1, "builds"), statCounter(t, err2, "builds"); b2 != b1 {
+		t.Fatalf("warm run rebuilt: builds %d -> %d", b1, b2)
+	}
+	if h1, h2 := statCounter(t, err1, "hits"), statCounter(t, err2, "hits"); h2 <= h1 {
+		t.Fatalf("warm run did not hit: hits %d -> %d", h1, h2)
 	}
 }

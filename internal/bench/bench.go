@@ -1,6 +1,6 @@
 // Package bench is the experiment harness behind cmd/benchtab and the
 // repository-level benchmarks: it regenerates every table of the
-// experiment index in DESIGN.md (F1, E1–E20), printing one table per
+// experiment index in DESIGN.md (F1, E1–E21), printing one table per
 // experiment with the measured quantities that EXPERIMENTS.md records.
 //
 // The paper itself is a theory paper with no measured tables, so these
@@ -103,6 +103,7 @@ func All(quick bool) []*Table {
 		E18RangeBuild(quick),
 		E19TierComparison(quick),
 		E20InstanceCache(quick),
+		E21Serving(quick),
 	}
 }
 
@@ -151,13 +152,15 @@ func ByID(id string, quick bool) *Table {
 		return E19TierComparison(quick)
 	case "E20":
 		return E20InstanceCache(quick)
+	case "E21":
+		return E21Serving(quick)
 	}
 	return nil
 }
 
 // IDs lists all experiment identifiers.
 func IDs() []string {
-	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	return []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 }
 
 func ms(d time.Duration) string {

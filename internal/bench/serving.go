@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/instcache"
+	"repro/internal/loadgen"
+	"repro/internal/nfad"
+)
+
+// E21Serving measures the serving tier end to end: two shared-nothing
+// in-process nfad replicas (separate caches, separate admission state,
+// nothing in common but the el1: tokens clients carry) under 1k+
+// concurrent paginating enumeration streams with cancel/timeout churn
+// and over-limit probes. Pages round-robin across the replicas, so every
+// page boundary is a cross-replica token resume; a quarter of the pages
+// carry a 1ms deadline and must come back as 408 checkpoints that the
+// stream adopts losslessly. The table records qps, p50/p99
+// time-to-first-word (the service-side face of the paper's constant
+// delay), page latency, churn survived, admission rejections (observed
+// before any length-sized precompute — the probe length is ~10^6 against
+// a policy cap of 64), and memory per cached tenant; the run fails
+// loudly if any stream's transcript is not a prefix of its tenant's
+// longest, or if tenant 0's transcript diverges from the engine's own
+// ordered enumeration.
+func E21Serving(quick bool) *Table {
+	t := &Table{
+		ID:     "E21",
+		Title:  "Serving tier: concurrent paginating streams with churn across two replicas",
+		Header: []string{"quantity", "value"},
+	}
+	cfg := loadgen.Config{
+		Streams:         2048,
+		Pages:           6,
+		PageSize:        8,
+		Tenants:         16,
+		States:          12,
+		Length:          24,
+		CancelFrac:      0.1,
+		CancelTimeoutMS: 1,
+		RejectEvery:     16,
+		Seed:            21,
+		Verify:          true,
+	}
+	if quick {
+		// Quick mode shrinks the work per stream, never the stream count:
+		// sustaining >= 1k concurrent paginating streams is the claim.
+		cfg.Streams = 1024
+		cfg.Pages = 3
+		cfg.PageSize = 4
+		cfg.Tenants = 8
+		cfg.States = 10
+		cfg.Length = 20
+	}
+
+	// The admission policy admits the workload length but not the probe
+	// length: rejections must happen at the policy check, long before any
+	// length-sized allocation for a ~10^6-length witness could start.
+	limits := &admission.Limits{MaxLength: 64}
+	replicas := make([]string, 2)
+	for i := range replicas {
+		ts := httptest.NewServer(nfad.New(nfad.Config{
+			Cache:  instcache.New(instcache.DefaultBudget),
+			Limits: limits,
+		}))
+		defer ts.Close()
+		replicas[i] = ts.URL
+	}
+	cfg.Targets = replicas
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	m, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("E21: load run failed: %v", err))
+	}
+	if m.Errors > 0 {
+		panic(fmt.Sprintf("E21: %d unexpected request errors", m.Errors))
+	}
+	wantRejects := int64((cfg.Streams + cfg.RejectEvery - 1) / cfg.RejectEvery)
+	if m.Rejections != wantRejects || m.ServerRejections != uint64(wantRejects) {
+		panic(fmt.Sprintf("E21: rejections client=%d server=%d, want %d", m.Rejections, m.ServerRejections, wantRejects))
+	}
+	if m.CacheEntries != int64(cfg.Tenants) {
+		panic(fmt.Sprintf("E21: cache entries %d, want one per tenant (%d)", m.CacheEntries, cfg.Tenants))
+	}
+	if m.Checkpoints == 0 || m.Resumes == 0 {
+		panic(fmt.Sprintf("E21: churn never landed (checkpoints=%d resumes=%d) — the cancel/timeout path went unexercised", m.Checkpoints, m.Resumes))
+	}
+
+	// Replay tenant 0's interleaved transcript against the engine's own
+	// ordered enumeration: the HTTP fleet must be a window onto the same
+	// stream, bitwise.
+	nfa, err := automata.UnmarshalString(loadgen.TenantAutomata(cfg.Tenants, cfg.States, cfg.Seed)[0])
+	if err != nil {
+		panic(err)
+	}
+	inst, err := core.New(nfa, cfg.Length, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	got := m.Transcripts[0]
+	want, err := inst.Witnesses(len(got))
+	if err != nil {
+		panic(err)
+	}
+	if len(want) != len(got) {
+		panic(fmt.Sprintf("E21: reference enumeration has %d words for a %d-word transcript", len(want), len(got)))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("E21: transcript diverges from engine at word %d: %q vs %q", i, got[i], want[i]))
+		}
+	}
+
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("replicas", "2 (shared-nothing, round-robin per page)")
+	add("concurrent streams", fmt.Sprint(m.Streams))
+	add("requests", fmt.Sprint(m.Requests))
+	add("pages", fmt.Sprint(m.Pages))
+	add("words", fmt.Sprint(m.Words))
+	add("elapsed", ms(m.Elapsed))
+	add("qps", fmt.Sprintf("%.0f", m.QPS))
+	add("ttfw p50", us(m.TTFWp50))
+	add("ttfw p99", us(m.TTFWp99))
+	add("page p50", us(m.PageP50))
+	add("page p99", us(m.PageP99))
+	add("churn pages sent", fmt.Sprintf("%.0f%% of pages, deadline %dms", cfg.CancelFrac*100, cfg.CancelTimeoutMS))
+	add("churn checkpoints (408)", fmt.Sprint(m.Checkpoints))
+	add("churn resumes", fmt.Sprint(m.Resumes))
+	add("admission rejections (422)", fmt.Sprintf("%d (policy length=64, probe length=%d)", m.Rejections, 1<<20))
+	add("cached tenants", fmt.Sprint(m.CacheEntries))
+	add("bytes per cached tenant", fmt.Sprintf("%.0f", m.BytesPerTenant))
+	add("transcript vs engine", fmt.Sprintf("identical (%d words, tenant 0)", len(got)))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d concurrent streams paginated across 2 replicas with %.0f%% cancel/timeout churn; every transcript prefix-consistent and tenant 0 bitwise equal to the engine's serial enumeration", m.Streams, cfg.CancelFrac*100),
+		"admission rejections observed at the policy check, before any length-sized precompute",
+	)
+	return t
+}

@@ -96,6 +96,24 @@
 // and batch sampling bounds the batch — with every rejection wrapping
 // admission.ErrRejected, so an over-budget request costs validation, not
 // a build it was never going to be allowed to use.
+//
+// # Serving tier
+//
+// The package is designed to sit behind a stateless server (cmd/nfad):
+// every streaming position serializes to a self-contained fingerprinted
+// el1: token, so ANY replica can resume ANY client's stream — pagination
+// is the el1: token round-tripping through CursorOptions.Cursor, and two
+// shared-nothing replicas alternating pages produce a transcript bitwise
+// identical to one uninterrupted enumeration. The request lifecycle maps
+// one-to-one onto server concerns: Options.Limits is the per-tenant
+// admission policy (ErrRejected ⇒ a 4xx before any length-sized
+// precompute), CursorOptions.Ctx/CountCtx/…Ctx variants carry the
+// request deadline (cancel ⇒ checkpoint token, returnable in an error
+// body), and Options.Cache is the process-wide multi-tenant compiled-
+// index cache — isomorphic automata across tenants share one build, and
+// the byte budget bounds memory per cached tenant. See cmd/nfad for the
+// HTTP surface and internal/loadgen for the load harness that measures
+// it (experiment E21).
 package core
 
 import (
@@ -513,6 +531,21 @@ func (in *Instance) Rank(w automata.Word) (*big.Int, error) {
 	return s.Rank(w)
 }
 
+// RankCtx is Rank with cooperative cancellation: ctx is checked at every
+// layer of the (lazy) counting-index build the call may trigger; a nil
+// ctx never cancels. The rank itself is ctx-free — reconstructing one run
+// is O(n·m), cheaper than a single delivery batch.
+func (in *Instance) RankCtx(ctx context.Context, w automata.Word) (*big.Int, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: Rank requires an unambiguous instance (RelationUL)")
+	}
+	s, err := in.ufaCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.Rank(w)
+}
+
 // Unrank returns the witness at the given 0-based rank of the enumeration
 // order — random access into the witness stream. RelationUL only, like
 // Rank.
@@ -527,18 +560,40 @@ func (in *Instance) Unrank(r *big.Int) (automata.Word, error) {
 	return s.Unrank(r)
 }
 
+// UnrankCtx is Unrank with cooperative cancellation: ctx is checked at
+// every layer of the (lazy) counting-index build the call may trigger; a
+// nil ctx never cancels. The descent itself is ctx-free, like RankCtx.
+func (in *Instance) UnrankCtx(ctx context.Context, r *big.Int) (automata.Word, error) {
+	if in.class != ClassUL {
+		return nil, fmt.Errorf("core: Unrank requires an unambiguous instance (RelationUL)")
+	}
+	s, err := in.ufaCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.Unrank(r)
+}
+
 // SampleDistinct draws k distinct witnesses uniformly without replacement
 // (rank-space rejection through the counting index), consuming the
 // instance's internal RNG stream like Sample. RelationUL only; ErrEmpty
 // when the witness set is empty.
 func (in *Instance) SampleDistinct(k int) ([]automata.Word, error) {
+	return in.SampleDistinctCtx(nil, k)
+}
+
+// SampleDistinctCtx is SampleDistinct with cooperative cancellation: ctx
+// is checked at every layer of the (lazy) counting-index build the call
+// may trigger, never inside a draw. A nil ctx never cancels; the batch
+// contents are identical to SampleDistinct.
+func (in *Instance) SampleDistinctCtx(ctx context.Context, k int) ([]automata.Word, error) {
 	if in.class != ClassUL {
 		return nil, fmt.Errorf("core: SampleDistinct requires an unambiguous instance (RelationUL); sample with replacement and deduplicate for RelationNL")
 	}
 	if err := in.opts.Limits.CheckSampleBatch(k); err != nil {
 		return nil, err
 	}
-	s, err := in.ufa()
+	s, err := in.ufaCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -802,7 +857,14 @@ func (in *Instance) rangeIndexCtx(ctx context.Context, lo, hi int) (*lengthrange
 // TotalRange returns |⋃_{n∈[lo,hi]} L_n| exactly, from the shared
 // cross-length index. RelationUL only.
 func (in *Instance) TotalRange(lo, hi int) (*big.Int, error) {
-	ri, err := in.rangeIndex(lo, hi)
+	return in.TotalRangeCtx(nil, lo, hi)
+}
+
+// TotalRangeCtx is TotalRange with cooperative cancellation: ctx is
+// checked at every layer of the (lazy) cross-length index build; a nil
+// ctx never cancels.
+func (in *Instance) TotalRangeCtx(ctx context.Context, lo, hi int) (*big.Int, error) {
+	ri, err := in.rangeIndexCtx(ctx, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -814,7 +876,14 @@ func (in *Instance) TotalRange(lo, hi int) (*big.Int, error) {
 // in the range), or an error wrapping countdag.ErrNotMember when w is
 // not a witness. RelationUL only.
 func (in *Instance) RankRange(lo, hi int, w automata.Word) (*big.Int, error) {
-	ri, err := in.rangeIndex(lo, hi)
+	return in.RankRangeCtx(nil, lo, hi, w)
+}
+
+// RankRangeCtx is RankRange with cooperative cancellation: ctx is checked
+// at every layer of the (lazy) cross-length index build; a nil ctx never
+// cancels.
+func (in *Instance) RankRangeCtx(ctx context.Context, lo, hi int, w automata.Word) (*big.Int, error) {
+	ri, err := in.rangeIndexCtx(ctx, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -825,7 +894,14 @@ func (in *Instance) RankRange(lo, hi int, w automata.Word) (*big.Int, error) {
 // the length-lexicographic order over [lo, hi] — random access into the
 // union of all lengths. RelationUL only.
 func (in *Instance) UnrankRange(lo, hi int, r *big.Int) (automata.Word, error) {
-	ri, err := in.rangeIndex(lo, hi)
+	return in.UnrankRangeCtx(nil, lo, hi, r)
+}
+
+// UnrankRangeCtx is UnrankRange with cooperative cancellation: ctx is
+// checked at every layer of the (lazy) cross-length index build; a nil
+// ctx never cancels.
+func (in *Instance) UnrankRangeCtx(ctx context.Context, lo, hi int, r *big.Int) (automata.Word, error) {
+	ri, err := in.rangeIndexCtx(ctx, lo, hi)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/instcache"
+	"repro/internal/leakcheck"
+	"repro/internal/nfad"
+)
+
+// fleet boots n shared-nothing nfad replicas with a length-bounded
+// admission policy (so over-limit probes 422 instead of grinding).
+func fleet(t *testing.T, n int) []string {
+	t.Helper()
+	limits := &admission.Limits{MaxLength: 4096}
+	targets := make([]string, n)
+	for i := range targets {
+		ts := httptest.NewServer(nfad.New(nfad.Config{
+			Cache:  instcache.New(instcache.DefaultBudget),
+			Limits: limits,
+		}))
+		t.Cleanup(ts.Close)
+		targets[i] = ts.URL
+	}
+	return targets
+}
+
+func TestRunVerifiedChurnAcrossReplicas(t *testing.T) {
+	leakcheck.Check(t)
+	streams := 64
+	if testing.Short() {
+		streams = 16
+	}
+	cfg := Config{
+		Targets:     fleet(t, 2),
+		Streams:     streams,
+		Pages:       4,
+		PageSize:    3,
+		Tenants:     4,
+		States:      8,
+		Length:      12,
+		CancelFrac:  0.3,
+		RejectEvery: 8,
+		Seed:        7,
+		Verify:      true,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	m, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Fatalf("load run saw %d unexpected errors: %+v", m.Errors, m)
+	}
+	if m.Pages == 0 || m.Words == 0 || m.Requests < int64(streams) {
+		t.Fatalf("run did no work: %+v", m)
+	}
+	if m.Rejections != int64((streams+cfg.RejectEvery-1)/cfg.RejectEvery) {
+		t.Fatalf("rejections = %d, want one per %d streams of %d", m.Rejections, cfg.RejectEvery, streams)
+	}
+	if m.ServerRejections != uint64(m.Rejections) {
+		t.Fatalf("server saw %d rejections, client saw %d", m.ServerRejections, m.Rejections)
+	}
+	if m.CacheEntries != int64(cfg.Tenants) || m.BytesPerTenant <= 0 {
+		t.Fatalf("cache should hold one entry per tenant: %+v", m)
+	}
+	if m.TTFWp99 <= 0 || m.QPS <= 0 {
+		t.Fatalf("latency metrics missing: %+v", m)
+	}
+}
+
+// TestTranscriptMatchesCore replays one tenant's paged words against the
+// engine's own ordered enumeration: the HTTP path must be a window onto
+// the same transcript.
+func TestTranscriptMatchesCore(t *testing.T) {
+	leakcheck.Check(t)
+	cfg := Config{
+		Targets:  fleet(t, 2),
+		Streams:  2,
+		Pages:    5,
+		PageSize: 4,
+		Tenants:  1,
+		States:   8,
+		Length:   12,
+		Seed:     7,
+	}
+	ctx := context.Background()
+	// Reference transcript straight through core.
+	nfa, err := automata.UnmarshalString(TenantAutomata(1, cfg.States, cfg.Seed)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.New(nfa, cfg.Length, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inst.Witnesses(cfg.Pages * cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One stream's transcript via Run with Verify on: prefix-consistency
+	// within Run plus this cross-check against core pins both ends.
+	cfg.Verify = true
+	m, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Fatalf("errors: %+v", m)
+	}
+	if int(m.Words) != 2*len(want) {
+		t.Fatalf("2 streams over %d canonical words delivered %d", len(want), m.Words)
+	}
+	got := m.Transcripts[0]
+	if len(got) != len(want) {
+		t.Fatalf("transcript length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transcript diverges from core at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunRejectsEmptyTargets(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("want error for empty target list")
+	}
+}
